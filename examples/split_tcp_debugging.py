@@ -1,0 +1,115 @@
+"""Reproduce the Split-TCP middlebox war stories of §8.4 (Figure 10).
+
+Four operational problems from a real enterprise deployment, each verified
+statically before (or instead of) painful live debugging:
+
+1. asymmetric routing — do both directions really cross the proxy?
+2. MTU black-holing — how large can client packets be once the operator adds
+   an IP-in-IP tunnel between the redirection router and the proxy?
+3. missing VLAN tagging — the proxy strips the 802.1Q tag and forgets to put
+   it back, so the redirection router drops the traffic;
+4. the DHCP-lease security appliance — the proxy rewrites source MACs, which
+   the exit router's lease check then rejects.
+
+Run with::
+
+    python examples/split_tcp_debugging.py
+"""
+
+from repro import ExecutionSettings, SymbolicExecutor, models
+from repro.click.elements import build_vlan_encap
+from repro.core import verification as V
+from repro.sefl import Allocate, Assign, EtherSrc, InstructionBlock, IpLength, IpSrc, mac_to_number
+from repro.solver.ast import Const, Eq
+from repro.solver.solver import Solver
+from repro.workloads import build_split_tcp_network
+from repro.workloads.enterprise import CLIENT_MAC
+
+SETTINGS = ExecutionSettings(record_failed_paths=False)
+
+
+def check_asymmetric_routing() -> None:
+    workload = build_split_tcp_network(mirror_at_exit=True)
+    result = SymbolicExecutor(workload.network, settings=SETTINGS).inject(
+        models.symbolic_tcp_packet(), *workload.client_entry
+    )
+    returned = result.reaching(*workload.client_return)
+    both_ways_via_proxy = all(
+        path.visited("P", "in0") and path.visited("P", "in1") for path in returned
+    )
+    print("1. asymmetric routing check")
+    print(f"   return paths found: {len(returned)}")
+    print(f"   every direction crosses the proxy: {both_ways_via_proxy}\n")
+
+
+def check_mtu(with_tunnel: bool) -> int:
+    workload = build_split_tcp_network(with_tunnel=with_tunnel)
+    result = SymbolicExecutor(workload.network, settings=SETTINGS).inject(
+        models.symbolic_tcp_packet(), *workload.client_entry
+    )
+    path = result.reaching("R2", "out0")[0]
+    solver = Solver()
+    length = path.state.read_variable(IpLength)
+    largest = 0
+    for probe in range(1500, 1545):
+        if solver.check(list(path.constraints) + [Eq(length, Const(probe))]).is_sat:
+            largest = probe
+    return largest
+
+
+def check_vlan_bug() -> None:
+    print("3. missing VLAN tagging")
+    for buggy in (False, True):
+        workload = build_split_tcp_network(use_vlan=True, vlan_bug=buggy)
+        tagger = build_vlan_encap("client-vlan", vlan_id=100)
+        workload.network.add_element(tagger)
+        workload.network.add_link(("client-vlan", "out0"), workload.client_entry)
+        result = SymbolicExecutor(workload.network, settings=SETTINGS).inject(
+            models.symbolic_tcp_packet(), "client-vlan", "in0"
+        )
+        reachable = result.is_reachable("R2", "out0")
+        label = "proxy forgets to re-tag" if buggy else "proxy restores the tag"
+        print(f"   {label:28s}: Internet reachable = {reachable}")
+    print()
+
+
+def check_dhcp_appliance() -> None:
+    print("4. DHCP-lease security appliance")
+
+    def client_packet():
+        return InstructionBlock(
+            models.symbolic_tcp_packet({EtherSrc: mac_to_number(CLIENT_MAC)}),
+            Allocate("origIP", 32),
+            Assign("origIP", IpSrc),
+            Allocate("origEther", 48),
+            Assign("origEther", EtherSrc),
+        )
+
+    for rewrites in (True, False):
+        workload = build_split_tcp_network(
+            dhcp_check=True, proxy_rewrites_src_mac=rewrites
+        )
+        result = SymbolicExecutor(workload.network, settings=SETTINGS).inject(
+            client_packet(), *workload.client_entry
+        )
+        label = "proxy rewrites source MAC" if rewrites else "proxy preserves source MAC"
+        print(f"   {label:28s}: Internet reachable = {result.is_reachable('R2', 'out0')}")
+    print()
+
+
+def main() -> None:
+    check_asymmetric_routing()
+
+    plain = check_mtu(with_tunnel=False)
+    tunneled = check_mtu(with_tunnel=True)
+    print("2. MTU black-holing")
+    print(f"   largest client packet without tunnel: {plain} bytes")
+    print(f"   largest client packet with IP-in-IP:  {tunneled} bytes")
+    print(f"   the tunnel silently steals {plain - tunneled} bytes\n")
+
+    check_vlan_bug()
+    check_dhcp_appliance()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that ``python setup.py develop`` keeps working in offline environments where
+pip cannot download build-isolation dependencies (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Evaluation baselines.
+
+* :mod:`repro.baselines.hsa` — a Header Space Analysis engine (wildcard
+  header spaces + transfer functions) used for the runtime comparison of
+  Table 3 and the capability matrix of Table 5;
+* :mod:`repro.baselines.kleesim` — a Klee-style byte-level symbolic executor
+  that runs the actual ASA TCP-options parsing algorithm over a symbolic
+  byte array, reproducing the path explosion of Table 1 and the partial
+  property coverage of Table 4.
+"""
+
+from repro.baselines.hsa import (
+    HeaderSpace,
+    HsaNetwork,
+    TransferFunction,
+    TransferRule,
+    WildcardExpr,
+)
+from repro.baselines.kleesim import KleeOptionsAnalysis, KleeResult
+
+__all__ = [
+    "HeaderSpace",
+    "HsaNetwork",
+    "KleeOptionsAnalysis",
+    "KleeResult",
+    "TransferFunction",
+    "TransferRule",
+    "WildcardExpr",
+]

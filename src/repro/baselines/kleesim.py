@@ -1,0 +1,268 @@
+"""Klee-style byte-level symbolic execution of the TCP-options parsing code.
+
+The paper's Table 1 and Table 4 measure what happens when a generic symbolic
+execution engine (Klee) is pointed at the firewall's options-parsing C code
+(Figure 1): the options field is a symbolic byte array, every data-dependent
+branch forks a path, and the number of paths grows super-linearly with the
+options length.
+
+This module reimplements that experiment faithfully but in Python: the
+*algorithm being executed is the C code's algorithm* (EOL / NOP handling,
+option-size validation, per-option DROP / ALLOW / STRIP verdicts), and the
+execution is symbolic — each option byte is an 8-bit solver variable and
+each branch decision adds path constraints checked with the same solver
+SymNet uses.  The exponential path growth and the inability to answer
+whole-field questions within a time budget are properties of the approach,
+not of the host language, which is exactly the point of the comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.models.tcp_options import (
+    ALLOW,
+    ASA_DEFAULT_OPTION_POLICY,
+    DROP,
+    OPTION_EOL,
+    OPTION_NOP,
+    OptionPolicy,
+    STRIP,
+)
+from repro.solver.ast import Const, Eq, Formula, Ge, Gt, Le, Lt, Member, Ne, Var
+from repro.solver.intervals import IntervalSet
+from repro.solver.result import SolverResult
+from repro.solver.solver import Solver
+
+
+class KleeBudgetExceeded(Exception):
+    """Raised internally when the path or time budget is exhausted."""
+
+
+@dataclass
+class KleePath:
+    """One completed execution path of the options-parsing code."""
+
+    constraints: List[Formula]
+    verdict: str  # "accept" or "drop"
+    allowed_options: List[Var] = field(default_factory=list)
+    stripped: bool = False
+
+    @property
+    def accepts(self) -> bool:
+        return self.verdict == "accept"
+
+
+@dataclass
+class KleeResult:
+    """Outcome of a (possibly budget-limited) Klee-style analysis."""
+
+    length: int
+    paths: List[KleePath]
+    runtime_seconds: float
+    finished: bool
+    solver_calls: int
+
+    @property
+    def path_count(self) -> int:
+        return len(self.paths)
+
+
+def _verdict_sets(policy: OptionPolicy) -> Tuple[Set[int], Set[int], Set[int]]:
+    """Partition option kinds 2..255 into allow / drop / strip sets."""
+    allow: Set[int] = set()
+    drop: Set[int] = set()
+    strip: Set[int] = set()
+    for kind in range(2, 256):
+        verdict = policy.verdict(kind)
+        if verdict == ALLOW:
+            allow.add(kind)
+        elif verdict == DROP:
+            drop.add(kind)
+        else:
+            strip.add(kind)
+    return allow, drop, strip
+
+
+class KleeOptionsAnalysis:
+    """Symbolically execute the ASA options-parsing algorithm byte by byte."""
+
+    def __init__(
+        self,
+        length: int,
+        policy: OptionPolicy = ASA_DEFAULT_OPTION_POLICY,
+        solver: Optional[Solver] = None,
+    ) -> None:
+        if length < 0 or length > 40:
+            raise ValueError("TCP options length must be between 0 and 40 bytes")
+        self.length = length
+        self.policy = policy
+        self.solver = solver if solver is not None else Solver()
+        self.option_bytes: List[Var] = [
+            Var(f"opt_byte_{index}", 8) for index in range(length)
+        ]
+        self._allow, self._drop, self._strip = _verdict_sets(policy)
+
+    # -- exploration ----------------------------------------------------------
+
+    def run(
+        self,
+        max_paths: Optional[int] = None,
+        time_budget_seconds: Optional[float] = None,
+    ) -> KleeResult:
+        """Explore every feasible path, honouring the optional budgets."""
+        started = time.perf_counter()
+        calls_before = self.solver.stats.calls
+        paths: List[KleePath] = []
+        finished = True
+
+        def out_of_budget() -> bool:
+            if max_paths is not None and len(paths) >= max_paths:
+                return True
+            if (
+                time_budget_seconds is not None
+                and time.perf_counter() - started > time_budget_seconds
+            ):
+                return True
+            return False
+
+        try:
+            self._explore(0, self.length, [], [], paths, out_of_budget)
+        except KleeBudgetExceeded:
+            finished = False
+
+        return KleeResult(
+            length=self.length,
+            paths=paths,
+            runtime_seconds=time.perf_counter() - started,
+            finished=finished,
+            solver_calls=self.solver.stats.calls - calls_before,
+        )
+
+    def _feasible(self, constraints: List[Formula]) -> bool:
+        return not self.solver.check(constraints).is_unsat
+
+    def _explore(
+        self,
+        ptr: int,
+        remaining: int,
+        constraints: List[Formula],
+        allowed: List[Var],
+        paths: List[KleePath],
+        out_of_budget,
+    ) -> None:
+        """Recursive path exploration mirroring the while loop of Figure 1."""
+        if out_of_budget():
+            raise KleeBudgetExceeded()
+        if remaining <= 0:
+            paths.append(KleePath(list(constraints), "accept", list(allowed)))
+            return
+
+        opcode = self.option_bytes[ptr]
+
+        # case TCPOPT_EOL: return True
+        eol = constraints + [Eq(opcode, Const(OPTION_EOL))]
+        if self._feasible(eol):
+            paths.append(KleePath(eol, "accept", list(allowed)))
+
+        # case TCPOPT_NOP: length--; ptr++; continue
+        nop = constraints + [Eq(opcode, Const(OPTION_NOP))]
+        if self._feasible(nop):
+            self._explore(ptr + 1, remaining - 1, nop, allowed, paths, out_of_budget)
+
+        # default: read opsize and validate it
+        other = constraints + [Gt(opcode, Const(OPTION_NOP))]
+        if not self._feasible(other):
+            return
+
+        if remaining < 2:
+            # opsize read would fall outside the options field: the code nops
+            # out everything and terminates.
+            paths.append(KleePath(other, "accept", list(allowed), stripped=True))
+            return
+
+        opsize = self.option_bytes[ptr + 1]
+
+        # Invalid size: (opsize < 2) || (opsize > length)  -> nop everything.
+        invalid = other + [Lt(opsize, Const(2))]
+        if self._feasible(invalid):
+            paths.append(KleePath(invalid, "accept", list(allowed), stripped=True))
+        invalid_big = other + [
+            Ge(opsize, Const(2)),
+            Gt(opsize, Const(remaining)),
+        ]
+        if self._feasible(invalid_big):
+            paths.append(
+                KleePath(invalid_big, "accept", list(allowed), stripped=True)
+            )
+
+        valid = other + [Ge(opsize, Const(2)), Le(opsize, Const(remaining))]
+        if not self._feasible(valid):
+            return
+
+        # switch(_options[opcode]) — the verdict depends on the (symbolic)
+        # opcode, so each verdict class is a separate path.
+        if self._drop:
+            dropped = valid + [
+                Member(opcode, IntervalSet.points(sorted(self._drop)))
+            ]
+            if self._feasible(dropped):
+                paths.append(KleePath(dropped, "drop", list(allowed)))
+
+        for verdict_set, records_option in (
+            (self._allow, True),
+            (self._strip, False),
+        ):
+            if not verdict_set:
+                continue
+            classified = valid + [
+                Member(opcode, IntervalSet.points(sorted(verdict_set)))
+            ]
+            if not self._feasible(classified):
+                continue
+            # ptr += opsize: the pointer must be concrete to index the array,
+            # so (like Klee) we fork one path per feasible concrete size.
+            for size in range(2, remaining + 1):
+                sized = classified + [Eq(opsize, Const(size))]
+                if not self._feasible(sized):
+                    continue
+                next_allowed = allowed + [opcode] if records_option else allowed
+                self._explore(
+                    ptr + size,
+                    remaining - size,
+                    sized,
+                    next_allowed,
+                    paths,
+                    out_of_budget,
+                )
+
+    # -- property queries (Table 4) --------------------------------------------
+
+    def option_allowed(self, result: KleeResult, kind: int) -> bool:
+        """Can option ``kind`` appear in the output on some accepting path?"""
+        for path in result.paths:
+            if not path.accepts:
+                continue
+            for opcode in path.allowed_options:
+                if self.solver.check(
+                    path.constraints + [Eq(opcode, Const(kind))]
+                ).is_sat:
+                    return True
+        return False
+
+    def combination_allowed(self, result: KleeResult, kinds: Sequence[int]) -> bool:
+        """Can all of ``kinds`` be simultaneously allowed on one path?"""
+        wanted = list(kinds)
+        for path in result.paths:
+            if not path.accepts or len(path.allowed_options) < len(wanted):
+                continue
+            if len(path.allowed_options) == len(wanted):
+                assignments = [
+                    Eq(opcode, Const(kind))
+                    for opcode, kind in zip(path.allowed_options, wanted)
+                ]
+                if self.solver.check(path.constraints + assignments).is_sat:
+                    return True
+        return False

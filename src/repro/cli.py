@@ -1,0 +1,157 @@
+"""Command-line interface.
+
+The paper's workflow (§7.1): "All the user has to do is place all these
+files in a single directory, together with a file describing the links
+between the boxes.  Then, the user can run SymNet by specifying an input
+port to start the reachability and loop detection analysis.  The output of
+the tool is the list of explored paths in json format."
+
+Usage::
+
+    python -m repro.cli reachability NETWORK_DIR ELEMENT PORT [options]
+    python -m repro.cli show NETWORK_DIR
+
+``NETWORK_DIR`` must contain ``topology.txt`` plus the per-device snapshot
+files it references (see :mod:`repro.parsers.topology_file` for the format).
+The injected packet is a fully symbolic TCP packet unless ``--packet`` picks
+another template, and individual header fields can be pinned with
+``--field NAME=VALUE`` (IP addresses and MAC addresses are accepted in their
+usual textual forms).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.engine import ExecutionSettings, SymbolicExecutor
+from repro.models import host as host_models
+from repro.parsers.topology_file import load_network_directory
+from repro.sefl.fields import HeaderField, standard_fields
+from repro.sefl.util import ip_to_number, mac_to_number
+
+PACKET_TEMPLATES = {
+    "tcp": host_models.symbolic_tcp_packet,
+    "udp": host_models.symbolic_udp_packet,
+    "ip": host_models.symbolic_ip_packet,
+    "icmp": host_models.symbolic_icmp_packet,
+}
+
+
+def _parse_field_value(field: HeaderField, text: str) -> int:
+    """Interpret a field override: integers, hex, dotted IPs or MACs."""
+    text = text.strip()
+    if text.lower().startswith("0x"):
+        return int(text, 16)
+    if ":" in text or (text.count(".") == 3 and field.width == 48):
+        return mac_to_number(text)
+    if text.count(".") == 3:
+        return ip_to_number(text)
+    return int(text)
+
+
+def _parse_overrides(pairs: Sequence[str]) -> Dict[HeaderField, int]:
+    fields = standard_fields()
+    overrides: Dict[HeaderField, int] = {}
+    for pair in pairs:
+        name, _, raw = pair.partition("=")
+        if not raw:
+            raise SystemExit(f"--field expects NAME=VALUE, got {pair!r}")
+        if name not in fields:
+            known = ", ".join(sorted(fields))
+            raise SystemExit(f"unknown field {name!r}; known fields: {known}")
+        field = fields[name]
+        overrides[field] = _parse_field_value(field, raw)
+    return overrides
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="symnet", description="SymNet reproduction command-line tool"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="list the elements, ports and links of a network directory")
+    show.add_argument("directory")
+
+    reach = sub.add_parser(
+        "reachability",
+        help="inject a symbolic packet and dump the explored paths as JSON",
+    )
+    reach.add_argument("directory")
+    reach.add_argument("element", help="element whose input port receives the packet")
+    reach.add_argument("port", nargs="?", default="in0", help="input port (default in0)")
+    reach.add_argument(
+        "--packet", choices=sorted(PACKET_TEMPLATES), default="tcp",
+        help="packet template to inject (default: tcp)",
+    )
+    reach.add_argument(
+        "--field", action="append", default=[], metavar="NAME=VALUE",
+        help="pin a header field to a concrete value (repeatable)",
+    )
+    reach.add_argument("--max-hops", type=int, default=128)
+    reach.add_argument(
+        "--no-failed-paths", action="store_true",
+        help="omit failed/filtered paths from the output",
+    )
+    reach.add_argument(
+        "--output", "-o", default=None, help="write the JSON report to a file"
+    )
+    return parser
+
+
+def _command_show(directory: str) -> int:
+    network = load_network_directory(directory)
+    print(f"network: {network.name}")
+    print(f"elements: {len(network)}")
+    for element in network:
+        print(
+            f"  {element.name} ({element.kind}) "
+            f"in={element.input_ports} out={element.output_ports}"
+        )
+    print(f"links: {len(network.links)}")
+    for link in network.links:
+        print(f"  {link}")
+    problems = network.validate()
+    if problems:
+        print("problems:")
+        for problem in problems:
+            print(f"  ! {problem}")
+        return 1
+    return 0
+
+
+def _command_reachability(args: argparse.Namespace) -> int:
+    network = load_network_directory(args.directory)
+    overrides = _parse_overrides(args.field)
+    packet_program = PACKET_TEMPLATES[args.packet](overrides or None)
+    settings = ExecutionSettings(
+        max_hops=args.max_hops,
+        record_failed_paths=not args.no_failed_paths,
+    )
+    executor = SymbolicExecutor(network, settings=settings)
+    result = executor.inject(packet_program, args.element, args.port)
+    report = result.to_json()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(result.summary_counts().items()))
+        print(f"wrote {len(result.paths)} paths to {args.output} ({counts})")
+    else:
+        print(report)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "show":
+        return _command_show(args.directory)
+    if args.command == "reachability":
+        return _command_reachability(args)
+    raise SystemExit(2)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

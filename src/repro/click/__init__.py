@@ -1,0 +1,52 @@
+"""Click modular router support.
+
+The paper models "a large subset of the elements of the Click modular
+router" in SEFL so that arbitrary Click configurations can be verified
+out-of-the-box and so that more complex boxes (firewalls, NATs, the CISCO
+ASA) can be assembled from them.  This package provides:
+
+* :mod:`repro.click.elements` — SEFL models for the commonly used elements
+  (IPMirror, DecIPTTL, HostEtherFilter, IPClassifier, IPRewriter, EtherEncap,
+  Strip, CheckIPHeader, VLAN encap/decap, …);
+* :mod:`repro.click.parser` — a parser for Click configuration files that
+  instantiates those models and wires them into a :class:`repro.network.Network`.
+"""
+
+from repro.click.elements import (
+    CLICK_ELEMENT_REGISTRY,
+    build_check_ip_header,
+    build_dec_ip_ttl,
+    build_discard,
+    build_drop_broadcasts,
+    build_ether_encap,
+    build_host_ether_filter,
+    build_ip_classifier,
+    build_ip_filter,
+    build_ip_mirror_element,
+    build_ip_rewriter,
+    build_queue,
+    build_strip_ether,
+    build_vlan_decap,
+    build_vlan_encap,
+)
+from repro.click.parser import ClickParseError, parse_click_config
+
+__all__ = [
+    "CLICK_ELEMENT_REGISTRY",
+    "ClickParseError",
+    "build_check_ip_header",
+    "build_dec_ip_ttl",
+    "build_discard",
+    "build_drop_broadcasts",
+    "build_ether_encap",
+    "build_host_ether_filter",
+    "build_ip_classifier",
+    "build_ip_filter",
+    "build_ip_mirror_element",
+    "build_ip_rewriter",
+    "build_queue",
+    "build_strip_ether",
+    "build_vlan_decap",
+    "build_vlan_encap",
+    "parse_click_config",
+]

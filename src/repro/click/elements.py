@@ -1,0 +1,455 @@
+"""SEFL models of Click modular router elements.
+
+Each builder returns a :class:`repro.network.NetworkElement`.  Where the
+paper's conformance testing (§8.3) uncovered a bug in an early model
+(DecIPTTL wrap-around, IPMirror forgetting the ports, HostEtherFilter
+checking the wrong field), both the *buggy* and the *fixed* variants are
+provided so the testing framework can demonstrate the catch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.models.mirror import mirror_program
+from repro.network.element import NetworkElement, WILDCARD_PORT
+from repro.sefl.expressions import And, Condition, Eq, Ge, Le, Minus, Ne, OneOf, Or
+from repro.sefl.fields import (
+    ETHER_HEADER_BITS,
+    ETHERTYPE_IP,
+    ETHERTYPE_VLAN,
+    EtherDst,
+    EtherSrc,
+    EtherType,
+    IpDst,
+    IpProto,
+    IpSrc,
+    IpTtl,
+    IpVersion,
+    Tag,
+    TcpDst,
+    TcpSrc,
+    VLAN_TAG_BITS,
+    VlanId,
+    VlanTpid,
+    PROTO_TCP,
+    PROTO_UDP,
+)
+from repro.sefl.instructions import (
+    Allocate,
+    Assign,
+    Constrain,
+    CreateTag,
+    Deallocate,
+    Fail,
+    Fork,
+    Forward,
+    If,
+    Instruction,
+    InstructionBlock,
+    LOCAL,
+    NoOp,
+)
+from repro.sefl.util import ip_to_number, mac_to_number, parse_prefix
+from repro.solver.intervals import IntervalSet, prefix_to_interval
+
+BROADCAST_MAC = (1 << 48) - 1
+
+
+# ---------------------------------------------------------------------------
+# Simple pass-through / drop elements
+# ---------------------------------------------------------------------------
+
+
+def build_queue(name: str) -> NetworkElement:
+    """``Queue`` / ``SimpleQueue``: functionally a wire for static analysis."""
+    element = NetworkElement(name, ["in0"], ["out0"], kind="Queue")
+    element.set_input_program("in0", Forward("out0"))
+    return element
+
+
+def build_discard(name: str) -> NetworkElement:
+    """``Discard``: every packet is dropped."""
+    element = NetworkElement(name, ["in0"], [], kind="Discard")
+    element.set_input_program("in0", Fail("discarded"))
+    return element
+
+
+def build_drop_broadcasts(name: str) -> NetworkElement:
+    """``DropBroadcasts``: drop Ethernet broadcast frames."""
+    element = NetworkElement(name, ["in0"], ["out0"], kind="DropBroadcasts")
+    element.set_input_program(
+        "in0",
+        InstructionBlock(
+            Constrain(Ne(EtherDst, BROADCAST_MAC)),
+            Forward("out0"),
+        ),
+    )
+    return element
+
+
+# ---------------------------------------------------------------------------
+# Header sanity / filtering elements
+# ---------------------------------------------------------------------------
+
+
+def build_check_ip_header(name: str) -> NetworkElement:
+    """``CheckIPHeader``: verify the packet is a sane IPv4 packet."""
+    element = NetworkElement(name, ["in0"], ["out0"], kind="CheckIPHeader")
+    element.set_input_program(
+        "in0",
+        InstructionBlock(
+            Constrain(Eq(EtherType, ETHERTYPE_IP)),
+            Constrain(Eq(IpVersion, 4)),
+            Constrain(Ne(IpSrc, 0)),
+            Forward("out0"),
+        ),
+    )
+    return element
+
+
+def build_host_ether_filter(
+    name: str, mac: Union[int, str], buggy: bool = False
+) -> NetworkElement:
+    """``HostEtherFilter``: only accept frames destined to this host's MAC.
+
+    ``buggy=True`` reproduces the modeling bug of §8.3 where the *EtherType*
+    field was checked instead of the destination address.
+    """
+    mac_value = mac_to_number(mac) if isinstance(mac, str) else mac
+    element = NetworkElement(name, ["in0"], ["out0"], kind="HostEtherFilter")
+    checked_field = EtherType if buggy else EtherDst
+    element.set_input_program(
+        "in0",
+        InstructionBlock(
+            Constrain(Eq(checked_field, mac_value)),
+            Forward("out0"),
+        ),
+    )
+    return element
+
+
+def build_dec_ip_ttl(name: str, buggy: bool = False) -> NetworkElement:
+    """``DecIPTTL``: decrement the TTL, dropping packets that would expire.
+
+    The correct model constrains ``TTL >= 1`` *before* decrementing.  The
+    buggy variant decrements first and then requires the result to be
+    positive — on an unsigned field the value wraps around instead of going
+    negative, so packets with TTL 0 are never dropped; this is the bug the
+    paper found through SymNet reporting a single path instead of two.
+    """
+    element = NetworkElement(name, ["in0"], ["out0"], kind="DecIPTTL")
+    if buggy:
+        program = InstructionBlock(
+            Assign(IpTtl, Minus(IpTtl, 1)),
+            Constrain(Ge(IpTtl, 1)),
+            Forward("out0"),
+        )
+    else:
+        program = InstructionBlock(
+            Constrain(Ge(IpTtl, 1)),
+            Assign(IpTtl, Minus(IpTtl, 1)),
+            Forward("out0"),
+        )
+    element.set_input_program("in0", program)
+    return element
+
+
+def build_ip_mirror_element(
+    name: str, buggy: bool = False
+) -> NetworkElement:
+    """``IPMirror``: swap source/destination addresses and ports.
+
+    ``buggy=True`` reproduces the incomplete model of §8.3 that only mirrored
+    the IP addresses and forgot the transport ports.
+    """
+    element = NetworkElement(name, ["in0"], ["out0"], kind="IPMirror")
+    element.set_input_program("in0", mirror_program(swap_ports=not buggy))
+    return element
+
+
+# ---------------------------------------------------------------------------
+# Classification elements
+# ---------------------------------------------------------------------------
+
+
+FilterSpec = Mapping[str, object]
+
+
+def _filter_condition(spec: FilterSpec) -> Condition:
+    """Translate a classifier filter spec into a SEFL condition.
+
+    Supported keys: ``src`` / ``dst`` (prefix strings), ``proto`` (int),
+    ``src_port`` / ``dst_port`` (int or ``(low, high)`` range).
+    """
+    clauses: List[Condition] = []
+    if "src" in spec:
+        address, plen = parse_prefix(str(spec["src"]))
+        interval = prefix_to_interval(address, plen)
+        clauses.append(OneOf(IpSrc, IntervalSet([(interval.lo, interval.hi)])))
+    if "dst" in spec:
+        address, plen = parse_prefix(str(spec["dst"]))
+        interval = prefix_to_interval(address, plen)
+        clauses.append(OneOf(IpDst, IntervalSet([(interval.lo, interval.hi)])))
+    if "proto" in spec:
+        clauses.append(Eq(IpProto, int(spec["proto"])))  # type: ignore[arg-type]
+    for key, field in (("src_port", TcpSrc), ("dst_port", TcpDst)):
+        if key in spec:
+            value = spec[key]
+            if isinstance(value, tuple):
+                clauses.append(OneOf(field, IntervalSet([value])))
+            else:
+                clauses.append(Eq(field, int(value)))  # type: ignore[arg-type]
+    if not clauses:
+        return Eq(0, 0)
+    return And(*clauses) if len(clauses) > 1 else clauses[0]
+
+
+def build_ip_classifier(
+    name: str, filters: Sequence[FilterSpec]
+) -> NetworkElement:
+    """``IPClassifier``: forward each packet to the output port of the first
+    filter it matches; unmatched packets are dropped.
+
+    The model uses egress filtering: the packet is forked to every output
+    port and port *k* constrains the packet to match filter *k* and none of
+    the earlier filters — optimal branching with mutually exclusive
+    constraints, the same trick used for switches.
+    """
+    ports = [f"out{i}" for i in range(len(filters))]
+    element = NetworkElement(name, ["in0"], ports, kind="IPClassifier")
+    element.set_input_program("in0", Fork(*ports))
+    from repro.sefl.expressions import Not as SeflNot
+
+    for index, spec in enumerate(filters):
+        conditions: List[Condition] = [
+            SeflNot(_filter_condition(earlier)) for earlier in filters[:index]
+        ]
+        conditions.append(_filter_condition(spec))
+        program = InstructionBlock(
+            *[Constrain(condition) for condition in conditions]
+        )
+        element.set_output_program(f"out{index}", program)
+    return element
+
+
+def build_ip_filter(
+    name: str, rules: Sequence[Tuple[str, FilterSpec]]
+) -> NetworkElement:
+    """``IPFilter``: ordered allow/deny rules over the five-tuple."""
+    element = NetworkElement(name, ["in0"], ["out0"], kind="IPFilter")
+    program: Instruction = Fail("denied by IPFilter default policy")
+    for action, spec in reversed(list(rules)):
+        verdict: Instruction = (
+            Forward("out0") if action == "allow" else Fail("denied by IPFilter rule")
+        )
+        program = If(_filter_condition(spec), verdict, program)
+    element.set_input_program("in0", program)
+    return element
+
+
+# ---------------------------------------------------------------------------
+# Stateful rewriting (IPRewriter)
+# ---------------------------------------------------------------------------
+
+
+def build_ip_rewriter(
+    name: str,
+    constrain_distinct_endpoints: bool = True,
+) -> NetworkElement:
+    """``IPRewriter`` configured as a stateful firewall (the §8.3 setup).
+
+    Traffic from the inside network arrives on input 0 and is emitted on
+    output 0 after its flow is recorded in local metadata.  Outside traffic
+    arrives on input 1 and is emitted on output 1 only when it matches a
+    recorded flow (reversed five-tuple); everything else is dropped.
+
+    ``constrain_distinct_endpoints`` applies the fix for the cycle found in
+    §8.3: with fully symbolic packets the source and destination endpoints
+    may be equal, in which case mirrored return traffic also matches the
+    *forward* mapping and loops forever; constraining the endpoints to differ
+    removes the false cycle.
+    """
+    element = NetworkElement(
+        name, ["in0", "in1"], ["out0", "out1"], kind="IPRewriter"
+    )
+
+    outgoing = [
+        Constrain(Or(Eq(IpProto, PROTO_TCP), Eq(IpProto, PROTO_UDP))),
+        Allocate("rw-src-ip", 32, LOCAL),
+        Allocate("rw-dst-ip", 32, LOCAL),
+        Allocate("rw-src-port", 16, LOCAL),
+        Allocate("rw-dst-port", 16, LOCAL),
+        Assign("rw-src-ip", IpSrc),
+        Assign("rw-dst-ip", IpDst),
+        Assign("rw-src-port", TcpSrc),
+        Assign("rw-dst-port", TcpDst),
+        Forward("out0"),
+    ]
+    if constrain_distinct_endpoints:
+        outgoing.insert(1, Constrain(Ne(IpSrc, IpDst)))
+    element.set_input_program("in0", InstructionBlock(*outgoing))
+
+    # Outside traffic: a packet that matches the *forward* mapping is treated
+    # as more outgoing traffic of that flow and re-emitted on output 0 (this
+    # is what creates the cycle of Figure 9(a') when source and destination
+    # endpoints may coincide); otherwise it must match the reverse mapping to
+    # be admitted on output 1.
+    incoming = InstructionBlock(
+        Constrain(Or(Eq(IpProto, PROTO_TCP), Eq(IpProto, PROTO_UDP))),
+        If(
+            And(
+                Eq(IpSrc, "rw-src-ip"),
+                Eq(IpDst, "rw-dst-ip"),
+                Eq(TcpSrc, "rw-src-port"),
+                Eq(TcpDst, "rw-dst-port"),
+            ),
+            Forward("out0"),
+            InstructionBlock(
+                Constrain(Eq(IpSrc, "rw-dst-ip")),
+                Constrain(Eq(IpDst, "rw-src-ip")),
+                Constrain(Eq(TcpSrc, "rw-dst-port")),
+                Constrain(Eq(TcpDst, "rw-src-port")),
+                Forward("out1"),
+            ),
+        ),
+    )
+    element.set_input_program("in1", incoming)
+    return element
+
+
+# ---------------------------------------------------------------------------
+# Encapsulation elements
+# ---------------------------------------------------------------------------
+
+
+def build_ether_encap(
+    name: str,
+    ethertype: int = ETHERTYPE_IP,
+    src: Union[int, str] = 0,
+    dst: Union[int, str] = 0,
+) -> NetworkElement:
+    """``EtherEncap``: prepend an Ethernet header in front of the L3 header."""
+    src_value = mac_to_number(src) if isinstance(src, str) else src
+    dst_value = mac_to_number(dst) if isinstance(dst, str) else dst
+    element = NetworkElement(name, ["in0"], ["out0"], kind="EtherEncap")
+    base = Tag("L3") - ETHER_HEADER_BITS
+    element.set_input_program(
+        "in0",
+        InstructionBlock(
+            Allocate(base + EtherDst.offset, EtherDst.width),
+            Assign(base + EtherDst.offset, dst_value),
+            Allocate(base + EtherSrc.offset, EtherSrc.width),
+            Assign(base + EtherSrc.offset, src_value),
+            Allocate(base + EtherType.offset, EtherType.width),
+            Assign(base + EtherType.offset, ethertype),
+            CreateTag("L2", base),
+            Forward("out0"),
+        ),
+    )
+    return element
+
+
+def build_strip_ether(name: str) -> NetworkElement:
+    """``Strip(14)``: remove the Ethernet header (deallocate its fields and
+    destroy the L2 tag)."""
+    element = NetworkElement(name, ["in0"], ["out0"], kind="Strip")
+    element.set_input_program(
+        "in0",
+        InstructionBlock(
+            Deallocate(EtherDst, EtherDst.width),
+            Deallocate(EtherSrc, EtherSrc.width),
+            Deallocate(EtherType, EtherType.width),
+            Forward("out0"),
+        ),
+    )
+    return element
+
+
+def build_vlan_encap(name: str, vlan_id: int) -> NetworkElement:
+    """``VLANEncap``: insert an 802.1Q tag between Ethernet and IP.
+
+    The model allocates the VLAN fields right after the Ethernet header
+    (where the tag sits on the wire), rewrites the EtherType to 0x8100 and
+    records the VLAN id.
+    """
+    element = NetworkElement(name, ["in0"], ["out0"], kind="VLANEncap")
+    base = Tag("L2") + ETHER_HEADER_BITS
+    element.set_input_program(
+        "in0",
+        InstructionBlock(
+            CreateTag("VLAN", base),
+            Allocate(VlanTpid, VlanTpid.width),
+            Assign(VlanTpid, ETHERTYPE_VLAN),
+            Allocate(VlanId, VlanId.width),
+            Assign(VlanId, vlan_id),
+            # The outer EtherType now announces a VLAN tag.
+            Assign(EtherType, ETHERTYPE_VLAN),
+            Forward("out0"),
+        ),
+    )
+    return element
+
+
+def build_vlan_decap(
+    name: str, restore_ethertype: int = ETHERTYPE_IP, buggy: bool = False
+) -> NetworkElement:
+    """``VLANDecap``: remove the 802.1Q tag.
+
+    The correct model requires the frame to actually carry a VLAN tag and
+    restores the inner EtherType.  With ``buggy=True`` the EtherType is left
+    at 0x8100 after decapsulation — the missing-VLAN-tagging bug from the
+    Split-TCP deployment (§8.4) where downstream boxes then drop the frame.
+    """
+    element = NetworkElement(name, ["in0"], ["out0"], kind="VLANDecap")
+    instructions = [
+        Constrain(Eq(EtherType, ETHERTYPE_VLAN)),
+        Deallocate(VlanTpid, VlanTpid.width),
+        Deallocate(VlanId, VlanId.width),
+    ]
+    if not buggy:
+        instructions.append(Assign(EtherType, restore_ethertype))
+    instructions.append(Forward("out0"))
+    element.set_input_program("in0", InstructionBlock(*instructions))
+    return element
+
+
+def build_ether_rewrite(
+    name: str, dst: Union[int, str], src: Optional[Union[int, str]] = None
+) -> NetworkElement:
+    """Rewrite the Ethernet destination (and optionally source) address —
+    this is how the Split-TCP redirection router steers traffic to the proxy
+    (§8.4)."""
+    dst_value = mac_to_number(dst) if isinstance(dst, str) else dst
+    element = NetworkElement(name, ["in0"], ["out0"], kind="EtherRewrite")
+    instructions: List[Instruction] = [Assign(EtherDst, dst_value)]
+    if src is not None:
+        src_value = mac_to_number(src) if isinstance(src, str) else src
+        instructions.append(Assign(EtherSrc, src_value))
+    instructions.append(Forward("out0"))
+    element.set_input_program("in0", InstructionBlock(*instructions))
+    return element
+
+
+# ---------------------------------------------------------------------------
+# Registry used by the Click configuration parser
+# ---------------------------------------------------------------------------
+
+CLICK_ELEMENT_REGISTRY = {
+    "Queue": build_queue,
+    "SimpleQueue": build_queue,
+    "Discard": build_discard,
+    "DropBroadcasts": build_drop_broadcasts,
+    "CheckIPHeader": build_check_ip_header,
+    "HostEtherFilter": build_host_ether_filter,
+    "DecIPTTL": build_dec_ip_ttl,
+    "IPMirror": build_ip_mirror_element,
+    "IPClassifier": build_ip_classifier,
+    "IPFilter": build_ip_filter,
+    "IPRewriter": build_ip_rewriter,
+    "EtherEncap": build_ether_encap,
+    "Strip": build_strip_ether,
+    "VLANEncap": build_vlan_encap,
+    "VLANDecap": build_vlan_decap,
+    "EtherRewrite": build_ether_rewrite,
+}

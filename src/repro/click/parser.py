@@ -1,0 +1,169 @@
+"""Parser for (a practical subset of) Click configuration files.
+
+The paper's toolchain takes a Click configuration, generates a SEFL model
+for each element and connects the models according to the config.  This
+parser supports the declaration and connection syntax used by such
+configurations::
+
+    // comment
+    src :: HostEtherFilter(00:aa:00:aa:00:aa);
+    ttl :: DecIPTTL;
+    cls :: IPClassifier(proto=6 dst_port=80, proto=17);
+    src -> ttl;
+    ttl [0] -> [0] cls;
+
+Element classes are resolved against :data:`CLICK_ELEMENT_REGISTRY`; filter
+arguments for ``IPClassifier`` / ``IPFilter`` use ``key=value`` pairs
+(``src`` / ``dst`` prefixes, ``proto``, ``src_port`` / ``dst_port``) instead
+of Click's free-form tcpdump-like syntax.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.click.elements import CLICK_ELEMENT_REGISTRY
+from repro.network.topology import Network
+
+_DECLARATION = re.compile(
+    r"^(?P<name>[A-Za-z_][\w.]*)\s*::\s*(?P<cls>[A-Za-z_]\w*)\s*(\((?P<args>.*)\))?$"
+)
+_CONNECTION = re.compile(
+    r"^(?P<src>[A-Za-z_][\w.]*)\s*(\[(?P<srcport>\d+)\])?\s*->"
+    r"\s*(\[(?P<dstport>\d+)\])?\s*(?P<dst>[A-Za-z_][\w.]*)$"
+)
+
+
+class ClickParseError(Exception):
+    """Raised when a configuration cannot be parsed or instantiated."""
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    text = re.sub(r"//[^\n]*", "", text)
+    return text
+
+
+def _split_args(args: str) -> List[str]:
+    """Split an argument list on top-level commas."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for char in args:
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+            continue
+        if char in "([":
+            depth += 1
+        elif char in ")]":
+            depth -= 1
+        current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return [p for p in parts if p]
+
+
+def _parse_scalar(token: str):
+    token = token.strip().strip('"').strip("'")
+    if re.fullmatch(r"0x[0-9a-fA-F]+", token):
+        return int(token, 16)
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    return token
+
+
+def _parse_filter_spec(token: str) -> Dict[str, object]:
+    """Parse ``proto=6 dst_port=80 dst=10.0.0.0/8`` into a filter spec."""
+    spec: Dict[str, object] = {}
+    for pair in token.split():
+        if "=" not in pair:
+            raise ClickParseError(f"malformed filter clause {pair!r} in {token!r}")
+        key, _, value = pair.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if key in ("src", "dst"):
+            spec[key] = value
+        elif key in ("proto", "src_port", "dst_port"):
+            if "-" in value:
+                low, _, high = value.partition("-")
+                spec[key] = (int(low), int(high))
+            else:
+                spec[key] = int(value)
+        else:
+            raise ClickParseError(f"unsupported filter key {key!r}")
+    return spec
+
+
+def _instantiate(name: str, cls: str, raw_args: Optional[str]):
+    if cls not in CLICK_ELEMENT_REGISTRY:
+        raise ClickParseError(f"unknown Click element class {cls!r}")
+    builder = CLICK_ELEMENT_REGISTRY[cls]
+    args = _split_args(raw_args) if raw_args else []
+
+    if cls in ("IPClassifier",):
+        filters = [_parse_filter_spec(arg) for arg in args]
+        return builder(name, filters)
+    if cls in ("IPFilter",):
+        rules: List[Tuple[str, Dict[str, object]]] = []
+        for arg in args:
+            action, _, rest = arg.partition(" ")
+            if action not in ("allow", "deny"):
+                raise ClickParseError(
+                    f"IPFilter rules must start with allow/deny: {arg!r}"
+                )
+            rules.append((action, _parse_filter_spec(rest)))
+        return builder(name, rules)
+
+    parsed = [_parse_scalar(arg) for arg in args]
+    try:
+        return builder(name, *parsed)
+    except TypeError as exc:
+        raise ClickParseError(
+            f"bad arguments for {cls}({raw_args or ''}): {exc}"
+        ) from exc
+
+
+def parse_click_config(text: str, network: Optional[Network] = None) -> Network:
+    """Parse a Click configuration and return the corresponding network.
+
+    Elements become :class:`NetworkElement` instances built from the SEFL
+    models in :mod:`repro.click.elements`; ``a -> b`` connections become
+    unidirectional links from ``a``'s output port to ``b``'s input port
+    (Click port indices map to the conventional ``outN`` / ``inN`` names).
+    """
+    network = network if network is not None else Network("click-config")
+    statements = [
+        statement.strip()
+        for statement in _strip_comments(text).split(";")
+        if statement.strip()
+    ]
+    pending_connections: List[Tuple[str, str, str, str]] = []
+
+    for statement in statements:
+        declaration = _DECLARATION.match(statement)
+        if declaration:
+            element = _instantiate(
+                declaration.group("name"),
+                declaration.group("cls"),
+                declaration.group("args"),
+            )
+            network.add_element(element)
+            continue
+        connection = _CONNECTION.match(statement)
+        if connection:
+            src_port = f"out{connection.group('srcport') or 0}"
+            dst_port = f"in{connection.group('dstport') or 0}"
+            pending_connections.append(
+                (connection.group("src"), src_port, connection.group("dst"), dst_port)
+            )
+            continue
+        raise ClickParseError(f"cannot parse statement: {statement!r}")
+
+    for src, src_port, dst, dst_port in pending_connections:
+        if not network.has_element(src) or not network.has_element(dst):
+            raise ClickParseError(f"connection references unknown element: {src} -> {dst}")
+        network.add_link((src, src_port), (dst, dst_port))
+    return network

@@ -1,0 +1,39 @@
+"""SymNet core: symbolic execution of SEFL network models.
+
+This is the paper's primary contribution — a symbolic execution engine whose
+state is a *packet* (header variables at bit addresses + a metadata map),
+where every execution path corresponds to a packet traversing the network.
+
+Public entry points:
+
+* :class:`repro.core.engine.SymbolicExecutor` — run symbolic execution over a
+  :class:`repro.network.Network`;
+* :class:`repro.core.state.ExecutionState` — the per-path symbolic state;
+* :mod:`repro.core.verification` — reachability, loop detection, invariance,
+  header visibility and memory-safety analyses built on the engine.
+"""
+
+from repro.core.engine import ExecutionSettings, SymbolicExecutor
+from repro.core.errors import (
+    MemorySafetyError,
+    ModelError,
+    SymNetError,
+)
+from repro.core.paths import ExecutionResult, PathRecord, PathStatus
+from repro.core.state import ExecutionState
+from repro.core.values import SymbolFactory
+from repro.core import verification
+
+__all__ = [
+    "ExecutionResult",
+    "ExecutionSettings",
+    "ExecutionState",
+    "MemorySafetyError",
+    "ModelError",
+    "PathRecord",
+    "PathStatus",
+    "SymNetError",
+    "SymbolFactory",
+    "SymbolicExecutor",
+    "verification",
+]

@@ -1,0 +1,512 @@
+"""The SymNet symbolic execution engine.
+
+The engine injects a symbolic packet into an input port of a network element
+and propagates it through the topology, executing the SEFL program attached
+to every port it crosses.  Each feasible combination of branch decisions
+becomes one execution path; infeasible branches are discharged by the
+constraint solver (the role Z3 plays in the paper).
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import MemorySafetyError, ModelError
+from repro.core.paths import ExecutionResult, PathRecord, PathStatus
+from repro.core.state import ExecutionState
+from repro.core.values import SymbolFactory, concrete_value
+from repro.network.element import NetworkElement
+from repro.network.ports import PortId
+from repro.network.topology import Network
+from repro.sefl import expressions as sx
+from repro.sefl import instructions as si
+from repro.sefl.fields import HeaderField, TagOffset
+from repro.solver import ast as sa
+from repro.solver.ast import Const, Formula, Term
+from repro.solver.solver import Solver
+
+
+@dataclass
+class ExecutionSettings:
+    """Tunables for a symbolic execution run."""
+
+    max_hops: int = 128
+    detect_loops: bool = True
+    record_failed_paths: bool = True
+    record_infeasible_branches: bool = False
+    check_constraints_eagerly: bool = True
+    max_paths: int = 1_000_000
+
+
+@dataclass
+class _Outcome:
+    """Intermediate result of executing a port program on one state."""
+
+    state: ExecutionState
+    forwards: List[str] = field(default_factory=list)
+    done: bool = False
+
+
+class SymbolicExecutor:
+    """Symbolic execution of SEFL models over a :class:`Network`."""
+
+    def __init__(
+        self,
+        network: Network,
+        solver: Optional[Solver] = None,
+        settings: Optional[ExecutionSettings] = None,
+        symbols: Optional[SymbolFactory] = None,
+    ) -> None:
+        self.network = network
+        self.solver = solver if solver is not None else Solver()
+        self.settings = settings if settings is not None else ExecutionSettings()
+        self.symbols = symbols if symbols is not None else SymbolFactory()
+
+    # ------------------------------------------------------------------ public
+
+    def inject(
+        self,
+        packet_program: si.Instruction,
+        element: str,
+        port: str = "in0",
+        initial_state: Optional[ExecutionState] = None,
+    ) -> ExecutionResult:
+        """Build a packet with ``packet_program`` and inject it at
+        ``element:port``, returning every explored path."""
+        start = time.perf_counter()
+        solver_calls_before = self.solver.stats.calls
+        solver_time_before = self.solver.stats.time_seconds
+
+        result = ExecutionResult(injected_at=PortId(element, port))
+        state = initial_state if initial_state is not None else ExecutionState(self.symbols)
+
+        # The injection program runs outside any element; it must not forward.
+        injected = self._run_program(packet_program, state, element=None)
+        worklist: List[Tuple[ExecutionState, str, str]] = []
+        for outcome in injected:
+            if not outcome.state.is_alive:
+                self._record(result, outcome.state, None)
+                continue
+            if outcome.forwards:
+                raise ModelError("packet construction programs must not forward")
+            worklist.append((outcome.state, element, port))
+
+        while worklist:
+            if len(result.paths) >= self.settings.max_paths:
+                break
+            current, element_name, in_port = worklist.pop()
+            self._step(current, element_name, in_port, worklist, result)
+
+        result.elapsed_seconds = time.perf_counter() - start
+        result.solver_calls = self.solver.stats.calls - solver_calls_before
+        result.solver_time_seconds = (
+            self.solver.stats.time_seconds - solver_time_before
+        )
+        return result
+
+    # ------------------------------------------------------------ propagation
+
+    def _step(
+        self,
+        state: ExecutionState,
+        element_name: str,
+        in_port: str,
+        worklist: List[Tuple[ExecutionState, str, str]],
+        result: ExecutionResult,
+    ) -> None:
+        element = self.network.element(element_name)
+        port_id = PortId(element_name, in_port)
+        state.current_scope = element_name
+        state.record_port(str(port_id))
+        state.hop_count += 1
+
+        if state.hop_count > self.settings.max_hops:
+            state.status = PathStatus.LOOP
+            state.stop_reason = f"hop limit ({self.settings.max_hops}) exceeded"
+            self._record(result, state, port_id)
+            return
+
+        if self.settings.detect_loops and self._detect_loop(state, str(port_id)):
+            state.status = PathStatus.LOOP
+            state.stop_reason = f"loop detected at {port_id}"
+            self._record(result, state, port_id)
+            return
+        state.snapshot_port(str(port_id))
+
+        outcomes = self._run_program(element.input_program(in_port), state, element)
+        for outcome in outcomes:
+            if not outcome.state.is_alive:
+                self._record(result, outcome.state, port_id)
+                continue
+            if not outcome.forwards:
+                outcome.state.status = PathStatus.DROPPED
+                outcome.state.stop_reason = (
+                    outcome.state.stop_reason or f"no forward from {port_id}"
+                )
+                self._record(result, outcome.state, port_id)
+                continue
+            for index, out_port in enumerate(outcome.forwards):
+                branch_state = (
+                    outcome.state
+                    if index == len(outcome.forwards) - 1
+                    else outcome.state.clone()
+                )
+                self._emit(branch_state, element, out_port, worklist, result)
+
+    def _emit(
+        self,
+        state: ExecutionState,
+        element: NetworkElement,
+        out_port: str,
+        worklist: List[Tuple[ExecutionState, str, str]],
+        result: ExecutionResult,
+    ) -> None:
+        """Run the output-port program and follow the outgoing link."""
+        out_id = PortId(element.name, out_port)
+        state.record_port(str(out_id))
+        outcomes = self._run_program(element.output_program(out_port), state, element)
+        for outcome in outcomes:
+            if not outcome.state.is_alive:
+                self._record(result, outcome.state, out_id)
+                continue
+            if outcome.forwards:
+                raise ModelError(
+                    f"output port program at {out_id} attempted to forward"
+                )
+            destination = self.network.link_from(element.name, out_port)
+            if destination is None:
+                outcome.state.status = PathStatus.DELIVERED
+                outcome.state.stop_reason = f"delivered at {out_id} (no outgoing link)"
+                self._record(result, outcome.state, out_id)
+            else:
+                worklist.append(
+                    (outcome.state, destination.element, destination.port)
+                )
+
+    def _detect_loop(self, state: ExecutionState, port_key: str) -> bool:
+        """Paper §6: a loop exists when the new state at a previously-visited
+        port contains all values allowed by the old state (solve ``old ∧ ¬new``
+        and look for a counterexample)."""
+        snapshots = state.snapshots_for(port_key)
+        if not snapshots:
+            return False
+        new_formula = sa.conjoin(state.constraints)
+        for snapshot in snapshots:
+            old_formula = sa.conjoin(list(snapshot.constraints))
+            witness = self.solver.check(
+                sa.And(old_formula, sa.Not(new_formula))
+            )
+            if witness.is_unsat:
+                return True
+        return False
+
+    def _record(
+        self,
+        result: ExecutionResult,
+        state: ExecutionState,
+        port: Optional[PortId],
+    ) -> None:
+        """Append a terminated state to the result, honouring record settings."""
+        if state.status == PathStatus.FAILED:
+            if not self.settings.record_failed_paths:
+                return
+            if (
+                not self.settings.record_infeasible_branches
+                and state.stop_reason.startswith("infeasible")
+            ):
+                return
+        result.add(
+            PathRecord(
+                state=state,
+                status=state.status,
+                stop_reason=state.stop_reason,
+                last_port=port,
+            )
+        )
+
+    # -------------------------------------------------------------- execution
+
+    def _run_program(
+        self,
+        program: si.Instruction,
+        state: ExecutionState,
+        element: Optional[NetworkElement],
+    ) -> List[_Outcome]:
+        """Execute ``program`` on ``state`` and return all resulting outcomes."""
+        return self._execute(program, _Outcome(state), element)
+
+    def _execute(
+        self,
+        instruction: si.Instruction,
+        outcome: _Outcome,
+        element: Optional[NetworkElement],
+    ) -> List[_Outcome]:
+        state = outcome.state
+        if outcome.done or not state.is_alive:
+            return [outcome]
+
+        if isinstance(instruction, si.NoOp):
+            return [outcome]
+
+        if isinstance(instruction, si.InstructionBlock):
+            pending = [outcome]
+            for child in instruction.instructions:
+                next_pending: List[_Outcome] = []
+                for item in pending:
+                    if item.done or not item.state.is_alive:
+                        next_pending.append(item)
+                    else:
+                        next_pending.extend(self._execute(child, item, element))
+                pending = next_pending
+            return pending
+
+        state.record_instruction(self._describe(instruction))
+
+        try:
+            return self._execute_simple(instruction, outcome, element)
+        except MemorySafetyError as exc:
+            state.fail(f"memory safety violation: {exc}")
+            outcome.done = True
+            return [outcome]
+
+    def _execute_simple(
+        self,
+        instruction: si.Instruction,
+        outcome: _Outcome,
+        element: Optional[NetworkElement],
+    ) -> List[_Outcome]:
+        state = outcome.state
+
+        if isinstance(instruction, si.Allocate):
+            variable = instruction.variable
+            if isinstance(variable, str):
+                state.allocate_metadata(
+                    variable,
+                    instruction.size,
+                    local=instruction.visibility == si.LOCAL,
+                )
+            else:
+                if instruction.size is None:
+                    raise MemorySafetyError(
+                        f"header allocation of {state.describe_variable(variable)} "
+                        "requires an explicit size"
+                    )
+                state.allocate_header(variable, instruction.size)
+            return [outcome]
+
+        if isinstance(instruction, si.Deallocate):
+            variable = instruction.variable
+            if isinstance(variable, str):
+                state.deallocate_metadata(variable, instruction.size)
+            else:
+                state.deallocate_header(variable, instruction.size)
+            return [outcome]
+
+        if isinstance(instruction, si.Assign):
+            term = self._eval(instruction.expression, state)
+            state.write_variable(instruction.variable, term)
+            return [outcome]
+
+        if isinstance(instruction, si.CreateTag):
+            state.create_tag(instruction.name, self._eval_address(instruction.value, state))
+            return [outcome]
+
+        if isinstance(instruction, si.DestroyTag):
+            state.destroy_tag(instruction.name)
+            return [outcome]
+
+        if isinstance(instruction, si.Constrain):
+            formula = self._condition(instruction.condition, state)
+            state.add_constraint(formula)
+            if self.settings.check_constraints_eagerly:
+                verdict = self.solver.check(state.constraints)
+                if verdict.is_unsat:
+                    state.fail(
+                        f"constraint unsatisfiable: {self._describe(instruction)}"
+                    )
+                    outcome.done = True
+            return [outcome]
+
+        if isinstance(instruction, si.Fail):
+            state.fail(instruction.message)
+            outcome.done = True
+            return [outcome]
+
+        if isinstance(instruction, si.If):
+            return self._execute_if(instruction, outcome, element)
+
+        if isinstance(instruction, si.For):
+            return self._execute_for(instruction, outcome, element)
+
+        if isinstance(instruction, si.Forward):
+            port = self._resolve_port(instruction.port, element)
+            outcome.forwards = [port]
+            outcome.done = True
+            return [outcome]
+
+        if isinstance(instruction, si.Fork):
+            results: List[_Outcome] = []
+            ports = [self._resolve_port(p, element) for p in instruction.ports]
+            for index, port in enumerate(ports):
+                branch_state = state if index == len(ports) - 1 else state.clone()
+                results.append(_Outcome(branch_state, forwards=[port], done=True))
+            return results
+
+        raise ModelError(f"unknown instruction {instruction!r}")
+
+    def _execute_if(
+        self,
+        instruction: si.If,
+        outcome: _Outcome,
+        element: Optional[NetworkElement],
+    ) -> List[_Outcome]:
+        state = outcome.state
+        condition = instruction.condition
+        if isinstance(condition, si.Constrain):
+            condition = condition.condition
+        formula = self._condition(condition, state)
+
+        else_state = state.clone()
+        results: List[_Outcome] = []
+
+        state.add_constraint(formula)
+        then_feasible = self._feasible(state)
+        if then_feasible:
+            results.extend(
+                self._execute(instruction.then_branch, _Outcome(state), element)
+            )
+        elif self.settings.record_infeasible_branches:
+            state.fail("infeasible If branch (then)")
+            results.append(_Outcome(state, done=True))
+
+        else_state.add_constraint(sa.negate(formula))
+        else_feasible = self._feasible(else_state)
+        if else_feasible:
+            results.extend(
+                self._execute(instruction.else_branch, _Outcome(else_state), element)
+            )
+        elif self.settings.record_infeasible_branches:
+            else_state.fail("infeasible If branch (else)")
+            results.append(_Outcome(else_state, done=True))
+
+        return results
+
+    def _execute_for(
+        self,
+        instruction: si.For,
+        outcome: _Outcome,
+        element: Optional[NetworkElement],
+    ) -> List[_Outcome]:
+        state = outcome.state
+        if not callable(instruction.body):
+            raise ModelError("For body must be a callable taking the matched key")
+        pattern = re.compile(instruction.pattern)
+        names = [
+            name
+            for name in state.metadata.visible_names(state.current_scope)
+            if pattern.fullmatch(name)
+        ]
+        pending = [outcome]
+        for name in names:
+            body = instruction.body(name)
+            next_pending: List[_Outcome] = []
+            for item in pending:
+                if item.done or not item.state.is_alive:
+                    next_pending.append(item)
+                else:
+                    next_pending.extend(self._execute(body, item, element))
+            pending = next_pending
+        return pending
+
+    def _feasible(self, state: ExecutionState) -> bool:
+        if not self.settings.check_constraints_eagerly:
+            return True
+        return not self.solver.check(state.constraints).is_unsat
+
+    # -------------------------------------------------------------- evaluation
+
+    def _eval(self, expression, state: ExecutionState) -> Term:
+        """Evaluate a SEFL expression to a solver term."""
+        if isinstance(expression, bool):
+            raise ModelError(f"booleans are not SEFL values: {expression!r}")
+        if isinstance(expression, int):
+            return Const(expression)
+        if isinstance(expression, str):
+            return state.read_metadata(expression)
+        if isinstance(expression, (HeaderField, TagOffset)):
+            return state.read_header(expression)
+        if isinstance(expression, sx.ConstantValue):
+            return Const(expression.value)
+        if isinstance(expression, sx.SymbolicValue):
+            return self.symbols.fresh(expression.label, expression.width)
+        if isinstance(expression, sx.Reference):
+            return state.read_variable(expression.variable)
+        if isinstance(expression, sx.Plus):
+            return sa.Add(self._eval(expression.left, state), self._eval(expression.right, state))
+        if isinstance(expression, sx.Minus):
+            return sa.Sub(self._eval(expression.left, state), self._eval(expression.right, state))
+        raise ModelError(f"cannot evaluate expression {expression!r}")
+
+    def _eval_address(self, value, state: ExecutionState) -> int:
+        """Evaluate a CreateTag value to a concrete bit address."""
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+        if isinstance(value, (HeaderField, TagOffset)):
+            return state.resolve_address(value)
+        term = self._eval(value, state)
+        concrete = concrete_value(term)
+        if concrete is None:
+            raise MemorySafetyError(
+                "tag values must evaluate to concrete integers"
+            )
+        return concrete
+
+    def _condition(self, condition: sx.Condition, state: ExecutionState) -> Formula:
+        """Translate a SEFL condition into a solver formula."""
+        if isinstance(condition, sx.Eq):
+            return sa.Eq(self._eval(condition.left, state), self._eval(condition.right, state))
+        if isinstance(condition, sx.Ne):
+            return sa.Ne(self._eval(condition.left, state), self._eval(condition.right, state))
+        if isinstance(condition, sx.Lt):
+            return sa.Lt(self._eval(condition.left, state), self._eval(condition.right, state))
+        if isinstance(condition, sx.Le):
+            return sa.Le(self._eval(condition.left, state), self._eval(condition.right, state))
+        if isinstance(condition, sx.Gt):
+            return sa.Gt(self._eval(condition.left, state), self._eval(condition.right, state))
+        if isinstance(condition, sx.Ge):
+            return sa.Ge(self._eval(condition.left, state), self._eval(condition.right, state))
+        if isinstance(condition, sx.OneOf):
+            return sa.Member(self._eval(condition.expression, state), condition.values)
+        if isinstance(condition, sx.And):
+            return sa.conjoin([self._condition(op, state) for op in condition.operands])
+        if isinstance(condition, sx.Or):
+            return sa.disjoin([self._condition(op, state) for op in condition.operands])
+        if isinstance(condition, sx.Not):
+            return sa.Not(self._condition(condition.operand, state))
+        raise ModelError(f"cannot translate condition {condition!r}")
+
+    # ---------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _resolve_port(port, element: Optional[NetworkElement]) -> str:
+        if element is None:
+            raise ModelError("Forward/Fork outside a network element")
+        return element.resolve_output_port(port)
+
+    @staticmethod
+    def _describe(instruction: si.Instruction) -> str:
+        name = type(instruction).__name__
+        if isinstance(instruction, si.Constrain):
+            return f"Constrain({instruction.condition!r})"
+        if isinstance(instruction, si.Assign):
+            return f"Assign({instruction.variable!r})"
+        if isinstance(instruction, si.Forward):
+            return f"Forward({instruction.port!r})"
+        if isinstance(instruction, si.Fork):
+            return f"Fork{instruction.ports!r}"
+        if isinstance(instruction, si.Fail):
+            return f"Fail({instruction.message!r})"
+        return name

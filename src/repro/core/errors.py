@@ -1,0 +1,21 @@
+"""Exception hierarchy for the SymNet core."""
+
+
+class SymNetError(Exception):
+    """Base class for all SymNet errors."""
+
+
+class MemorySafetyError(SymNetError):
+    """A header access violated SEFL's memory-safety rules.
+
+    Raised when code reads or writes an unallocated header address, uses a
+    misaligned address, deallocates with the wrong size, or references a tag
+    that does not exist.  The engine converts this into a failed execution
+    path, which is exactly how the paper reports encapsulation bugs caught by
+    "header memory safety" (§6).
+    """
+
+
+class ModelError(SymNetError):
+    """A SEFL model is structurally invalid (bad port reference, a loop body
+    that is not callable, output-port code trying to forward, …)."""

@@ -1,0 +1,231 @@
+"""Packet memory: header variables at bit addresses and the metadata map.
+
+SEFL's packet layout mimics real packets (Figure 6): header fields live at
+absolute bit offsets, must be allocated before use, and accesses must line up
+exactly with an allocation.  Metadata entries live in a string-keyed map with
+no alignment rules and may be global or local to a network element.
+
+Both stores keep a *stack* of slots per variable: ``Allocate`` pushes a new
+slot (masking the previous value, e.g. during encapsulation) and
+``Deallocate`` pops it, restoring the old value.  Each slot also records its
+full assignment history, which the verification layer uses for invariance and
+header-visibility checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.errors import MemorySafetyError
+from repro.solver.ast import Term
+
+
+@dataclass
+class Slot:
+    """One allocation of a variable: its size and its value history."""
+
+    size: Optional[int]
+    values: List[Term] = field(default_factory=list)
+
+    @property
+    def current(self) -> Optional[Term]:
+        return self.values[-1] if self.values else None
+
+    def assign(self, term: Term) -> None:
+        self.values.append(term)
+
+    def clone(self) -> "Slot":
+        return Slot(self.size, list(self.values))
+
+
+class HeaderMemory:
+    """Bit-addressed header variables with allocation stacks."""
+
+    def __init__(self) -> None:
+        self._slots: Dict[int, List[Slot]] = {}
+
+    # -- allocation -----------------------------------------------------------
+
+    def allocate(self, address: int, size: int) -> None:
+        if size is None or size <= 0:
+            raise MemorySafetyError(
+                f"header allocation at {address} requires a positive size"
+            )
+        self._slots.setdefault(address, []).append(Slot(size))
+
+    def deallocate(self, address: int, size: Optional[int] = None) -> None:
+        stack = self._slots.get(address)
+        if not stack:
+            raise MemorySafetyError(
+                f"deallocating unallocated header address {address}"
+            )
+        top = stack[-1]
+        if size is not None and top.size != size:
+            raise MemorySafetyError(
+                f"deallocation size {size} does not match allocated size "
+                f"{top.size} at address {address}"
+            )
+        stack.pop()
+        if not stack:
+            del self._slots[address]
+
+    # -- access ---------------------------------------------------------------
+
+    def is_allocated(self, address: int) -> bool:
+        return bool(self._slots.get(address))
+
+    def _top(self, address: int, width: Optional[int]) -> Slot:
+        stack = self._slots.get(address)
+        if not stack:
+            raise MemorySafetyError(
+                f"access to unallocated header address {address}"
+            )
+        top = stack[-1]
+        if width is not None and top.size is not None and top.size != width:
+            raise MemorySafetyError(
+                f"unaligned access at address {address}: allocated size "
+                f"{top.size}, accessed as {width} bits"
+            )
+        return top
+
+    def read(self, address: int, width: Optional[int] = None) -> Term:
+        slot = self._top(address, width)
+        if slot.current is None:
+            raise MemorySafetyError(
+                f"read of allocated but never-assigned header address {address}"
+            )
+        return slot.current
+
+    def write(self, address: int, term: Term, width: Optional[int] = None) -> None:
+        slot = self._top(address, width)
+        slot.assign(term)
+
+    def size_of(self, address: int) -> int:
+        slot = self._top(address, None)
+        assert slot.size is not None
+        return slot.size
+
+    def history(self, address: int) -> List[Term]:
+        """Assignment history of the *current* allocation of ``address``."""
+        return list(self._top(address, None).values)
+
+    def depth(self, address: int) -> int:
+        """Number of stacked allocations at ``address``."""
+        return len(self._slots.get(address, ()))
+
+    def stack_values(self, address: int) -> List[Optional[Term]]:
+        """Current value of every stacked allocation, bottom to top.
+
+        Used by header-visibility analyses: the bottom entries are values
+        masked by later allocations (e.g. the cleartext payload hidden behind
+        an encryption mask)."""
+        stack = self._slots.get(address)
+        if not stack:
+            raise MemorySafetyError(
+                f"access to unallocated header address {address}"
+            )
+        return [slot.current for slot in stack]
+
+    def addresses(self) -> List[int]:
+        return sorted(self._slots)
+
+    def clone(self) -> "HeaderMemory":
+        copy = HeaderMemory()
+        copy._slots = {
+            addr: [slot.clone() for slot in stack]
+            for addr, stack in self._slots.items()
+        }
+        return copy
+
+
+MetaKey = Union[str, Tuple[str, str]]
+
+
+class MetadataStore:
+    """String-keyed metadata map with global / element-local scoping."""
+
+    def __init__(self) -> None:
+        self._slots: Dict[MetaKey, List[Slot]] = {}
+
+    @staticmethod
+    def scoped_key(name: str, scope: Optional[str]) -> MetaKey:
+        return (scope, name) if scope else name
+
+    # -- allocation -----------------------------------------------------------
+
+    def allocate(self, key: MetaKey, size: Optional[int] = None) -> None:
+        self._slots.setdefault(key, []).append(Slot(size))
+
+    def deallocate(self, key: MetaKey, size: Optional[int] = None) -> None:
+        stack = self._slots.get(key)
+        if not stack:
+            raise MemorySafetyError(f"deallocating unallocated metadata {key!r}")
+        top = stack[-1]
+        if size is not None and top.size is not None and top.size != size:
+            raise MemorySafetyError(
+                f"deallocation size {size} does not match allocated size "
+                f"{top.size} for metadata {key!r}"
+            )
+        stack.pop()
+        if not stack:
+            del self._slots[key]
+
+    # -- access ---------------------------------------------------------------
+
+    def is_allocated(self, key: MetaKey) -> bool:
+        return bool(self._slots.get(key))
+
+    def resolve(self, name: str, scope: Optional[str]) -> Optional[MetaKey]:
+        """Find the visible key for ``name``: local to ``scope`` first, then
+        global."""
+        if scope is not None and (scope, name) in self._slots:
+            return (scope, name)
+        if name in self._slots:
+            return name
+        return None
+
+    def _top(self, key: MetaKey) -> Slot:
+        stack = self._slots.get(key)
+        if not stack:
+            raise MemorySafetyError(f"access to unallocated metadata {key!r}")
+        return stack[-1]
+
+    def read(self, key: MetaKey) -> Term:
+        slot = self._top(key)
+        if slot.current is None:
+            raise MemorySafetyError(
+                f"read of allocated but never-assigned metadata {key!r}"
+            )
+        return slot.current
+
+    def write(self, key: MetaKey, term: Term) -> None:
+        self._top(key).assign(term)
+
+    def size_of(self, key: MetaKey) -> Optional[int]:
+        return self._top(key).size
+
+    def history(self, key: MetaKey) -> List[Term]:
+        return list(self._top(key).values)
+
+    def keys(self) -> List[MetaKey]:
+        return list(self._slots)
+
+    def visible_names(self, scope: Optional[str]) -> List[str]:
+        """All metadata names visible from ``scope`` (local + global)."""
+        names = set()
+        for key in self._slots:
+            if isinstance(key, tuple):
+                if key[0] == scope:
+                    names.add(key[1])
+            else:
+                names.add(key)
+        return sorted(names)
+
+    def clone(self) -> "MetadataStore":
+        copy = MetadataStore()
+        copy._slots = {
+            key: [slot.clone() for slot in stack]
+            for key, stack in self._slots.items()
+        }
+        return copy

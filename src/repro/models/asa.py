@@ -1,0 +1,155 @@
+"""Composite CISCO ASA model (§7.2).
+
+The ASA is modeled, as in the paper, as a pipeline of simpler elements
+rather than a single monolithic program: ingress static NAT, stateful TCP
+inspection, filtering, dynamic NAT and the TCP-options element.  The builder
+adds all stages to the caller's :class:`Network` and returns the attachment
+points so that the department / enterprise topologies can wire the ASA
+between their inside and outside segments.
+
+Outbound pipeline (inside → outside)::
+
+    inside ─→ outbound ACL ─→ stateful firewall ─→ dynamic NAT ─→ options ─→ outside
+
+Inbound pipeline (outside → inside)::
+
+    outside ─→ static dst-NAT ─┬→ dynamic NAT (return) ─→ stateful check ─┐
+                               └→ inbound ACL (new connections) ──────────┴→ options ─→ inside
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.models.firewall import AclRule, build_acl_firewall, build_stateful_firewall
+from repro.models.nat import build_nat
+from repro.models.tcp_options import (
+    ASA_DEFAULT_OPTION_POLICY,
+    OptionPolicy,
+    build_tcp_options_filter,
+)
+from repro.network.element import NetworkElement
+from repro.network.topology import Network
+from repro.sefl.expressions import Eq
+from repro.sefl.fields import IpDst
+from repro.sefl.instructions import (
+    Assign,
+    Fork,
+    Forward,
+    If,
+    Instruction,
+    InstructionBlock,
+    NoOp,
+)
+from repro.sefl.util import ip_to_number
+
+
+@dataclass
+class AsaConfig:
+    """Configuration of the ASA model (mirrors the parsed appliance config)."""
+
+    public_address: str = "141.85.37.1"
+    nat_port_range: Tuple[int, int] = (1024, 65535)
+    # Static NAT rules: (public address, private address).
+    static_nat: List[Tuple[str, str]] = field(default_factory=list)
+    # Inbound ACL: default deny unless a rule allows the packet.
+    inbound_rules: List[AclRule] = field(default_factory=list)
+    # Outbound ACL: default allow.
+    outbound_rules: List[AclRule] = field(default_factory=list)
+    options_policy: OptionPolicy = ASA_DEFAULT_OPTION_POLICY
+    enable_dynamic_nat: bool = True
+
+
+@dataclass
+class AsaAttachment:
+    """Where to connect the surrounding topology to the ASA pipeline."""
+
+    inside_entry: Tuple[str, str]  # traffic from the inside LAN enters here
+    outside_exit: Tuple[str, str]  # ... and leaves the ASA here
+    outside_entry: Tuple[str, str]  # traffic from the Internet enters here
+    inside_exit: Tuple[str, str]  # ... and leaves towards the inside here
+    elements: List[str] = field(default_factory=list)
+
+
+def _static_dst_nat(name: str, rules: Sequence[Tuple[str, str]]) -> NetworkElement:
+    """Rewrite destination addresses according to static NAT rules and fan the
+    packet out to the return-traffic and new-connection pipelines."""
+    element = NetworkElement(
+        name,
+        input_ports=["in0"],
+        output_ports=["to-return", "to-new"],
+        kind="static-nat",
+    )
+    rewrite: Instruction = NoOp()
+    for public, private in reversed(list(rules)):
+        rewrite = If(
+            Eq(IpDst, ip_to_number(public)),
+            Assign(IpDst, ip_to_number(private)),
+            rewrite,
+        )
+    element.set_input_program(
+        "in0", InstructionBlock(rewrite, Fork("to-return", "to-new"))
+    )
+    return element
+
+
+def build_asa(
+    network: Network,
+    name: str,
+    config: Optional[AsaConfig] = None,
+) -> AsaAttachment:
+    """Add the ASA pipeline to ``network`` and return its attachment points."""
+    config = config or AsaConfig()
+
+    out_filter = build_acl_firewall(
+        f"{name}-out-acl", config.outbound_rules, default_action="allow"
+    )
+    stateful = build_stateful_firewall(f"{name}-fw")
+    options_out = build_tcp_options_filter(f"{name}-options-out", config.options_policy)
+    options_in = build_tcp_options_filter(f"{name}-options-in", config.options_policy)
+    static_nat = _static_dst_nat(f"{name}-static-nat", config.static_nat)
+    in_filter = build_acl_firewall(
+        f"{name}-in-acl", config.inbound_rules, default_action="deny"
+    )
+
+    elements = [out_filter, stateful, options_out, options_in, static_nat, in_filter]
+
+    nat = None
+    if config.enable_dynamic_nat:
+        nat = build_nat(
+            f"{name}-nat",
+            public_address=config.public_address,
+            port_range=config.nat_port_range,
+        )
+        elements.append(nat)
+
+    network.add_elements(*elements)
+
+    # Outbound chain: ACL -> stateful firewall -> (NAT) -> options.
+    network.add_link((out_filter.name, "out0"), (stateful.name, "in0"))
+    if nat is not None:
+        network.add_link((stateful.name, "out0"), (nat.name, "in0"))
+        network.add_link((nat.name, "out0"), (options_out.name, "in0"))
+    else:
+        network.add_link((stateful.name, "out0"), (options_out.name, "in0"))
+
+    # Inbound chain: static NAT fans out to the return-traffic pipeline
+    # (dynamic NAT reverse mapping + stateful check) and to the inbound ACL
+    # for new connections; both feed the inbound options element.
+    if nat is not None:
+        network.add_link((static_nat.name, "to-return"), (nat.name, "in1"))
+        network.add_link((nat.name, "out1"), (stateful.name, "in1"))
+    else:
+        network.add_link((static_nat.name, "to-return"), (stateful.name, "in1"))
+    network.add_link((stateful.name, "out1"), (options_in.name, "in0"))
+    network.add_link((static_nat.name, "to-new"), (in_filter.name, "in0"))
+    network.add_link((in_filter.name, "out0"), (options_in.name, "in0"))
+
+    return AsaAttachment(
+        inside_entry=(out_filter.name, "in0"),
+        outside_exit=(options_out.name, "out0"),
+        outside_entry=(static_nat.name, "in0"),
+        inside_exit=(options_in.name, "out0"),
+        elements=[e.name for e in elements],
+    )

@@ -1,0 +1,65 @@
+"""Encrypted tunnel models (§7, "Modeling Encryption").
+
+The model captures exactly the two properties the paper cares about:
+
+* after encryption no box can read the original payload — the payload is
+  masked by a *new allocation* holding a fresh symbolic value;
+* decryption with the matching key restores the original payload — the
+  masking allocation is popped, revealing the untouched value stack below.
+
+Predicting the ciphertext is deliberately out of scope, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.network.element import NetworkElement
+from repro.sefl.expressions import Eq, SymbolicValue
+from repro.sefl.fields import TcpPayload
+from repro.sefl.instructions import (
+    Allocate,
+    Assign,
+    Constrain,
+    Deallocate,
+    Forward,
+    InstructionBlock,
+)
+
+
+def build_encryptor(name: str, key: int) -> NetworkElement:
+    """Encrypt the TCP payload with ``key``.
+
+    The key travels as packet metadata so that the decryptor can check it —
+    the paper's code stores it in the ``"Key"`` map entry.
+    """
+    element = NetworkElement(
+        name, input_ports=["in0"], output_ports=["out0"], kind="encryptor"
+    )
+    element.set_input_program(
+        "in0",
+        InstructionBlock(
+            Allocate("Key", 32),
+            Assign("Key", key),
+            # Mask the payload: any later read sees an opaque fresh symbol.
+            Allocate(TcpPayload, TcpPayload.width),
+            Assign(TcpPayload, SymbolicValue("ciphertext", TcpPayload.width)),
+            Forward("out0"),
+        ),
+    )
+    return element
+
+
+def build_decryptor(name: str, key: int) -> NetworkElement:
+    """Decrypt the TCP payload, succeeding only when the key matches."""
+    element = NetworkElement(
+        name, input_ports=["in0"], output_ports=["out0"], kind="decryptor"
+    )
+    element.set_input_program(
+        "in0",
+        InstructionBlock(
+            Constrain(Eq("Key", key)),
+            Deallocate(TcpPayload, TcpPayload.width),
+            Deallocate("Key"),
+            Forward("out0"),
+        ),
+    )
+    return element

@@ -1,0 +1,146 @@
+"""Firewall models: ACL (stateless) and stateful.
+
+The stateless firewall applies an ordered list of allow/deny rules over the
+IP five-tuple without branching: the allow rules on a path are expressed as
+constraints and denied packets simply fail.  The stateful firewall uses the
+NAT technique from §7 — per-flow state is stored in local packet metadata, so
+return traffic is admitted exactly when the forward direction was seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.network.element import NetworkElement
+from repro.sefl.expressions import And, Condition, Eq, Ne, OneOf
+from repro.sefl.fields import IpDst, IpProto, IpSrc, TcpDst, TcpSrc, PROTO_TCP
+from repro.sefl.instructions import (
+    Allocate,
+    Assign,
+    Constrain,
+    Fail,
+    Forward,
+    If,
+    Instruction,
+    InstructionBlock,
+    LOCAL,
+    NoOp,
+)
+from repro.solver.intervals import IntervalSet, prefix_to_interval
+from repro.sefl.util import parse_prefix
+
+
+@dataclass(frozen=True)
+class AclRule:
+    """One access-control rule over the IPv4 / TCP five-tuple.
+
+    ``None`` fields are wildcards.  ``src`` and ``dst`` are prefix strings
+    (``"10.0.0.0/8"``); ports are integers or ``(low, high)`` ranges.
+    """
+
+    action: str  # "allow" or "deny"
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    proto: Optional[int] = None
+    src_port: Optional[object] = None
+    dst_port: Optional[object] = None
+
+    def condition(self) -> Condition:
+        """The match condition of this rule as a SEFL condition."""
+        clauses: List[Condition] = []
+        if self.src is not None:
+            address, plen = parse_prefix(self.src)
+            interval = prefix_to_interval(address, plen)
+            clauses.append(OneOf(IpSrc, IntervalSet([(interval.lo, interval.hi)])))
+        if self.dst is not None:
+            address, plen = parse_prefix(self.dst)
+            interval = prefix_to_interval(address, plen)
+            clauses.append(OneOf(IpDst, IntervalSet([(interval.lo, interval.hi)])))
+        if self.proto is not None:
+            clauses.append(Eq(IpProto, self.proto))
+        if self.src_port is not None:
+            clauses.append(_port_condition(TcpSrc, self.src_port))
+        if self.dst_port is not None:
+            clauses.append(_port_condition(TcpDst, self.dst_port))
+        if not clauses:
+            clauses.append(Eq(0, 0))  # match-all
+        return And(*clauses) if len(clauses) > 1 else clauses[0]
+
+
+def _port_condition(field, spec) -> Condition:
+    if isinstance(spec, tuple):
+        low, high = spec
+        return OneOf(field, IntervalSet([(low, high)]))
+    return Eq(field, int(spec))
+
+
+def build_acl_firewall(
+    name: str,
+    rules: Sequence[AclRule],
+    default_action: str = "deny",
+) -> NetworkElement:
+    """A stateless packet filter applying ``rules`` in order.
+
+    The generated model has at most one path per verdict: an ``If`` cascade
+    walks the rules in priority order; an "allow" forwards, a "deny" fails.
+    """
+    element = NetworkElement(
+        name, input_ports=["in0"], output_ports=["out0"], kind="firewall"
+    )
+    program: Instruction
+    if default_action == "allow":
+        program = Forward("out0")
+    else:
+        program = Fail("denied by default policy")
+    for rule in reversed(list(rules)):
+        verdict: Instruction = (
+            Forward("out0") if rule.action == "allow" else Fail("denied by ACL rule")
+        )
+        program = If(rule.condition(), verdict, program)
+    element.set_input_program("in0", program)
+    return element
+
+
+def build_stateful_firewall(name: str) -> NetworkElement:
+    """A stateful firewall: only return traffic matching a previously seen
+    outgoing flow is admitted.
+
+    Outgoing traffic (inside → outside) enters ``in0`` and leaves ``out0``;
+    return traffic enters ``in1`` and leaves ``out1``.  The flow state is the
+    five-tuple saved into local metadata on the outgoing direction and
+    checked on the return direction — no branching is required (§7).
+    """
+    element = NetworkElement(
+        name,
+        input_ports=["in0", "in1"],
+        output_ports=["out0", "out1"],
+        kind="stateful-firewall",
+    )
+
+    outgoing = InstructionBlock(
+        Constrain(Eq(IpProto, PROTO_TCP)),
+        Allocate("fw-src-ip", 32, LOCAL),
+        Allocate("fw-dst-ip", 32, LOCAL),
+        Allocate("fw-src-port", 16, LOCAL),
+        Allocate("fw-dst-port", 16, LOCAL),
+        Assign("fw-src-ip", IpSrc),
+        Assign("fw-dst-ip", IpDst),
+        Assign("fw-src-port", TcpSrc),
+        Assign("fw-dst-port", TcpDst),
+        Forward("out0"),
+    )
+
+    # Return traffic must be the mirror of a recorded flow.
+    incoming = InstructionBlock(
+        Constrain(Eq(IpProto, PROTO_TCP)),
+        Constrain(Eq(IpSrc, "fw-dst-ip")),
+        Constrain(Eq(IpDst, "fw-src-ip")),
+        Constrain(Eq(TcpSrc, "fw-dst-port")),
+        Constrain(Eq(TcpDst, "fw-src-port")),
+        Forward("out1"),
+    )
+
+    element.set_input_program("in0", outgoing)
+    element.set_input_program("in1", incoming)
+    return element

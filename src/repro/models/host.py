@@ -1,0 +1,165 @@
+"""Packet-construction programs (host / traffic source models).
+
+SymNet "starts execution by creating an initial empty packet, with no header
+fields or metadata, and then executes code to create a symbolic packet of the
+given type (e.g. TCP)" (§5).  The helpers below build those programs: they
+set the Start/End tags, create the layer tags and allocate each header field,
+assigning either a fresh symbolic value or a caller-supplied concrete value.
+
+Packet layout follows Figure 6: the Start tag is at bit 0, L2 at Start, L3 at
+L2 + 112, L4 at L3 + 160 and the payload after the transport header.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.sefl.expressions import ConstantValue, SymbolicValue
+from repro.sefl.fields import (
+    ETHER_HEADER_BITS,
+    ETHERTYPE_IP,
+    IP_HEADER_BITS,
+    TCP_HEADER_BITS,
+    HeaderField,
+    Tag,
+    ethernet_fields,
+    icmp_fields,
+    ipv4_fields,
+    tcp_fields,
+    udp_fields,
+    IpProto,
+    IpVersion,
+    EtherType,
+    TcpPayload,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+)
+from repro.sefl.instructions import (
+    Allocate,
+    Assign,
+    CreateTag,
+    Instruction,
+    InstructionBlock,
+)
+
+FieldValues = Dict[HeaderField, Union[int, SymbolicValue, ConstantValue]]
+
+
+def _allocate_and_assign(
+    field: HeaderField, values: Optional[FieldValues]
+) -> InstructionBlock:
+    provided = (values or {}).get(field)
+    if provided is None:
+        expression: Union[int, SymbolicValue, ConstantValue] = SymbolicValue(
+            field.name or "field", field.width
+        )
+    elif isinstance(provided, int):
+        expression = ConstantValue(provided)
+    else:
+        expression = provided
+    return InstructionBlock(
+        Allocate(field, field.width),
+        Assign(field, expression),
+    )
+
+
+def ethernet_header(values: Optional[FieldValues] = None) -> InstructionBlock:
+    """Create the L2 tag (at Start) and allocate the Ethernet fields."""
+    return InstructionBlock(
+        CreateTag("L2", Tag("Start")),
+        *[_allocate_and_assign(field, values) for field in ethernet_fields()],
+    )
+
+
+def ip_header(values: Optional[FieldValues] = None) -> InstructionBlock:
+    """Create the L3 tag (after Ethernet) and allocate the IPv4 fields."""
+    return InstructionBlock(
+        CreateTag("L3", Tag("L2") + ETHER_HEADER_BITS),
+        *[_allocate_and_assign(field, values) for field in ipv4_fields()],
+    )
+
+
+def tcp_header(values: Optional[FieldValues] = None) -> InstructionBlock:
+    """Create the L4 and Payload tags and allocate the TCP fields."""
+    return InstructionBlock(
+        CreateTag("L4", Tag("L3") + IP_HEADER_BITS),
+        *[_allocate_and_assign(field, values) for field in tcp_fields()],
+        CreateTag("Payload", Tag("L4") + TCP_HEADER_BITS),
+        _allocate_and_assign(TcpPayload, values),
+    )
+
+
+def udp_header(values: Optional[FieldValues] = None) -> InstructionBlock:
+    """Create the L4 tag and allocate the UDP fields."""
+    return InstructionBlock(
+        CreateTag("L4", Tag("L3") + IP_HEADER_BITS),
+        *[_allocate_and_assign(field, values) for field in udp_fields()],
+    )
+
+
+def icmp_header(values: Optional[FieldValues] = None) -> InstructionBlock:
+    """Create the L4 tag and allocate the ICMP fields."""
+    return InstructionBlock(
+        CreateTag("L4", Tag("L3") + IP_HEADER_BITS),
+        *[_allocate_and_assign(field, values) for field in icmp_fields()],
+    )
+
+
+def _base_tags() -> InstructionBlock:
+    return InstructionBlock(
+        CreateTag("Start", 0),
+        CreateTag("End", 0),
+    )
+
+
+def symbolic_ip_packet(values: Optional[FieldValues] = None) -> InstructionBlock:
+    """A symbolic Ethernet + IPv4 packet (no transport header)."""
+    merged: FieldValues = {IpVersion: 4, EtherType: ETHERTYPE_IP}
+    merged.update(values or {})
+    return InstructionBlock(
+        _base_tags(),
+        ethernet_header(merged),
+        ip_header(merged),
+    )
+
+
+def symbolic_tcp_packet(values: Optional[FieldValues] = None) -> InstructionBlock:
+    """A symbolic Ethernet + IPv4 + TCP packet.
+
+    Every field not pinned in ``values`` gets a fresh symbolic value; the IP
+    protocol defaults to TCP (6) and the EtherType to IPv4 so that layer
+    models agree with the packet layout.
+    """
+    merged: FieldValues = {IpVersion: 4, EtherType: ETHERTYPE_IP, IpProto: PROTO_TCP}
+    merged.update(values or {})
+    return InstructionBlock(
+        _base_tags(),
+        ethernet_header(merged),
+        ip_header(merged),
+        tcp_header(merged),
+    )
+
+
+def symbolic_udp_packet(values: Optional[FieldValues] = None) -> InstructionBlock:
+    """A symbolic Ethernet + IPv4 + UDP packet."""
+    merged: FieldValues = {IpVersion: 4, EtherType: ETHERTYPE_IP, IpProto: PROTO_UDP}
+    merged.update(values or {})
+    return InstructionBlock(
+        _base_tags(),
+        ethernet_header(merged),
+        ip_header(merged),
+        udp_header(merged),
+    )
+
+
+def symbolic_icmp_packet(values: Optional[FieldValues] = None) -> InstructionBlock:
+    """A symbolic Ethernet + IPv4 + ICMP packet."""
+    merged: FieldValues = {IpVersion: 4, EtherType: ETHERTYPE_IP, IpProto: PROTO_ICMP}
+    merged.update(values or {})
+    return InstructionBlock(
+        _base_tags(),
+        ethernet_header(merged),
+        ip_header(merged),
+        icmp_header(merged),
+    )

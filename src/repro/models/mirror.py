@@ -1,0 +1,50 @@
+"""IP mirror: swap source/destination addresses and transport ports.
+
+This is the Click ``IPMirror`` element the paper uses to model return
+traffic in unidirectional test setups (§8.3 / §8.4): bolted after a box, it
+bounces a packet back as if the destination had replied.
+"""
+
+from __future__ import annotations
+
+from repro.network.element import NetworkElement
+from repro.sefl.fields import IpDst, IpSrc, TcpDst, TcpSrc
+from repro.sefl.instructions import (
+    Allocate,
+    Assign,
+    Deallocate,
+    Forward,
+    InstructionBlock,
+)
+
+
+def mirror_program(swap_ports: bool = True) -> InstructionBlock:
+    """The instruction block performing the swap (reused by the Click model)."""
+    instructions = [
+        Allocate("mirror-tmp", 32),
+        Assign("mirror-tmp", IpSrc),
+        Assign(IpSrc, IpDst),
+        Assign(IpDst, "mirror-tmp"),
+        Deallocate("mirror-tmp"),
+    ]
+    if swap_ports:
+        instructions.extend(
+            [
+                Allocate("mirror-tmp-port", 16),
+                Assign("mirror-tmp-port", TcpSrc),
+                Assign(TcpSrc, TcpDst),
+                Assign(TcpDst, "mirror-tmp-port"),
+                Deallocate("mirror-tmp-port"),
+            ]
+        )
+    instructions.append(Forward("out0"))
+    return InstructionBlock(*instructions)
+
+
+def build_ip_mirror(name: str, swap_ports: bool = True) -> NetworkElement:
+    """Build an IPMirror element (``in0`` → ``out0``)."""
+    element = NetworkElement(
+        name, input_ports=["in0"], output_ports=["out0"], kind="ip-mirror"
+    )
+    element.set_input_program("in0", mirror_program(swap_ports))
+    return element

@@ -1,0 +1,79 @@
+"""Network address translator model (§7, "Modeling a Network Address Translator").
+
+The NAT rewrites the source address/port of outgoing packets and restores the
+mapping for return traffic.  The mapped port is quasi-random in practice, so
+the model assigns a fresh symbolic value constrained to the NAT's port range
+and "remembers" the mapping by storing it in *local* packet metadata — the
+technique the paper uses for all per-flow state, which avoids state explosion
+as long as flows are independent.
+
+Port 0 ("inside") carries outgoing traffic, port 1 ("outside") carries return
+traffic, exactly as in the paper's listing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.network.element import NetworkElement
+from repro.sefl.expressions import Eq, Ge, Le, Ne, SymbolicValue
+from repro.sefl.fields import IpDst, IpProto, IpSrc, TcpDst, TcpSrc, PROTO_TCP
+from repro.sefl.instructions import (
+    Allocate,
+    Assign,
+    Constrain,
+    Forward,
+    InstructionBlock,
+    LOCAL,
+)
+from repro.sefl.util import ip_to_number
+
+
+def build_nat(
+    name: str,
+    public_address: str = "141.85.37.1",
+    port_range: Tuple[int, int] = (1024, 65535),
+) -> NetworkElement:
+    """Build a TCP NAT with the paper's metadata-based state encoding.
+
+    Outgoing packets enter ``in0`` and leave ``out0``; return packets enter
+    ``in1`` and leave ``out1``.
+    """
+    element = NetworkElement(
+        name,
+        input_ports=["in0", "in1"],
+        output_ports=["out0", "out1"],
+        kind="nat",
+    )
+    public = ip_to_number(public_address)
+    low, high = port_range
+
+    outgoing = InstructionBlock(
+        Constrain(Eq(IpProto, PROTO_TCP)),
+        Allocate("orig-ip", 32, LOCAL),
+        Allocate("orig-port", 16, LOCAL),
+        Allocate("new-ip", 32, LOCAL),
+        Allocate("new-port", 16, LOCAL),
+        Assign("orig-ip", IpSrc),
+        Assign("orig-port", TcpSrc),
+        Assign(IpSrc, public),
+        Assign(TcpSrc, SymbolicValue("nat_port", 16)),
+        Constrain(Ge(TcpSrc, low)),
+        Constrain(Le(TcpSrc, high)),
+        Assign("new-ip", IpSrc),
+        Assign("new-port", TcpSrc),
+        Forward("out0"),
+    )
+
+    incoming = InstructionBlock(
+        Constrain(Eq(IpProto, PROTO_TCP)),
+        Constrain(Eq(IpDst, "new-ip")),
+        Constrain(Eq(TcpDst, "new-port")),
+        Assign(IpDst, "orig-ip"),
+        Assign(TcpDst, "orig-port"),
+        Forward("out1"),
+    )
+
+    element.set_input_program("in0", outgoing)
+    element.set_input_program("in1", incoming)
+    return element

@@ -1,0 +1,203 @@
+"""IP router models (§7, "Modeling an IP Router").
+
+The difficulty is longest-prefix match: naively emitting one branch per
+prefix makes symbolic execution intractable for core routers with hundreds
+of thousands of prefixes.  The paper's encoding subtracts every more-specific
+overlapping prefix from each rule ("``!a & b``") so that the per-port
+constraints become mutually exclusive, then groups rules per output
+interface, bringing the number of paths down to the number of links.
+
+``group_prefixes_by_port`` computes exactly that: the set of destination
+addresses each output port attracts under longest-prefix-match semantics,
+represented as an interval set (a prefix is a contiguous address range).
+Three model styles mirror Table 2:
+
+* **basic** — one ``If`` per prefix (most specific first);
+* **ingress** — one ``If`` per output port with the mutually-exclusive sets;
+* **egress** — fork to all ports, constrain on egress (the recommended model).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.network.element import NetworkElement, WILDCARD_PORT
+from repro.sefl.expressions import OneOf
+from repro.sefl.fields import IpDst
+from repro.sefl.instructions import (
+    Constrain,
+    Fail,
+    Fork,
+    Forward,
+    If,
+    Instruction,
+)
+from repro.solver.intervals import IntervalSet, prefix_to_interval
+
+# A forwarding table entry: (prefix address, prefix length, output port name).
+FibEntry = Tuple[int, int, str]
+
+
+class RouterModelStyle(str, Enum):
+    BASIC = "basic"
+    INGRESS = "ingress"
+    EGRESS = "egress"
+
+
+def group_prefixes_by_port(
+    fib: Sequence[FibEntry], width: int = 32
+) -> Dict[str, IntervalSet]:
+    """Compute, per output port, the destination addresses it attracts under
+    longest-prefix-match semantics.
+
+    Implemented as a sweep over prefix boundaries: prefixes of equal length
+    never partially overlap, so at any address the winning rule is the active
+    prefix with the greatest length.  The result is a set of mutually
+    exclusive interval sets — the paper's "``!a & b``" constraints in closed
+    form.
+    """
+    if not fib:
+        return {}
+    events: List[Tuple[int, int, int, str]] = []  # (position, kind, plen, port)
+    for address, plen, port in fib:
+        interval = prefix_to_interval(address, plen, width)
+        events.append((interval.lo, 0, plen, port))  # 0 = start (processed first)
+        events.append((interval.hi + 1, 1, plen, port))  # 1 = end
+    events.sort(key=lambda e: (e[0], e[1]))
+
+    active: List[Dict[str, str]] = [dict() for _ in range(width + 1)]
+    segments: Dict[str, List[Tuple[int, int]]] = {}
+
+    def winning_port() -> str | None:
+        for plen in range(width, -1, -1):
+            if active[plen]:
+                # All active prefixes of one length agree at the current
+                # position (equal-length prefixes are disjoint), so any entry
+                # will do.
+                return next(iter(active[plen].values()))
+        return None
+
+    position = events[0][0]
+    index = 0
+    top = (1 << width) - 1
+    while index < len(events):
+        next_position = events[index][0]
+        if next_position > position:
+            port = winning_port()
+            if port is not None:
+                segments.setdefault(port, []).append((position, next_position - 1))
+            position = next_position
+        # apply all events at this position (ends before starts keeps the
+        # bookkeeping exact because ends are at hi + 1)
+        while index < len(events) and events[index][0] == next_position:
+            _, kind, plen, port = events[index]
+            key = f"{plen}:{port}:{index}"
+            if kind == 1:
+                # remove one active prefix of this length/port
+                bucket = active[plen]
+                for existing_key in list(bucket):
+                    if bucket[existing_key] == port:
+                        del bucket[existing_key]
+                        break
+            else:
+                active[plen][key] = port
+            index += 1
+    # trailing segment up to the end of the address space
+    port = winning_port()
+    if port is not None and position <= top:
+        segments.setdefault(port, []).append((position, top))
+
+    return {port: IntervalSet(pairs) for port, pairs in segments.items()}
+
+
+def _port_order(fib: Sequence[FibEntry]) -> List[str]:
+    seen: List[str] = []
+    for _, _, port in fib:
+        if port not in seen:
+            seen.append(port)
+    return seen
+
+
+def router_basic(
+    name: str, fib: Sequence[FibEntry], input_ports: Sequence[str] = ("in0",)
+) -> NetworkElement:
+    """One ``If`` per prefix, most specific first (the intractable strawman)."""
+    ports = _port_order(fib)
+    element = NetworkElement(
+        name, input_ports=list(input_ports), output_ports=ports, kind="router"
+    )
+    program: Instruction = Fail("no route to destination")
+    ordered = sorted(fib, key=lambda entry: entry[1])  # least specific first
+    for address, plen, port in ordered:
+        interval = prefix_to_interval(address, plen)
+        condition = OneOf(IpDst, IntervalSet([(interval.lo, interval.hi)]))
+        program = If(condition, Forward(port), program)
+    element.set_input_program(WILDCARD_PORT, program)
+    return element
+
+
+def router_ingress(
+    name: str, fib: Sequence[FibEntry], input_ports: Sequence[str] = ("in0",)
+) -> NetworkElement:
+    """Group prefixes per port with mutually-exclusive constraints, decide on
+    ingress."""
+    groups = group_prefixes_by_port(fib)
+    ports = _port_order(fib)
+    element = NetworkElement(
+        name, input_ports=list(input_ports), output_ports=ports, kind="router"
+    )
+    program: Instruction = Fail("no route to destination")
+    for port in reversed(ports):
+        allowed = groups.get(port)
+        if allowed is None or allowed.is_empty():
+            continue
+        program = If(OneOf(IpDst, allowed), Forward(port), program)
+    element.set_input_program(WILDCARD_PORT, program)
+    return element
+
+
+def router_egress(
+    name: str, fib: Sequence[FibEntry], input_ports: Sequence[str] = ("in0",)
+) -> NetworkElement:
+    """Fork to every port and constrain on egress (optimal branching)."""
+    groups = group_prefixes_by_port(fib)
+    ports = _port_order(fib)
+    element = NetworkElement(
+        name, input_ports=list(input_ports), output_ports=ports, kind="router"
+    )
+    element.set_input_program(WILDCARD_PORT, Fork(*ports))
+    for port in ports:
+        allowed = groups.get(port)
+        if allowed is None or allowed.is_empty():
+            element.set_output_program(port, Fail("no prefixes on this interface"))
+        else:
+            element.set_output_program(port, Constrain(OneOf(IpDst, allowed)))
+    return element
+
+
+def build_router(
+    name: str,
+    fib: Sequence[FibEntry],
+    style: RouterModelStyle = RouterModelStyle.EGRESS,
+    input_ports: Sequence[str] = ("in0",),
+) -> NetworkElement:
+    """Build an IP router model with the requested encoding."""
+    style = RouterModelStyle(style)
+    if style is RouterModelStyle.BASIC:
+        return router_basic(name, fib, input_ports)
+    if style is RouterModelStyle.INGRESS:
+        return router_ingress(name, fib, input_ports)
+    return router_egress(name, fib, input_ports)
+
+
+def longest_prefix_match(fib: Sequence[FibEntry], destination: int) -> str | None:
+    """Reference longest-prefix-match lookup (used by tests to validate the
+    symbolic models against ground truth)."""
+    best: Tuple[int, str] | None = None
+    for address, plen, port in fib:
+        interval = prefix_to_interval(address, plen)
+        if interval.lo <= destination <= interval.hi:
+            if best is None or plen > best[0]:
+                best = (plen, port)
+    return best[1] if best else None

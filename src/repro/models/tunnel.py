@@ -1,0 +1,132 @@
+"""IP-in-IP tunnel models (§2 and §7, Figure 6).
+
+Encapsulation allocates a fresh outer IPv4 header *in front of* the current
+L3 header (at ``Tag("L3") - 160``) and re-points the L3 tag at it, exactly
+like the physical layout in Figure 6.  Decapsulation deallocates the outer
+header fields and moves the L3 tag back.  Because the inner header's value
+stacks are untouched, invariance of the original packet across the tunnel is
+provable — the property HSA cannot express (§2).
+
+The same model is reused for every encapsulation level (the paper's
+model-independence argument against NOD): nesting tunnels simply stacks
+another 160-bit header in front.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.element import NetworkElement
+from repro.sefl.expressions import Eq, Plus
+from repro.sefl.fields import (
+    IP_HEADER_BITS,
+    IpDst,
+    IpLength,
+    IpProto,
+    IpSrc,
+    IpTtl,
+    IpVersion,
+    PROTO_IPIP,
+    Tag,
+)
+from repro.sefl.instructions import (
+    Allocate,
+    Assign,
+    Constrain,
+    CreateTag,
+    Deallocate,
+    Forward,
+    InstructionBlock,
+)
+from repro.sefl.util import ip_to_number
+
+# The outer-header fields we materialise; offsets are relative to the new L3
+# position (Tag("L3") - IP_HEADER_BITS before re-tagging).
+_OUTER_FIELDS = (
+    (IpVersion.offset, IpVersion.width),
+    (IpLength.offset, IpLength.width),
+    (IpTtl.offset, IpTtl.width),
+    (IpProto.offset, IpProto.width),
+    (IpSrc.offset, IpSrc.width),
+    (IpDst.offset, IpDst.width),
+)
+
+# IPv4 header length in bytes (IpLength counts bytes).
+_IP_HEADER_BYTES = IP_HEADER_BITS // 8
+
+
+def build_encapsulator(
+    name: str,
+    tunnel_src: str,
+    tunnel_dst: str,
+    ttl: int = 64,
+) -> NetworkElement:
+    """IP-in-IP encapsulation endpoint (the paper's E1 / E2 boxes)."""
+    element = NetworkElement(
+        name, input_ports=["in0"], output_ports=["out0"], kind="tunnel-encap"
+    )
+    outer_base = Tag("L3") - IP_HEADER_BITS
+
+    instructions = []
+    for offset, width in _OUTER_FIELDS:
+        instructions.append(Allocate(outer_base + offset, width))
+    instructions.extend(
+        [
+            Assign(outer_base + IpVersion.offset, 4),
+            # Outer length = inner length + one IPv4 header.
+            Assign(outer_base + IpLength.offset, Plus(IpLength, _IP_HEADER_BYTES)),
+            Assign(outer_base + IpTtl.offset, ttl),
+            Assign(outer_base + IpProto.offset, PROTO_IPIP),
+            Assign(outer_base + IpSrc.offset, ip_to_number(tunnel_src)),
+            Assign(outer_base + IpDst.offset, ip_to_number(tunnel_dst)),
+            # Re-point L3 at the outer header: from now on IpSrc/IpDst refer
+            # to the tunnel endpoints, as they would on the wire.
+            CreateTag("L3", outer_base),
+            Forward("out0"),
+        ]
+    )
+    element.set_input_program("in0", InstructionBlock(*instructions))
+    return element
+
+
+def build_decapsulator(name: str, require_ipip: bool = True) -> NetworkElement:
+    """IP-in-IP decapsulation endpoint (the paper's D1 / D2 boxes).
+
+    The model is identical for every decapsulation level: it removes the
+    outer header currently designated by the L3 tag and re-points the tag at
+    the header 160 bits further in.
+    """
+    element = NetworkElement(
+        name, input_ports=["in0"], output_ports=["out0"], kind="tunnel-decap"
+    )
+    instructions = []
+    if require_ipip:
+        instructions.append(Constrain(Eq(IpProto, PROTO_IPIP)))
+    for offset, width in _OUTER_FIELDS:
+        instructions.append(Deallocate(Tag("L3") + offset, width))
+    instructions.extend(
+        [
+            CreateTag("L3", Tag("L3") + IP_HEADER_BITS),
+            Forward("out0"),
+        ]
+    )
+    element.set_input_program("in0", InstructionBlock(*instructions))
+    return element
+
+
+def build_mtu_filter(name: str, mtu_bytes: int) -> NetworkElement:
+    """A router hop that drops packets whose IP length exceeds ``mtu_bytes``
+    (used by the Split-TCP MTU case study, §8.4)."""
+    from repro.sefl.expressions import Le
+
+    element = NetworkElement(
+        name, input_ports=["in0"], output_ports=["out0"], kind="mtu-filter"
+    )
+    element.set_input_program(
+        "in0",
+        InstructionBlock(
+            Constrain(Le(IpLength, mtu_bytes)),
+            Forward("out0"),
+        ),
+    )
+    return element

@@ -1,0 +1,22 @@
+"""Network topology model: elements, ports and unidirectional links.
+
+A network is a set of :class:`NetworkElement` boxes.  Each element has named
+input and output ports, and each port carries a SEFL program.  Links are
+unidirectional, from an output port of one element to an input port of
+another — bidirectional connectivity requires two links, exactly as in §5 of
+the paper.
+"""
+
+from repro.network.element import NetworkElement, WILDCARD_PORT
+from repro.network.ports import PortId, input_port, output_port
+from repro.network.topology import Link, Network
+
+__all__ = [
+    "Link",
+    "Network",
+    "NetworkElement",
+    "PortId",
+    "WILDCARD_PORT",
+    "input_port",
+    "output_port",
+]

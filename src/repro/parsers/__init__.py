@@ -1,0 +1,30 @@
+"""Configuration parsers that turn device snapshots into SEFL models (§7.1).
+
+"All the user has to do is place all these files in a single directory,
+together with a file describing the links between the boxes" — these parsers
+implement that workflow:
+
+* :mod:`repro.parsers.mac_table` — CISCO ``show mac address-table`` snapshots
+  → switch models;
+* :mod:`repro.parsers.routing_table` — forwarding-table snapshots → IP router
+  models;
+* :mod:`repro.parsers.asa_config` — a practical subset of the ASA
+  configuration language → :class:`repro.models.asa.AsaConfig`;
+* :mod:`repro.parsers.topology_file` — the links file + per-device snapshots
+  → a fully wired :class:`repro.network.Network`.
+"""
+
+from repro.parsers.mac_table import parse_mac_table, switch_from_mac_table
+from repro.parsers.routing_table import parse_routing_table, router_from_routing_table
+from repro.parsers.asa_config import parse_asa_config
+from repro.parsers.topology_file import load_network_directory, parse_topology_file
+
+__all__ = [
+    "load_network_directory",
+    "parse_asa_config",
+    "parse_mac_table",
+    "parse_routing_table",
+    "parse_topology_file",
+    "router_from_routing_table",
+    "switch_from_mac_table",
+]

@@ -1,0 +1,146 @@
+"""Parse a practical subset of the CISCO ASA configuration language.
+
+The paper reverse-engineered the ASA 5510 via black-box testing and then
+wrote a tool that "parses the ASA configuration file and generates a Click
+ASA model automatically" (§7.2).  This parser covers the statements that
+determine data-plane behaviour in the default configuration:
+
+* ``hostname NAME``
+* ``ip address PUBLIC`` on the outside interface (the dynamic-NAT address);
+* ``static (inside,outside) PUBLIC PRIVATE`` — static NAT entries;
+* ``global (outside) 1 interface`` / ``nat (inside) 1 0.0.0.0 0.0.0.0`` —
+  enable dynamic PAT on the outside address;
+* ``access-list NAME extended permit|deny PROTO SRC [mask] DST [mask]
+  [eq PORT]`` — inbound filtering rules;
+* ``sysopt connection tcpmss VALUE`` — the MSS clamp applied by TCP
+  inspection.
+
+Everything else (logging, SSH, timeouts, …) is ignored, exactly as the
+paper's models ignore behaviour that never decides the fate of a packet.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import replace
+from typing import List, Optional, Tuple
+
+from repro.models.asa import AsaConfig
+from repro.models.firewall import AclRule
+from repro.models.tcp_options import ASA_DEFAULT_OPTION_POLICY, OptionPolicy
+from repro.sefl.util import ip_to_number, number_to_ip
+
+_PROTO_NAMES = {"ip": None, "tcp": 6, "udp": 17, "icmp": 1}
+
+
+def _mask_to_prefix_len(mask: str) -> int:
+    value = ip_to_number(mask)
+    return bin(value).count("1")
+
+
+def _address_clause(tokens: List[str], index: int) -> Tuple[Optional[str], int]:
+    """Parse ``any`` / ``host A.B.C.D`` / ``A.B.C.D MASK`` starting at
+    ``tokens[index]``; returns (prefix string or None, next index)."""
+    token = tokens[index]
+    if token == "any":
+        return None, index + 1
+    if token == "host":
+        return f"{tokens[index + 1]}/32", index + 2
+    address = token
+    mask = tokens[index + 1] if index + 1 < len(tokens) else "255.255.255.255"
+    return f"{address}/{_mask_to_prefix_len(mask)}", index + 2
+
+
+def parse_asa_config(text: str) -> AsaConfig:
+    """Parse an ASA configuration into :class:`AsaConfig`."""
+    config = AsaConfig()
+    static_nat: List[Tuple[str, str]] = []
+    inbound_rules: List[AclRule] = []
+    mss_clamp: Optional[int] = None
+    dynamic_nat = False
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("!"):
+            continue
+        tokens = line.split()
+
+        if tokens[0] == "ip" and tokens[1] == "address" and len(tokens) >= 3:
+            config.public_address = tokens[2]
+            continue
+
+        if tokens[0] == "static" and len(tokens) >= 4:
+            # static (inside,outside) PUBLIC PRIVATE [netmask ...]
+            public, private = tokens[2], tokens[3]
+            static_nat.append((public, private))
+            continue
+
+        if tokens[0] in ("global", "nat"):
+            dynamic_nat = True
+            continue
+
+        if tokens[0] == "sysopt" and "tcpmss" in tokens:
+            mss_clamp = int(tokens[-1])
+            continue
+
+        if tokens[0] == "access-list" and "extended" in tokens:
+            try:
+                rule = _parse_access_list(tokens)
+            except (IndexError, ValueError, KeyError):
+                continue
+            if rule is not None:
+                inbound_rules.append(rule)
+            continue
+
+    config.static_nat = static_nat
+    config.inbound_rules = inbound_rules
+    config.enable_dynamic_nat = dynamic_nat or config.enable_dynamic_nat
+    if mss_clamp is not None:
+        config.options_policy = replace(
+            ASA_DEFAULT_OPTION_POLICY, mss_clamp=mss_clamp
+        )
+    return config
+
+
+def _parse_access_list(tokens: List[str]) -> Optional[AclRule]:
+    """Parse one ``access-list ... extended permit|deny ...`` line."""
+    index = tokens.index("extended") + 1
+    action_token = tokens[index]
+    if action_token not in ("permit", "deny"):
+        return None
+    action = "allow" if action_token == "permit" else "deny"
+    index += 1
+    proto_token = tokens[index]
+    proto = _PROTO_NAMES.get(proto_token)
+    index += 1
+    src, index = _address_clause(tokens, index)
+    dst, index = _address_clause(tokens, index)
+    dst_port = None
+    if index < len(tokens) and tokens[index] == "eq":
+        dst_port = int(tokens[index + 1])
+    return AclRule(
+        action=action, src=src, dst=dst, proto=proto, dst_port=dst_port
+    )
+
+
+def format_asa_config(config: AsaConfig) -> str:
+    """Render an :class:`AsaConfig` back into configuration text (used by the
+    department-network workload to produce a realistic input file)."""
+    lines = ["hostname asa", f"ip address {config.public_address}"]
+    for public, private in config.static_nat:
+        lines.append(f"static (inside,outside) {public} {private}")
+    if config.enable_dynamic_nat:
+        lines.append("global (outside) 1 interface")
+        lines.append("nat (inside) 1 0.0.0.0 0.0.0.0")
+    for rule in config.inbound_rules:
+        action = "permit" if rule.action == "allow" else "deny"
+        proto = {6: "tcp", 17: "udp", 1: "icmp", None: "ip"}[rule.proto]
+        src = "any" if rule.src is None else f"host {rule.src.split('/')[0]}"
+        dst = "any" if rule.dst is None else f"host {rule.dst.split('/')[0]}"
+        suffix = f" eq {rule.dst_port}" if rule.dst_port is not None else ""
+        lines.append(
+            f"access-list outside_in extended {action} {proto} {src} {dst}{suffix}"
+        )
+    if config.options_policy.mss_clamp is not None:
+        lines.append(f"sysopt connection tcpmss {config.options_policy.mss_clamp}")
+    return "\n".join(lines) + "\n"

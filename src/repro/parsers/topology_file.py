@@ -1,0 +1,130 @@
+"""Topology file parser: assemble a network from per-device snapshots.
+
+Per §7.1, the user places the device snapshots in a directory together with
+a file describing the links between the boxes, then runs SymNet on it.  The
+topology file format accepted here::
+
+    # device declarations: name, kind, snapshot file (relative to the dir)
+    device sw1 switch sw1.mac
+    device r1  router r1.fib
+    device fw1 asa    fw1.conf
+    device p1  click  pipeline.click
+
+    # unidirectional links: element:port -> element:port
+    link sw1:out0 -> r1:in0
+    link r1:out0  -> sw1:in0
+
+Devices of kind ``switch`` / ``router`` / ``asa`` are built through the
+corresponding parsers; ``click`` devices expand into all the elements of the
+referenced Click configuration (their internal links included), and the
+topology file then refers to those inner element names directly.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.click.parser import parse_click_config
+from repro.models.asa import build_asa
+from repro.network.topology import Network
+from repro.parsers.asa_config import parse_asa_config
+from repro.parsers.mac_table import switch_from_mac_table
+from repro.parsers.routing_table import router_from_routing_table
+
+_DEVICE = re.compile(r"^device\s+(?P<name>\S+)\s+(?P<kind>\S+)\s+(?P<file>\S+)$")
+_LINK = re.compile(
+    r"^link\s+(?P<src>[\w.-]+):(?P<srcport>[\w*/.-]+)\s*->\s*"
+    r"(?P<dst>[\w.-]+):(?P<dstport>[\w*/.-]+)$"
+)
+
+
+class TopologyParseError(Exception):
+    """Raised when a topology description cannot be parsed."""
+
+
+def parse_topology_file(
+    text: str,
+    snapshots: Dict[str, str],
+    network: Optional[Network] = None,
+) -> Network:
+    """Parse a topology description.
+
+    ``snapshots`` maps file names referenced in the description to their
+    contents, which keeps the parser independent of the filesystem (the
+    directory-based entry point below populates it from disk).
+    """
+    network = network if network is not None else Network("parsed-topology")
+    links: List[Tuple[str, str, str, str]] = []
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        device = _DEVICE.match(line)
+        if device:
+            _build_device(
+                network,
+                device.group("name"),
+                device.group("kind"),
+                device.group("file"),
+                snapshots,
+            )
+            continue
+        link = _LINK.match(line)
+        if link:
+            links.append(
+                (
+                    link.group("src"),
+                    link.group("srcport"),
+                    link.group("dst"),
+                    link.group("dstport"),
+                )
+            )
+            continue
+        raise TopologyParseError(f"cannot parse line: {line!r}")
+
+    for src, src_port, dst, dst_port in links:
+        network.add_link((src, src_port), (dst, dst_port))
+    return network
+
+
+def _build_device(
+    network: Network,
+    name: str,
+    kind: str,
+    snapshot_name: str,
+    snapshots: Dict[str, str],
+) -> None:
+    if snapshot_name not in snapshots:
+        raise TopologyParseError(
+            f"device {name!r} references missing snapshot {snapshot_name!r}"
+        )
+    content = snapshots[snapshot_name]
+    if kind == "switch":
+        network.add_element(switch_from_mac_table(name, content))
+    elif kind == "router":
+        network.add_element(router_from_routing_table(name, content))
+    elif kind == "asa":
+        build_asa(network, name, parse_asa_config(content))
+    elif kind == "click":
+        parse_click_config(content, network)
+    else:
+        raise TopologyParseError(f"unknown device kind {kind!r} for {name!r}")
+
+
+def load_network_directory(directory: str) -> Network:
+    """Load a network from a directory containing ``topology.txt`` plus the
+    per-device snapshot files it references."""
+    topology_path = os.path.join(directory, "topology.txt")
+    with open(topology_path, encoding="utf-8") as handle:
+        topology_text = handle.read()
+    snapshots: Dict[str, str] = {}
+    for entry in os.listdir(directory):
+        path = os.path.join(directory, entry)
+        if entry == "topology.txt" or not os.path.isfile(path):
+            continue
+        with open(path, encoding="utf-8") as handle:
+            snapshots[entry] = handle.read()
+    return parse_topology_file(topology_text, snapshots)

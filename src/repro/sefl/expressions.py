@@ -1,0 +1,168 @@
+"""Expression and condition syntax for SEFL.
+
+SEFL deliberately supports only simple expressions (referencing, addition,
+subtraction, constants and fresh symbolic values) so that constraint solving
+stays cheap (§5).  Conditions compare expressions and can be combined with
+``And`` / ``Or`` / ``Not``; ``OneOf`` expresses membership in a (possibly
+huge) set of constants, which is how generated switch and router models
+encode "one of these N addresses" without exploding the solver.
+
+These classes are pure syntax; :mod:`repro.core.engine` interprets them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple, Union
+
+from repro.solver.intervals import IntervalSet
+
+
+class Expression:
+    """Base class for SEFL value expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ConstantValue(Expression):
+    """A concrete integer constant."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class SymbolicValue(Expression):
+    """A fresh, unconstrained symbolic value.
+
+    Each evaluation produces a brand-new symbol; this is how the NAT model
+    expresses "the mapped port is quasi-random" and how the encryption model
+    replaces the payload with unreadable ciphertext (§7).
+    """
+
+    label: str = "sym"
+    width: int = 32
+
+
+@dataclass(frozen=True)
+class Reference(Expression):
+    """The current value of a variable (header field or metadata key)."""
+
+    variable: "VariableLike"
+
+
+@dataclass(frozen=True)
+class Plus(Expression):
+    left: "ExpressionLike"
+    right: "ExpressionLike"
+
+
+@dataclass(frozen=True)
+class Minus(Expression):
+    left: "ExpressionLike"
+    right: "ExpressionLike"
+
+
+class Condition:
+    """Base class for SEFL boolean conditions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class _BinaryCondition(Condition):
+    left: "ExpressionLike"
+    right: "ExpressionLike"
+
+
+@dataclass(frozen=True)
+class Eq(_BinaryCondition):
+    pass
+
+
+@dataclass(frozen=True)
+class Ne(_BinaryCondition):
+    pass
+
+
+@dataclass(frozen=True)
+class Lt(_BinaryCondition):
+    pass
+
+
+@dataclass(frozen=True)
+class Le(_BinaryCondition):
+    pass
+
+
+@dataclass(frozen=True)
+class Gt(_BinaryCondition):
+    pass
+
+
+@dataclass(frozen=True)
+class Ge(_BinaryCondition):
+    pass
+
+
+@dataclass(frozen=True)
+class OneOf(Condition):
+    """Membership of an expression in a set of concrete values.
+
+    ``values`` may be any iterable of integers, an iterable of ``(lo, hi)``
+    ranges, or an :class:`IntervalSet`.  This is the condition emitted by the
+    MAC-table and FIB parsers; it is the syntactic counterpart of the
+    solver-level ``Member`` atom.
+    """
+
+    expression: "ExpressionLike"
+    values: IntervalSet
+
+    def __init__(
+        self,
+        expression: "ExpressionLike",
+        values: Union[IntervalSet, Iterable[int], Iterable[Tuple[int, int]]],
+    ) -> None:
+        object.__setattr__(self, "expression", expression)
+        object.__setattr__(self, "values", _coerce_interval_set(values))
+
+
+def _coerce_interval_set(
+    values: Union[IntervalSet, Iterable[int], Iterable[Tuple[int, int]]]
+) -> IntervalSet:
+    if isinstance(values, IntervalSet):
+        return values
+    items = list(values)
+    if items and isinstance(items[0], tuple):
+        return IntervalSet(items)  # type: ignore[arg-type]
+    return IntervalSet.points(items)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    operands: Tuple[Condition, ...]
+
+    def __init__(self, *operands: Condition) -> None:
+        object.__setattr__(self, "operands", tuple(operands))
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    operands: Tuple[Condition, ...]
+
+    def __init__(self, *operands: Condition) -> None:
+        object.__setattr__(self, "operands", tuple(operands))
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    operand: Condition
+
+
+# ``ExpressionLike`` values accepted wherever an expression is expected:
+# integers become constants, strings become metadata references, header
+# fields / tag offsets become header references.
+ExpressionLike = Union[Expression, int, str, "VariableLike"]
+
+# Imported lazily to avoid a cycle: fields.py defines the variable syntax.
+VariableLike = object

@@ -1,0 +1,176 @@
+"""Packet addressing: tags, absolute addresses and header-field shorthands.
+
+SEFL models the packet as a flat bit-addressed memory (Figure 6 of the
+paper).  Header fields are variables allocated at absolute bit offsets.  To
+make layering possible, models define *tags* (L2, L3, L4, Start, End, …) and
+address fields relative to a tag plus a fixed offset — ``Tag("L3") + 96`` is
+the IP source address.  This module provides that addressing syntax plus the
+shorthands the paper uses (``IpSrc``, ``TcpDst``, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+
+@dataclass(frozen=True)
+class TagOffset:
+    """An address expressed as ``Tag(name) + offset`` (offset in bits)."""
+
+    tag: str
+    offset: int = 0
+
+    def __add__(self, bits: int) -> "TagOffset":
+        return TagOffset(self.tag, self.offset + bits)
+
+    def __sub__(self, bits: int) -> "TagOffset":
+        return TagOffset(self.tag, self.offset - bits)
+
+    def __repr__(self) -> str:
+        if self.offset == 0:
+            return f'Tag("{self.tag}")'
+        sign = "+" if self.offset >= 0 else "-"
+        return f'Tag("{self.tag}"){sign}{abs(self.offset)}'
+
+
+def Tag(name: str) -> TagOffset:
+    """Reference a tag by name, as in the paper's ``Tag("L3") + 96``."""
+    return TagOffset(name, 0)
+
+
+@dataclass(frozen=True)
+class HeaderField(TagOffset):
+    """A named header field: a tag-relative address with a width and a name.
+
+    Using a field both documents the model and lets the engine check the
+    access width against the allocation (header memory safety).
+    """
+
+    width: int = 32
+    name: str = ""
+
+    def __repr__(self) -> str:
+        return self.name or super().__repr__()
+
+
+# A "variable" in SEFL instructions is one of:
+#   * a string          -> metadata key (no alignment rules),
+#   * an integer        -> absolute header bit address,
+#   * a TagOffset       -> tag-relative header address,
+#   * a HeaderField     -> named tag-relative address with width.
+VariableLike = Union[str, int, TagOffset, HeaderField]
+
+
+# ---------------------------------------------------------------------------
+# Standard header layouts (bit offsets), mirroring Figure 6.
+# ---------------------------------------------------------------------------
+
+ETHER_HEADER_BITS = 112
+IP_HEADER_BITS = 160
+TCP_HEADER_BITS = 160
+UDP_HEADER_BITS = 64
+ICMP_HEADER_BITS = 64
+VLAN_TAG_BITS = 32
+
+# Ethernet (relative to the L2 tag).
+EtherDst = HeaderField("L2", 0, 48, "EtherDst")
+EtherSrc = HeaderField("L2", 48, 48, "EtherSrc")
+EtherType = HeaderField("L2", 96, 16, "EtherType")
+
+# 802.1Q VLAN tag (relative to the VLAN tag marker, inserted after EtherSrc).
+VlanTpid = HeaderField("VLAN", 0, 16, "VlanTpid")
+VlanId = HeaderField("VLAN", 16, 16, "VlanId")
+
+# IPv4 (relative to the L3 tag); IpSrc at L3+96 matches the paper's example.
+IpVersion = HeaderField("L3", 0, 4, "IpVersion")
+IpIhl = HeaderField("L3", 4, 4, "IpIhl")
+IpTos = HeaderField("L3", 8, 8, "IpTos")
+IpLength = HeaderField("L3", 16, 16, "IpLength")
+IpId = HeaderField("L3", 32, 16, "IpId")
+IpFragment = HeaderField("L3", 48, 16, "IpFragment")
+IpTtl = HeaderField("L3", 64, 8, "IpTtl")
+IpProto = HeaderField("L3", 72, 8, "IpProto")
+IpChecksum = HeaderField("L3", 80, 16, "IpChecksum")
+IpSrc = HeaderField("L3", 96, 32, "IpSrc")
+IpDst = HeaderField("L3", 128, 32, "IpDst")
+
+# TCP (relative to the L4 tag).
+TcpSrc = HeaderField("L4", 0, 16, "TcpSrc")
+TcpDst = HeaderField("L4", 16, 16, "TcpDst")
+TcpSeq = HeaderField("L4", 32, 32, "TcpSeq")
+TcpAck = HeaderField("L4", 64, 32, "TcpAck")
+TcpFlags = HeaderField("L4", 96, 16, "TcpFlags")
+TcpWindow = HeaderField("L4", 112, 16, "TcpWindow")
+TcpChecksum = HeaderField("L4", 128, 16, "TcpChecksum")
+TcpUrgent = HeaderField("L4", 144, 16, "TcpUrgent")
+TcpPayload = HeaderField("Payload", 0, 32, "TcpPayload")
+
+# UDP (relative to the L4 tag).
+UdpSrc = HeaderField("L4", 0, 16, "UdpSrc")
+UdpDst = HeaderField("L4", 16, 16, "UdpDst")
+UdpLength = HeaderField("L4", 32, 16, "UdpLength")
+UdpChecksum = HeaderField("L4", 48, 16, "UdpChecksum")
+
+# ICMP (relative to the L4 tag).
+IcmpType = HeaderField("L4", 0, 8, "IcmpType")
+IcmpCode = HeaderField("L4", 8, 8, "IcmpCode")
+
+# Common EtherType and IP protocol numbers used throughout the models.
+ETHERTYPE_IP = 0x0800
+ETHERTYPE_VLAN = 0x8100
+ETHERTYPE_ARP = 0x0806
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_IPIP = 4
+
+
+def standard_fields() -> Dict[str, HeaderField]:
+    """Return all named header fields keyed by their shorthand name."""
+    fields = {}
+    for obj in globals().values():
+        if isinstance(obj, HeaderField) and obj.name:
+            fields[obj.name] = obj
+    return fields
+
+
+def ethernet_fields() -> Tuple[HeaderField, ...]:
+    return (EtherDst, EtherSrc, EtherType)
+
+
+def ipv4_fields() -> Tuple[HeaderField, ...]:
+    return (
+        IpVersion,
+        IpIhl,
+        IpTos,
+        IpLength,
+        IpId,
+        IpFragment,
+        IpTtl,
+        IpProto,
+        IpChecksum,
+        IpSrc,
+        IpDst,
+    )
+
+
+def tcp_fields() -> Tuple[HeaderField, ...]:
+    return (
+        TcpSrc,
+        TcpDst,
+        TcpSeq,
+        TcpAck,
+        TcpFlags,
+        TcpWindow,
+        TcpChecksum,
+        TcpUrgent,
+    )
+
+
+def udp_fields() -> Tuple[HeaderField, ...]:
+    return (UdpSrc, UdpDst, UdpLength, UdpChecksum)
+
+
+def icmp_fields() -> Tuple[HeaderField, ...]:
+    return (IcmpType, IcmpCode)

@@ -1,0 +1,169 @@
+"""The SEFL instruction set (Figure 2 of the paper).
+
+Instructions are plain syntax objects; the engine in
+:mod:`repro.core.engine` gives them their symbolic semantics.  Every
+instruction implicitly operates on the current execution state (packet) and
+may fail the path, modify it, fork it or forward it to output ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Union
+
+from repro.sefl.expressions import Condition, Expression
+from repro.sefl.fields import VariableLike
+
+# Visibility of metadata variables (paper: "global (default) or local to the
+# current module").
+GLOBAL = "global"
+LOCAL = "local"
+
+PortRef = Union[int, str]
+
+
+class Instruction:
+    """Base class for SEFL instructions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Allocate(Instruction):
+    """Allocate a new value stack for ``variable``.
+
+    * string variable — metadata entry; ``visibility`` selects whether the
+      key is global or local to the current network element;
+    * header address (int / tag offset / field) — a header field allocated at
+      that bit address; ``size`` (bits) is then mandatory.
+    """
+
+    variable: VariableLike
+    size: Optional[int] = None
+    visibility: str = GLOBAL
+
+
+@dataclass(frozen=True)
+class Deallocate(Instruction):
+    """Destroy the topmost stack of ``variable``.
+
+    If ``size`` is given it is checked against the allocated size; a mismatch
+    or a missing allocation fails the execution path (header memory safety).
+    """
+
+    variable: VariableLike
+    size: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Assign(Instruction):
+    """Symbolically evaluate ``expression`` and store it in ``variable``."""
+
+    variable: VariableLike
+    expression: Union[Expression, int, str, VariableLike]
+
+
+@dataclass(frozen=True)
+class CreateTag(Instruction):
+    """Create tag ``name`` at the address ``value`` (must be concrete)."""
+
+    name: str
+    value: Union[Expression, int, VariableLike]
+
+
+@dataclass(frozen=True)
+class DestroyTag(Instruction):
+    """Destroy tag ``name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Constrain(Instruction):
+    """Require ``condition`` to hold; the path fails if it cannot.
+
+    Two spellings are accepted, matching the paper's examples:
+
+    * ``Constrain(Eq(TcpDst, 80))`` — a single condition argument;
+    * ``Constrain(TcpDst, Eq(..)/"==80"-style condition)`` — variable plus a
+      condition whose left side is implicitly that variable (used by a few
+      models; the condition's ``left`` may be ``None`` in that case).
+    """
+
+    condition: Condition
+    variable: Optional[VariableLike] = None
+
+
+@dataclass(frozen=True)
+class Fail(Instruction):
+    """Stop the current path, recording ``message``."""
+
+    message: str = "Fail"
+
+
+@dataclass(frozen=True)
+class If(Instruction):
+    """Fork the state: one branch assumes ``condition`` and runs ``then_branch``,
+    the other assumes its negation and runs ``else_branch``."""
+
+    condition: Union[Condition, "Constrain"]
+    then_branch: Instruction
+    else_branch: Instruction = field(default_factory=lambda: NoOp())
+
+
+@dataclass(frozen=True)
+class For(Instruction):
+    """Iterate over a snapshot of metadata keys matching ``pattern`` (a
+    regular expression) and run ``body(key)`` for each match.
+
+    The loop is unfolded before execution (no branching), exactly as in the
+    paper.  ``body`` is a callable so that the loop variable can be spliced
+    into the generated instructions.
+    """
+
+    pattern: str
+    body: Callable[[str], Instruction]
+
+
+@dataclass(frozen=True)
+class Forward(Instruction):
+    """Forward the packet to output port ``port``."""
+
+    port: PortRef
+
+
+@dataclass(frozen=True)
+class Fork(Instruction):
+    """Duplicate the packet and forward one copy to each listed output port."""
+
+    ports: Tuple[PortRef, ...]
+
+    def __init__(self, *ports: PortRef) -> None:
+        object.__setattr__(self, "ports", tuple(ports))
+
+
+@dataclass(frozen=True)
+class InstructionBlock(Instruction):
+    """A compound instruction executing its children in order."""
+
+    instructions: Tuple[Instruction, ...]
+
+    def __init__(self, *instructions: Instruction) -> None:
+        flat = []
+        for instr in instructions:
+            if isinstance(instr, (list, tuple)):
+                flat.extend(instr)
+            else:
+                flat.append(instr)
+        object.__setattr__(self, "instructions", tuple(flat))
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass(frozen=True)
+class NoOp(Instruction):
+    """Does nothing."""

@@ -1,0 +1,66 @@
+"""Helpers for IP / MAC literals and prefix notation.
+
+The paper's examples use calls such as ``ipToNumber("192.168.1.1")``; these
+are the Python equivalents.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def ip_to_number(address: str) -> int:
+    """Convert dotted-quad IPv4 notation to its 32-bit integer value."""
+    parts = address.strip().split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"malformed IPv4 address: {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def number_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to dotted-quad IPv4 notation."""
+    if not 0 <= value < (1 << 32):
+        raise ValueError(f"value out of IPv4 range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def mac_to_number(address: str) -> int:
+    """Convert ``aa:bb:cc:dd:ee:ff`` (or dotted CISCO ``aabb.ccdd.eeff``)
+    notation to a 48-bit integer."""
+    cleaned = address.strip().lower().replace("-", ":").replace(".", "")
+    if ":" in cleaned:
+        parts = cleaned.split(":")
+        if len(parts) != 6:
+            raise ValueError(f"malformed MAC address: {address!r}")
+        digits = "".join(p.zfill(2) for p in parts)
+    else:
+        digits = cleaned
+    if len(digits) != 12:
+        raise ValueError(f"malformed MAC address: {address!r}")
+    return int(digits, 16)
+
+
+def number_to_mac(value: int) -> str:
+    """Convert a 48-bit integer to colon-separated MAC notation."""
+    if not 0 <= value < (1 << 48):
+        raise ValueError(f"value out of MAC range: {value}")
+    digits = f"{value:012x}"
+    return ":".join(digits[i : i + 2] for i in range(0, 12, 2))
+
+
+def parse_prefix(prefix: str) -> Tuple[int, int]:
+    """Parse ``"10.0.0.0/8"`` into ``(address, prefix_length)``."""
+    if "/" in prefix:
+        address, _, length = prefix.partition("/")
+        plen = int(length)
+    else:
+        address, plen = prefix, 32
+    if not 0 <= plen <= 32:
+        raise ValueError(f"malformed prefix: {prefix!r}")
+    return ip_to_number(address), plen

@@ -1,0 +1,296 @@
+"""Interval sets over non-negative integers.
+
+Every variable tracked by the solver has a fixed bit width, so its domain is
+a subset of ``[0, 2**width - 1]``.  The solver represents domains as sorted,
+disjoint, closed integer intervals.  The large disjunctions produced by the
+egress switch and router models ("EtherDst is one of these 480 000
+addresses") become interval sets with one point interval per address, which
+keeps satisfiability checks linear in the number of intervals instead of
+requiring boolean case splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]``.
+
+    ``lo`` must be less than or equal to ``hi``; empty intervals are never
+    constructed (the empty domain is an :class:`IntervalSet` with no
+    intervals).
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    def __contains__(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __len__(self) -> int:
+        return self.hi - self.lo + 1
+
+    def intersects(self, other: "Interval") -> bool:
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+
+class IntervalSet:
+    """A set of non-overlapping, sorted, closed integer intervals."""
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Tuple[int, int]] = ()) -> None:
+        normalized = self._normalize(list(intervals))
+        self._intervals: Tuple[Interval, ...] = tuple(
+            Interval(lo, hi) for lo, hi in normalized
+        )
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        return cls(())
+
+    @classmethod
+    def full(cls, width: int) -> "IntervalSet":
+        """Domain of an unsigned integer with ``width`` bits."""
+        return cls([(0, (1 << width) - 1)])
+
+    @classmethod
+    def point(cls, value: int) -> "IntervalSet":
+        return cls([(value, value)])
+
+    @classmethod
+    def points(cls, values: Iterable[int]) -> "IntervalSet":
+        return cls([(v, v) for v in values])
+
+    @classmethod
+    def range(cls, lo: int, hi: int) -> "IntervalSet":
+        if lo > hi:
+            return cls.empty()
+        return cls([(lo, hi)])
+
+    @classmethod
+    def at_most(cls, value: int) -> "IntervalSet":
+        if value < 0:
+            return cls.empty()
+        return cls([(0, value)])
+
+    @classmethod
+    def at_least(cls, value: int, width: int) -> "IntervalSet":
+        hi = (1 << width) - 1
+        if value > hi:
+            return cls.empty()
+        return cls([(max(0, value), hi)])
+
+    @staticmethod
+    def _normalize(pairs: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+        valid = [(lo, hi) for lo, hi in pairs if lo <= hi]
+        if not valid:
+            return []
+        valid.sort()
+        merged: List[Tuple[int, int]] = [valid[0]]
+        for lo, hi in valid[1:]:
+            last_lo, last_hi = merged[-1]
+            if lo <= last_hi + 1:
+                merged[-1] = (last_lo, max(last_hi, hi))
+            else:
+                merged.append((lo, hi))
+        return merged
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        return self._intervals
+
+    def is_empty(self) -> bool:
+        return not self._intervals
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __contains__(self, value: int) -> bool:
+        lo, hi = 0, len(self._intervals) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            iv = self._intervals[mid]
+            if value < iv.lo:
+                hi = mid - 1
+            elif value > iv.hi:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"[{iv.lo},{iv.hi}]" for iv in self._intervals)
+        return f"IntervalSet({parts})"
+
+    def size(self) -> int:
+        """Number of integers contained in the set."""
+        return sum(len(iv) for iv in self._intervals)
+
+    def min(self) -> int:
+        if not self._intervals:
+            raise ValueError("empty interval set has no minimum")
+        return self._intervals[0].lo
+
+    def max(self) -> int:
+        if not self._intervals:
+            raise ValueError("empty interval set has no maximum")
+        return self._intervals[-1].hi
+
+    def is_singleton(self) -> bool:
+        return (
+            len(self._intervals) == 1
+            and self._intervals[0].lo == self._intervals[0].hi
+        )
+
+    def singleton_value(self) -> int:
+        if not self.is_singleton():
+            raise ValueError("interval set is not a singleton")
+        return self._intervals[0].lo
+
+    def sample(self) -> int:
+        """Return an arbitrary member (the smallest)."""
+        return self.min()
+
+    def iter_values(self, limit: Optional[int] = None) -> Iterator[int]:
+        """Iterate over contained integers, optionally stopping after ``limit``."""
+        count = 0
+        for iv in self._intervals:
+            for value in range(iv.lo, iv.hi + 1):
+                if limit is not None and count >= limit:
+                    return
+                yield value
+                count += 1
+
+    # -- set algebra ----------------------------------------------------------
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        result: List[Tuple[int, int]] = []
+        i = j = 0
+        a, b = self._intervals, other._intervals
+        while i < len(a) and j < len(b):
+            lo = max(a[i].lo, b[j].lo)
+            hi = min(a[i].hi, b[j].hi)
+            if lo <= hi:
+                result.append((lo, hi))
+            if a[i].hi < b[j].hi:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(result)
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        pairs = [(iv.lo, iv.hi) for iv in self._intervals]
+        pairs.extend((iv.lo, iv.hi) for iv in other._intervals)
+        return IntervalSet(pairs)
+
+    def complement(self, width: int) -> "IntervalSet":
+        """Complement relative to the full domain of ``width`` bits."""
+        top = (1 << width) - 1
+        gaps: List[Tuple[int, int]] = []
+        cursor = 0
+        for iv in self._intervals:
+            if iv.lo > cursor:
+                gaps.append((cursor, iv.lo - 1))
+            cursor = iv.hi + 1
+            if cursor > top:
+                break
+        if cursor <= top:
+            gaps.append((cursor, top))
+        return IntervalSet(gaps)
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        if not self._intervals or not other._intervals:
+            return self
+        width = max(self.max(), other.max()).bit_length() or 1
+        return self.intersection(other.complement(width))
+
+    def remove_point(self, value: int) -> "IntervalSet":
+        """Return a copy of the set with ``value`` removed."""
+        if value not in self:
+            return self
+        pairs: List[Tuple[int, int]] = []
+        for iv in self._intervals:
+            if value < iv.lo or value > iv.hi:
+                pairs.append((iv.lo, iv.hi))
+                continue
+            if iv.lo <= value - 1:
+                pairs.append((iv.lo, value - 1))
+            if value + 1 <= iv.hi:
+                pairs.append((value + 1, iv.hi))
+        return IntervalSet(pairs)
+
+    def shift(self, offset: int, width: Optional[int] = None) -> "IntervalSet":
+        """Translate every interval by ``offset``, clamping at 0 and the width."""
+        top = (1 << width) - 1 if width is not None else None
+        pairs: List[Tuple[int, int]] = []
+        for iv in self._intervals:
+            lo = iv.lo + offset
+            hi = iv.hi + offset
+            if hi < 0 or (top is not None and lo > top):
+                continue
+            lo = max(0, lo)
+            if top is not None:
+                hi = min(hi, top)
+            if lo <= hi:
+                pairs.append((lo, hi))
+        return IntervalSet(pairs)
+
+    def covers(self, other: "IntervalSet") -> bool:
+        """True if every value of ``other`` is contained in this set."""
+        return other.difference(self).is_empty()
+
+
+def prefix_to_interval(address: int, prefix_len: int, width: int = 32) -> Interval:
+    """Return the interval of addresses covered by ``address/prefix_len``.
+
+    This is the translation used by the router models: an IP prefix match is
+    exactly a contiguous range of destination addresses.
+    """
+    if not 0 <= prefix_len <= width:
+        raise ValueError(f"prefix length {prefix_len} out of range for width {width}")
+    host_bits = width - prefix_len
+    mask = ((1 << prefix_len) - 1) << host_bits if prefix_len else 0
+    lo = address & mask
+    hi = lo | ((1 << host_bits) - 1)
+    return Interval(lo, hi)
+
+
+def intervals_from_prefixes(
+    prefixes: Sequence[Tuple[int, int]], width: int = 32
+) -> IntervalSet:
+    """Build the interval set covered by a list of ``(address, prefix_len)``."""
+    pairs = []
+    for address, plen in prefixes:
+        iv = prefix_to_interval(address, plen, width)
+        pairs.append((iv.lo, iv.hi))
+    return IntervalSet(pairs)

@@ -1,0 +1,70 @@
+"""Solver result and statistics containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class SolverStats:
+    """Counters mirroring the instrumentation used in the paper's evaluation
+    ("time spent in and number of calls to the constraint solver")."""
+
+    calls: int = 0
+    sat: int = 0
+    unsat: int = 0
+    unknown: int = 0
+    time_seconds: float = 0.0
+    atoms_processed: int = 0
+    case_splits: int = 0
+
+    def record(self, verdict: str, elapsed: float, atoms: int, splits: int) -> None:
+        self.calls += 1
+        self.time_seconds += elapsed
+        self.atoms_processed += atoms
+        self.case_splits += splits
+        if verdict == "sat":
+            self.sat += 1
+        elif verdict == "unsat":
+            self.unsat += 1
+        else:
+            self.unknown += 1
+
+    def merge(self, other: "SolverStats") -> None:
+        self.calls += other.calls
+        self.sat += other.sat
+        self.unsat += other.unsat
+        self.unknown += other.unknown
+        self.time_seconds += other.time_seconds
+        self.atoms_processed += other.atoms_processed
+        self.case_splits += other.case_splits
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a satisfiability query.
+
+    ``verdict`` is one of ``"sat"``, ``"unsat"`` or ``"unknown"``; ``model``
+    maps variable names to concrete values when ``verdict == "sat"`` and a
+    model was requested.
+    """
+
+    verdict: str
+    model: Optional[Dict[str, int]] = None
+    reason: str = ""
+
+    @property
+    def is_sat(self) -> bool:
+        return self.verdict == "sat"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.verdict == "unsat"
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.verdict == "unknown"
+
+    def __bool__(self) -> bool:
+        return self.is_sat

@@ -1,0 +1,265 @@
+"""Top-level satisfiability interface.
+
+:class:`Solver` plays the role Z3 plays in the paper: SymNet hands it the
+conjunction of all constraints accumulated along an execution path and asks
+whether the path is feasible, optionally requesting a concrete model (used by
+the conformance-testing framework to build test packets).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.solver.ast import (
+    And,
+    Atom,
+    BoolFalse,
+    BoolTrue,
+    Eq,
+    Formula,
+    Ge,
+    Gt,
+    Le,
+    Lt,
+    Member,
+    Ne,
+    Not,
+    Or,
+    Var,
+    conjoin,
+    formula_size,
+    linearize,
+    to_nnf,
+)
+from repro.solver.intervals import IntervalSet
+from repro.solver.result import SolverResult, SolverStats
+from repro.solver.theory import (
+    TheorySolver,
+    UnsupportedAtomError,
+    classify_atom,
+    domain_for,
+)
+
+_ATOM_TYPES = (Eq, Ne, Lt, Le, Gt, Ge)
+
+
+class Solver:
+    """Decide boolean combinations of SEFL-fragment constraints.
+
+    Parameters
+    ----------
+    max_case_splits:
+        Upper bound on the number of disjunction branches explored before the
+        solver gives up and reports "unknown".  Network models keep mixed
+        disjunctions tiny, so the default is generous.
+    model_search_budget:
+        Budget for the concrete-assignment search used to back "sat" answers
+        and to produce models.
+    """
+
+    def __init__(
+        self,
+        max_case_splits: int = 20_000,
+        model_search_budget: int = 256,
+        stats: Optional[SolverStats] = None,
+    ) -> None:
+        self.stats = stats if stats is not None else SolverStats()
+        self._max_case_splits = max_case_splits
+        self._theory = TheorySolver(model_search_budget=model_search_budget)
+
+    # -- public API -----------------------------------------------------------
+
+    def check(
+        self,
+        constraints: Union[Formula, Sequence[Formula]],
+        want_model: bool = False,
+    ) -> SolverResult:
+        """Check satisfiability of ``constraints`` (a formula or a sequence)."""
+        start = time.perf_counter()
+        formula = self._as_formula(constraints)
+        atoms = formula_size(formula)
+        splits = [0]
+        verdict, model = self._check_formula(formula, want_model, splits)
+        elapsed = time.perf_counter() - start
+        self.stats.record(verdict, elapsed, atoms, splits[0])
+        named_model = None
+        if model is not None:
+            named_model = {var.name: value for var, value in model.items()}
+        return SolverResult(verdict=verdict, model=named_model)
+
+    def is_satisfiable(
+        self, constraints: Union[Formula, Sequence[Formula]]
+    ) -> bool:
+        """Convenience wrapper treating "unknown" as satisfiable.
+
+        The symbolic execution engine is conservative: a path is only killed
+        when its constraints are *provably* unsatisfiable.
+        """
+        return not self.check(constraints).is_unsat
+
+    def get_model(
+        self, constraints: Union[Formula, Sequence[Formula]]
+    ) -> Optional[Dict[str, int]]:
+        """Return a satisfying assignment, or ``None`` if unsat/unknown."""
+        result = self.check(constraints, want_model=True)
+        if result.is_sat:
+            return result.model
+        return None
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _as_formula(constraints: Union[Formula, Sequence[Formula]]) -> Formula:
+        if isinstance(constraints, (list, tuple)):
+            return conjoin(constraints)
+        return constraints
+
+    def _check_formula(
+        self, formula: Formula, want_model: bool, splits: List[int]
+    ) -> Tuple[str, Optional[Dict[Var, int]]]:
+        formula = to_nnf(formula)
+        if isinstance(formula, BoolFalse):
+            return "unsat", None
+        if isinstance(formula, BoolTrue):
+            return ("sat", {}) if want_model else ("sat", None)
+
+        conjuncts = (
+            list(formula.operands) if isinstance(formula, And) else [formula]
+        )
+        return self._check_conjunction(conjuncts, {}, want_model, splits)
+
+    def _check_conjunction(
+        self,
+        conjuncts: List[Formula],
+        extra_domains: Dict[Var, IntervalSet],
+        want_model: bool,
+        splits: List[int],
+    ) -> Tuple[str, Optional[Dict[Var, int]]]:
+        atoms: List[Atom] = []
+        disjunctions: List[Or] = []
+        domains: Dict[Var, IntervalSet] = dict(extra_domains)
+
+        stack = list(conjuncts)
+        while stack:
+            item = stack.pop()
+            if isinstance(item, BoolTrue):
+                continue
+            if isinstance(item, BoolFalse):
+                return "unsat", None
+            if isinstance(item, And):
+                stack.extend(item.operands)
+                continue
+            if isinstance(item, Not):
+                stack.append(to_nnf(item))
+                continue
+            if isinstance(item, _ATOM_TYPES):
+                atoms.append(item)
+                continue
+            if isinstance(item, Member):
+                linear = linearize(item.term)
+                values: IntervalSet = item.values  # type: ignore[assignment]
+                if linear.is_constant():
+                    holds = (linear.constant in values) != item.negated
+                    if not holds:
+                        return "unsat", None
+                    continue
+                resolved = self._member_domain(item)
+                if resolved is None:
+                    return "unknown", None
+                var, allowed = resolved
+                current = domains.get(var, IntervalSet.full(var.width))
+                narrowed = current.intersection(allowed)
+                if narrowed.is_empty():
+                    return "unsat", None
+                domains[var] = narrowed
+                continue
+            if isinstance(item, Or):
+                domain = self._single_variable_domain(item)
+                if domain is not None:
+                    var, allowed = domain
+                    current = domains.get(var, IntervalSet.full(var.width))
+                    narrowed = current.intersection(allowed)
+                    if narrowed.is_empty():
+                        return "unsat", None
+                    domains[var] = narrowed
+                else:
+                    disjunctions.append(item)
+                continue
+            raise TypeError(f"unexpected formula node: {item!r}")
+
+        if not disjunctions:
+            return self._theory.check(atoms, domains, want_model)
+
+        # Quick feasibility check of the non-disjunctive part before splitting.
+        base_verdict, _ = self._theory.check(atoms, domains, want_model=False)
+        if base_verdict == "unsat":
+            return "unsat", None
+
+        # DPLL-style case split over the smallest disjunction first.
+        disjunctions.sort(key=lambda d: len(d.operands))
+        chosen = disjunctions[0]
+        rest = disjunctions[1:]
+        saw_unknown = False
+        for branch in chosen.operands:
+            if splits[0] >= self._max_case_splits:
+                return "unknown", None
+            splits[0] += 1
+            branch_conjuncts: List[Formula] = list(atoms)
+            branch_conjuncts.extend(rest)
+            branch_conjuncts.append(branch)
+            verdict, model = self._check_conjunction(
+                branch_conjuncts, domains, want_model, splits
+            )
+            if verdict == "sat":
+                return "sat", model
+            if verdict == "unknown":
+                saw_unknown = True
+        return ("unknown", None) if saw_unknown else ("unsat", None)
+
+    @staticmethod
+    def _member_domain(atom: Member) -> Optional[Tuple[Var, IntervalSet]]:
+        """Turn a membership atom into a variable-domain constraint."""
+        linear = linearize(atom.term)
+        if len(linear.coeffs) != 1 or linear.coeffs[0][1] != 1:
+            return None
+        var = linear.coeffs[0][0]
+        values: IntervalSet = atom.values  # type: ignore[assignment]
+        # term = var + constant in values  <=>  var in (values - constant)
+        allowed = values.shift(-linear.constant) if linear.constant else values
+        if atom.negated:
+            allowed = allowed.complement(var.width)
+        return var, allowed
+
+    @staticmethod
+    def _single_variable_domain(
+        disjunction: Or,
+    ) -> Optional[Tuple[Var, IntervalSet]]:
+        """If every disjunct constrains the same single variable against
+        constants, collapse the disjunction into one interval-set domain.
+
+        This is the optimisation that makes the egress switch/router models
+        cheap: a 480 000-way ``Or`` of MAC equalities becomes a single domain
+        with 480 000 points instead of 480 000 case splits.
+        """
+        target: Optional[Var] = None
+        allowed = IntervalSet.empty()
+        for operand in disjunction.operands:
+            if not isinstance(operand, _ATOM_TYPES):
+                return None
+            try:
+                info = classify_atom(operand)
+            except UnsupportedAtomError:
+                return None
+            if info.kind != "domain" or info.var is None:
+                return None
+            if target is None:
+                target = info.var
+            elif info.var != target:
+                return None
+            allowed = allowed.union(
+                domain_for(info.op, info.constant, info.var.width)
+            )
+        if target is None:
+            return None
+        return target, allowed

@@ -1,0 +1,55 @@
+"""Automated conformance testing of SEFL models (§8.3).
+
+SEFL models are only useful if they reflect the behaviour of the code they
+mimic.  The paper's testing framework is ATPG-like: derive concrete test
+packets from the symbolic paths, inject them into the running implementation
+and check that the observed outputs satisfy the path's constraints.  Here the
+"running implementation" is a concrete reference dataplane
+(:mod:`repro.testing.reference`) standing in for the Click instances / ASA
+hardware of the paper's testbed — the testing loop itself
+(:mod:`repro.testing.conformance`) is unchanged.
+"""
+
+from repro.testing.conformance import ConformanceReport, ConformanceTester, Mismatch
+from repro.testing.packet_gen import (
+    concrete_packet_from_path,
+    evaluate_term,
+    injected_symbols,
+)
+from repro.testing.reference import (
+    ConcretePacket,
+    ReferenceDataplane,
+    reference_acl_firewall,
+    reference_dec_ip_ttl,
+    reference_host_ether_filter,
+    reference_ip_classifier,
+    reference_ip_mirror,
+    reference_ip_rewriter,
+    reference_nat,
+    reference_options_filter,
+    reference_router,
+    reference_switch,
+    reference_wire,
+)
+
+__all__ = [
+    "ConcretePacket",
+    "ConformanceReport",
+    "ConformanceTester",
+    "Mismatch",
+    "ReferenceDataplane",
+    "concrete_packet_from_path",
+    "evaluate_term",
+    "injected_symbols",
+    "reference_acl_firewall",
+    "reference_dec_ip_ttl",
+    "reference_host_ether_filter",
+    "reference_ip_classifier",
+    "reference_ip_mirror",
+    "reference_ip_rewriter",
+    "reference_nat",
+    "reference_options_filter",
+    "reference_router",
+    "reference_switch",
+    "reference_wire",
+]

@@ -1,0 +1,302 @@
+"""The conformance-testing loop (§8.3).
+
+The procedure mirrors the paper's six steps:
+
+1. run a reachability test over the SEFL model with a symbolic packet;
+2. for each symbolic path, solve the constraints into a concrete packet;
+3. inject the packet into the running implementation (here: the concrete
+   reference dataplane) and capture the outputs;
+4. add the observed header values as constraints at the end of the symbolic
+   path and check satisfiability — a contradiction is a model bug;
+5. repeat for every path;
+6. finish with random packets, checking that the implementation's verdict
+   matches *some* feasible model path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.engine import ExecutionSettings, SymbolicExecutor
+from repro.core.paths import ExecutionResult, PathRecord, PathStatus
+from repro.network.ports import PortId
+from repro.network.topology import Network
+from repro.sefl.fields import HeaderField
+from repro.sefl.instructions import Instruction
+from repro.solver.ast import Const, Eq, Formula
+from repro.solver.solver import Solver
+from repro.testing.packet_gen import (
+    concrete_packet_from_path,
+    injected_symbols,
+    random_packet,
+)
+from repro.testing.reference import ConcretePacket, ReferenceDataplane
+
+
+@dataclass
+class Mismatch:
+    """One detected disagreement between the model and the implementation."""
+
+    kind: str  # "missing-output", "unexpected-output", "value-mismatch"
+    description: str
+    packet: Optional[ConcretePacket] = None
+    path_id: Optional[int] = None
+
+
+@dataclass
+class ConformanceReport:
+    """Summary of a conformance-testing run."""
+
+    paths_tested: int = 0
+    random_packets_tested: int = 0
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def conformant(self) -> bool:
+        return not self.mismatches
+
+    def add(self, mismatch: Mismatch) -> None:
+        self.mismatches.append(mismatch)
+
+
+class ConformanceTester:
+    """Compare a SEFL model network against a concrete reference dataplane."""
+
+    def __init__(
+        self,
+        network: Network,
+        dataplane: ReferenceDataplane,
+        fields: Sequence[HeaderField],
+        solver: Optional[Solver] = None,
+        settings: Optional[ExecutionSettings] = None,
+    ) -> None:
+        self.network = network
+        self.dataplane = dataplane
+        self.fields = list(fields)
+        self.solver = solver or Solver()
+        self.settings = settings or ExecutionSettings()
+
+    # -- main entry points ------------------------------------------------------
+
+    def test(
+        self,
+        packet_program: Instruction,
+        element: str,
+        port: str = "in0",
+        random_trials: int = 20,
+        probe_packets: Optional[Sequence[ConcretePacket]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> ConformanceReport:
+        """Run the full procedure: path-derived packets, then random packets.
+
+        ``probe_packets`` lets the caller add targeted concrete packets (e.g.
+        boundary TTL values) that are checked the same way as random ones.
+        """
+        rng = rng or random.Random(1)
+        report = ConformanceReport()
+        executor = SymbolicExecutor(
+            self.network, solver=self.solver, settings=self.settings
+        )
+        result = executor.inject(packet_program, element, port)
+
+        for path in result.delivered():
+            self._test_path(path, element, port, report, rng)
+        report.paths_tested = len(result.delivered())
+
+        # Fields the injection program pins to concrete values (EtherType,
+        # IpVersion, IpProto, …) must keep those values in generated packets,
+        # otherwise the comparison would reject packets the model never
+        # claims to describe.
+        pinned = self._pinned_fields(result)
+        trials = 0
+        for packet in list(probe_packets or []):
+            merged = packet.copy()
+            for name, value in pinned.items():
+                merged.fields.setdefault(name, value)
+            self._test_random_packet(merged, element, port, result, report)
+            trials += 1
+        for _ in range(random_trials):
+            packet = random_packet(self.fields, rng, overrides=pinned)
+            self._test_random_packet(packet, element, port, result, report)
+            trials += 1
+        report.random_packets_tested = trials
+        return report
+
+    def _pinned_fields(self, result: ExecutionResult) -> Dict[str, int]:
+        """Concrete values the injection program assigned to header fields."""
+        pinned: Dict[str, int] = {}
+        for path in result.paths:
+            terms = injected_symbols(path, self.fields)
+            for name, term in terms.items():
+                if isinstance(term, Const):
+                    pinned[name] = term.value
+            if terms:
+                break
+        return pinned
+
+    # -- path-derived packets -----------------------------------------------------
+
+    def _test_path(
+        self,
+        path: PathRecord,
+        element: str,
+        port: str,
+        report: ConformanceReport,
+        rng: random.Random,
+    ) -> None:
+        packet = concrete_packet_from_path(path, self.fields, self.solver, rng=rng)
+        if packet is None:
+            return
+        self.dataplane.reset_state()
+        outputs = self.dataplane.inject(packet, element, port)
+        if not outputs:
+            report.add(
+                Mismatch(
+                    kind="missing-output",
+                    description=(
+                        f"model path {path.path_id} predicts delivery at "
+                        f"{path.last_port}, but the implementation dropped the packet"
+                    ),
+                    packet=packet,
+                    path_id=path.path_id,
+                )
+            )
+            return
+        # The observed output must satisfy the path constraints once the
+        # injected values and the observed header values are pinned.
+        observed_ports = {(out.element, out.port) for out in outputs}
+        predicted = (path.last_port.element, path.last_port.port)
+        if predicted not in observed_ports:
+            report.add(
+                Mismatch(
+                    kind="value-mismatch",
+                    description=(
+                        f"model path {path.path_id} exits at {path.last_port} but the "
+                        f"implementation emitted the packet at {sorted(observed_ports)}"
+                    ),
+                    packet=packet,
+                    path_id=path.path_id,
+                )
+            )
+            return
+        for out in outputs:
+            if (out.element, out.port) != predicted:
+                continue
+            constraints = self._observation_constraints(path, packet, out.packet)
+            if constraints is None:
+                continue
+            if self.solver.check(constraints).is_unsat:
+                report.add(
+                    Mismatch(
+                        kind="value-mismatch",
+                        description=(
+                            f"observed header values at {out.element}:{out.port} "
+                            f"contradict the constraints of model path {path.path_id}"
+                        ),
+                        packet=packet,
+                        path_id=path.path_id,
+                    )
+                )
+
+    def _observation_constraints(
+        self,
+        path: PathRecord,
+        injected: ConcretePacket,
+        observed: ConcretePacket,
+    ) -> Optional[List[Formula]]:
+        constraints: List[Formula] = list(path.constraints)
+        injected_terms = injected_symbols(path, self.fields)
+        for name, term in injected_terms.items():
+            if name in injected.fields:
+                constraints.append(Eq(term, Const(injected.fields[name])))
+        for field_obj in self.fields:
+            if field_obj.name not in observed.fields:
+                continue
+            try:
+                final_term = path.state.read_variable(field_obj)
+            except Exception:
+                continue
+            constraints.append(Eq(final_term, Const(observed.fields[field_obj.name])))
+        return constraints
+
+    # -- random packets -------------------------------------------------------------
+
+    def _test_random_packet(
+        self,
+        packet: ConcretePacket,
+        element: str,
+        port: str,
+        result: ExecutionResult,
+        report: ConformanceReport,
+    ) -> None:
+        """Check that the implementation's verdict on a random packet matches
+        some feasible model path."""
+        self.dataplane.reset_state()
+        outputs = self.dataplane.inject(packet, element, port)
+        matching_delivery = self._admitting_path(result.delivered(), packet)
+        if outputs and matching_delivery is None:
+            report.add(
+                Mismatch(
+                    kind="unexpected-output",
+                    description=(
+                        "the implementation forwarded a packet that no model path admits"
+                    ),
+                    packet=packet,
+                )
+            )
+            return
+        if not outputs and matching_delivery is not None:
+            report.add(
+                Mismatch(
+                    kind="missing-output",
+                    description=(
+                        f"model path {matching_delivery.path_id} admits a packet "
+                        "that the implementation dropped"
+                    ),
+                    packet=packet,
+                    path_id=matching_delivery.path_id,
+                )
+            )
+            return
+        if outputs and matching_delivery is not None:
+            # Both forward: the observed exit point must agree with at least
+            # one admitting model path.
+            observed = {(out.element, out.port) for out in outputs}
+            admitting_exits = set()
+            for path in result.delivered():
+                if path.last_port is None:
+                    continue
+                exit_point = (path.last_port.element, path.last_port.port)
+                if exit_point in admitting_exits:
+                    continue
+                if self._path_admits(path, packet):
+                    admitting_exits.add(exit_point)
+            if observed.isdisjoint(admitting_exits):
+                report.add(
+                    Mismatch(
+                        kind="value-mismatch",
+                        description=(
+                            f"the implementation emitted the packet at {sorted(observed)} "
+                            f"but the model only admits it at {sorted(admitting_exits)}"
+                        ),
+                        packet=packet,
+                    )
+                )
+
+    def _path_admits(self, path: PathRecord, packet: ConcretePacket) -> bool:
+        constraints: List[Formula] = list(path.constraints)
+        injected_terms = injected_symbols(path, self.fields)
+        for name, term in injected_terms.items():
+            if name in packet.fields:
+                constraints.append(Eq(term, Const(packet.fields[name])))
+        return self.solver.check(constraints).is_sat
+
+    def _admitting_path(
+        self, paths: Sequence[PathRecord], packet: ConcretePacket
+    ) -> Optional[PathRecord]:
+        for path in paths:
+            if self._path_admits(path, packet):
+                return path
+        return None

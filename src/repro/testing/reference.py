@@ -1,0 +1,348 @@
+"""A concrete reference dataplane.
+
+The conformance-testing loop of §8.3 needs an executable ground truth: the
+paper uses real Click instances and the ASA hardware; this module provides
+concrete (non-symbolic) Python implementations of the same behaviours.  Each
+behaviour is a function ``(packet, in_port, state) -> [(out_port, packet')]``
+— returning an empty list means the packet was dropped.
+
+The behaviours are intentionally written independently of the SEFL models
+(straightforward imperative code operating on concrete field values), so a
+bug in a model really is caught by the comparison rather than being shared
+by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.models.router import FibEntry, longest_prefix_match
+from repro.models.tcp_options import ALLOW, DROP, OptionPolicy
+from repro.network.topology import Network
+from repro.solver.intervals import prefix_to_interval
+from repro.sefl.util import parse_prefix
+
+
+@dataclass
+class ConcretePacket:
+    """A concrete packet: named header fields plus TCP-option metadata."""
+
+    fields: Dict[str, int] = field(default_factory=dict)
+    options: Dict[int, Dict[str, int]] = field(default_factory=dict)
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self.fields.get(name, default)
+
+    def copy(self) -> "ConcretePacket":
+        return ConcretePacket(
+            fields=dict(self.fields),
+            options={kind: dict(data) for kind, data in self.options.items()},
+        )
+
+    def with_fields(self, **updates: int) -> "ConcretePacket":
+        clone = self.copy()
+        clone.fields.update(updates)
+        return clone
+
+
+Behaviour = Callable[
+    [ConcretePacket, str, Dict[str, object]], List[Tuple[str, ConcretePacket]]
+]
+
+
+# ---------------------------------------------------------------------------
+# Element behaviours
+# ---------------------------------------------------------------------------
+
+
+def reference_wire(out_port: str = "out0") -> Behaviour:
+    """Forward every packet unchanged."""
+
+    def behave(packet, in_port, state):
+        return [(out_port, packet.copy())]
+
+    return behave
+
+
+def reference_switch(table: Mapping[str, Sequence[int]]) -> Behaviour:
+    """Exact-match MAC forwarding; unknown destinations are dropped."""
+    lookup: Dict[int, str] = {}
+    for port, macs in table.items():
+        for mac in macs:
+            lookup.setdefault(mac, port)
+
+    def behave(packet, in_port, state):
+        port = lookup.get(packet.get("EtherDst"))
+        if port is None:
+            return []
+        return [(port, packet.copy())]
+
+    return behave
+
+
+def reference_router(fib: Sequence[FibEntry]) -> Behaviour:
+    """Longest-prefix-match forwarding on the destination address."""
+
+    def behave(packet, in_port, state):
+        port = longest_prefix_match(fib, packet.get("IpDst"))
+        if port is None:
+            return []
+        return [(port, packet.copy())]
+
+    return behave
+
+
+def reference_ip_mirror(swap_ports: bool = True) -> Behaviour:
+    """Swap source/destination addresses (and ports)."""
+
+    def behave(packet, in_port, state):
+        out = packet.copy()
+        out.fields["IpSrc"], out.fields["IpDst"] = (
+            packet.get("IpDst"),
+            packet.get("IpSrc"),
+        )
+        if swap_ports:
+            out.fields["TcpSrc"], out.fields["TcpDst"] = (
+                packet.get("TcpDst"),
+                packet.get("TcpSrc"),
+            )
+        return [("out0", out)]
+
+    return behave
+
+
+def reference_dec_ip_ttl() -> Behaviour:
+    """Decrement the TTL, dropping packets whose TTL would expire.
+
+    This is the *correct* behaviour of the Click element: packets arriving
+    with TTL 0 are dropped (no unsigned wrap-around), every other packet is
+    forwarded with TTL − 1.
+    """
+
+    def behave(packet, in_port, state):
+        ttl = packet.get("IpTtl")
+        if ttl < 1:
+            return []
+        return [("out0", packet.with_fields(IpTtl=ttl - 1))]
+
+    return behave
+
+
+def reference_host_ether_filter(mac: int) -> Behaviour:
+    """Only accept frames destined to this host's MAC address."""
+
+    def behave(packet, in_port, state):
+        if packet.get("EtherDst") != mac:
+            return []
+        return [("out0", packet.copy())]
+
+    return behave
+
+
+def _matches_filter(packet: ConcretePacket, spec: Mapping[str, object]) -> bool:
+    if "src" in spec:
+        address, plen = parse_prefix(str(spec["src"]))
+        interval = prefix_to_interval(address, plen)
+        if not interval.lo <= packet.get("IpSrc") <= interval.hi:
+            return False
+    if "dst" in spec:
+        address, plen = parse_prefix(str(spec["dst"]))
+        interval = prefix_to_interval(address, plen)
+        if not interval.lo <= packet.get("IpDst") <= interval.hi:
+            return False
+    if "proto" in spec and packet.get("IpProto") != int(spec["proto"]):  # type: ignore[arg-type]
+        return False
+    for key, fname in (("src_port", "TcpSrc"), ("dst_port", "TcpDst")):
+        if key in spec:
+            value = spec[key]
+            if isinstance(value, tuple):
+                low, high = value
+                if not low <= packet.get(fname) <= high:
+                    return False
+            elif packet.get(fname) != int(value):  # type: ignore[arg-type]
+                return False
+    return True
+
+
+def reference_ip_classifier(filters: Sequence[Mapping[str, object]]) -> Behaviour:
+    """Forward to the output of the first matching filter; else drop."""
+
+    def behave(packet, in_port, state):
+        for index, spec in enumerate(filters):
+            if _matches_filter(packet, spec):
+                return [(f"out{index}", packet.copy())]
+        return []
+
+    return behave
+
+
+def reference_acl_firewall(
+    rules: Sequence, default_action: str = "deny"
+) -> Behaviour:
+    """Ordered allow/deny rules over the five-tuple (AclRule objects)."""
+
+    def behave(packet, in_port, state):
+        for rule in rules:
+            spec: Dict[str, object] = {}
+            if rule.src is not None:
+                spec["src"] = rule.src
+            if rule.dst is not None:
+                spec["dst"] = rule.dst
+            if rule.proto is not None:
+                spec["proto"] = rule.proto
+            if rule.src_port is not None:
+                spec["src_port"] = rule.src_port
+            if rule.dst_port is not None:
+                spec["dst_port"] = rule.dst_port
+            if _matches_filter(packet, spec):
+                if rule.action == "allow":
+                    return [("out0", packet.copy())]
+                return []
+        if default_action == "allow":
+            return [("out0", packet.copy())]
+        return []
+
+    return behave
+
+
+def reference_ip_rewriter() -> Behaviour:
+    """Stateful firewall: record outbound flows, admit only their reverses."""
+
+    def behave(packet, in_port, state):
+        flows = state.setdefault("flows", set())
+        five_tuple = (
+            packet.get("IpSrc"),
+            packet.get("IpDst"),
+            packet.get("TcpSrc"),
+            packet.get("TcpDst"),
+        )
+        if in_port == "in0":
+            flows.add(five_tuple)
+            return [("out0", packet.copy())]
+        reverse = (five_tuple[1], five_tuple[0], five_tuple[3], five_tuple[2])
+        if reverse in flows:
+            return [("out1", packet.copy())]
+        return []
+
+    return behave
+
+
+def reference_nat(
+    public_address: int, port_range: Tuple[int, int] = (1024, 65535), seed: int = 7
+) -> Behaviour:
+    """Source NAT with per-flow port allocation (quasi-random, as in practice)."""
+    rng = random.Random(seed)
+
+    def behave(packet, in_port, state):
+        mappings = state.setdefault("mappings", {})
+        if in_port == "in0":
+            key = (packet.get("IpSrc"), packet.get("TcpSrc"))
+            if key not in mappings:
+                mappings[key] = rng.randint(*port_range)
+            out = packet.with_fields(IpSrc=public_address, TcpSrc=mappings[key])
+            return [("out0", out)]
+        # Return traffic: find the flow whose mapped port matches.
+        for (orig_ip, orig_port), mapped in mappings.items():
+            if (
+                packet.get("IpDst") == public_address
+                and packet.get("TcpDst") == mapped
+            ):
+                out = packet.with_fields(IpDst=orig_ip, TcpDst=orig_port)
+                return [("out1", out)]
+        return []
+
+    return behave
+
+
+def reference_options_filter(policy: OptionPolicy) -> Behaviour:
+    """Concrete TCP-options processing mirroring the ASA behaviour."""
+
+    def behave(packet, in_port, state):
+        out = packet.copy()
+        for kind in list(out.options):
+            verdict = policy.verdict(kind)
+            present = out.options[kind].get("present", 0)
+            if not present:
+                continue
+            if verdict == DROP:
+                return []
+            if verdict != ALLOW:
+                out.options[kind]["present"] = 0
+        if policy.strip_sackok_for_http and out.get("TcpDst") == 80:
+            if 4 in out.options:
+                out.options[4]["present"] = 0
+        if policy.always_add_mss:
+            entry = out.options.setdefault(2, {"present": 0, "size": 4, "value": 1380})
+            entry["present"] = 1
+            entry["size"] = 4
+        if policy.mss_clamp is not None and 2 in out.options:
+            entry = out.options[2]
+            if entry.get("value", 0) > policy.mss_clamp:
+                entry["value"] = policy.mss_clamp
+        return [("out0", out)]
+
+    return behave
+
+
+# ---------------------------------------------------------------------------
+# Dataplane
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DeliveredPacket:
+    element: str
+    port: str
+    packet: ConcretePacket
+
+
+class ReferenceDataplane:
+    """Propagate concrete packets through a :class:`Network` topology using
+    registered concrete behaviours (the stand-in for the paper's testbed)."""
+
+    def __init__(self, network: Network, max_hops: int = 64) -> None:
+        self.network = network
+        self.max_hops = max_hops
+        self._behaviours: Dict[str, Behaviour] = {}
+        self._state: Dict[str, Dict[str, object]] = {}
+
+    def register(self, element: str, behaviour: Behaviour) -> None:
+        self._behaviours[element] = behaviour
+        self._state.setdefault(element, {})
+
+    def reset_state(self) -> None:
+        for key in self._state:
+            self._state[key] = {}
+
+    def inject(
+        self, packet: ConcretePacket, element: str, port: str
+    ) -> List[DeliveredPacket]:
+        """Send one concrete packet and capture everything that leaves the
+        modeled network (output ports with no outgoing link)."""
+        outputs: List[DeliveredPacket] = []
+        worklist: List[Tuple[ConcretePacket, str, str, int]] = [
+            (packet.copy(), element, port, 0)
+        ]
+        while worklist:
+            current, element_name, in_port, hops = worklist.pop()
+            if hops > self.max_hops:
+                continue
+            behaviour = self._behaviours.get(element_name)
+            if behaviour is None:
+                # Unmodeled elements behave as wires out of their first port.
+                element_obj = self.network.element(element_name)
+                ports = element_obj.output_ports
+                emitted = [(ports[0], current.copy())] if ports else []
+            else:
+                emitted = behaviour(current, in_port, self._state[element_name])
+            for out_port, out_packet in emitted:
+                destination = self.network.link_from(element_name, out_port)
+                if destination is None:
+                    outputs.append(DeliveredPacket(element_name, out_port, out_packet))
+                else:
+                    worklist.append(
+                        (out_packet, destination.element, destination.port, hops + 1)
+                    )
+        return outputs

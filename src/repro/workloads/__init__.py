@@ -1,0 +1,26 @@
+"""Synthetic workload generators for the evaluation harness.
+
+The paper's evaluation uses snapshots of real devices (the department core
+switch, a public core-router FIB, the Stanford backbone dataset) and two
+operational topologies (the Split-TCP enterprise deployment and the CS
+department network).  Those datasets are not redistributable, so this
+package generates deterministic synthetic equivalents whose *structure*
+matches what the experiments depend on: per-port MAC grouping, prefix
+overlap patterns, topology shape and rule counts.  See DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from repro.workloads.mac_tables import generate_mac_table
+from repro.workloads.fibs import generate_fib
+from repro.workloads.stanford import build_stanford_like_backbone, stanford_hsa_network
+from repro.workloads.department import build_department_network
+from repro.workloads.enterprise import build_split_tcp_network
+
+__all__ = [
+    "build_department_network",
+    "build_split_tcp_network",
+    "build_stanford_like_backbone",
+    "generate_fib",
+    "generate_mac_table",
+    "stanford_hsa_network",
+]

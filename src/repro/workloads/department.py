@@ -1,0 +1,254 @@
+"""The CS department network of §8.5 (Figure 11).
+
+The real network has 21 devices, 235 connected ports, 6 000 MAC-table
+entries, 400 routing entries, VLAN-based L2 forwarding (office VLAN 302,
+lab VLAN 304, a management VLAN) and a Cisco ASA as the first IP hop.  The
+builder generates a faithful synthetic equivalent:
+
+* per-building access switches (lab and office), an aggregation switch, the
+  M2 master switch, the ASA pipeline, the M1 department router and the
+  cluster switch;
+* generated MAC tables sized to the requested total;
+* the M1 routing table containing the management-VLAN route that caused the
+  security hole the paper found (private management addresses reachable from
+  outside and from the cluster);
+* a "switch-management" element standing for the switches' management
+  interfaces — reaching it means reaching the management plane.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.models.asa import AsaAttachment, AsaConfig, build_asa
+from repro.models.firewall import AclRule
+from repro.models.router import FibEntry, build_router
+from repro.models.switch import build_switch
+from repro.network.element import NetworkElement
+from repro.network.topology import Network
+from repro.sefl.expressions import OneOf
+from repro.sefl.fields import IpDst
+from repro.sefl.instructions import Constrain, Forward, InstructionBlock
+from repro.sefl.util import ip_to_number, parse_prefix
+from repro.solver.intervals import IntervalSet, prefix_to_interval
+from repro.workloads.mac_tables import generate_mac_table
+
+OFFICE_VLAN = 302
+LAB_VLAN = 304
+MANAGEMENT_PREFIX = "192.168.137.0/24"
+OFFICE_PREFIX = "10.41.0.0/16"
+LAB_PREFIX = "10.42.0.0/16"
+CLUSTER_PREFIX = "10.43.0.0/16"
+
+# Well-known L2 addresses: the ASA inside interface is the first IP hop for
+# office/lab traffic, so its MAC must appear on the uplink ports of every
+# switch along the way; the switch-management MAC plays the same role for
+# the management VLAN.
+GATEWAY_MAC = 0x02_AA_00_00_00_01
+SWITCH_MGMT_MAC = 0x02_AA_00_00_00_02
+HOLE_SERVER_MAC = 0x02_00_00_00_AA_01
+
+
+@dataclass
+class DepartmentNetwork:
+    """The generated department network and its interesting entry points."""
+
+    network: Network
+    asa: AsaAttachment
+    office_entry: Tuple[str, str]
+    lab_entry: Tuple[str, str]
+    cluster_entry: Tuple[str, str]
+    internet_entry: Tuple[str, str]
+    internet_exit: Tuple[str, str]
+    management_exit: Tuple[str, str]
+    mac_entries: int = 0
+    route_entries: int = 0
+
+    def device_count(self) -> int:
+        return len(self.network)
+
+    def port_count(self) -> int:
+        return self.network.port_count()
+
+
+def _access_switch(
+    name: str, uplink_macs: List[int], host_count: int, rng: random.Random
+) -> NetworkElement:
+    """An access switch: hosts on dedicated ports, everything else uplink.
+
+    The uplink group always contains the gateway (ASA inside interface) MAC
+    so that traffic towards the first IP hop is actually forwarded upstream.
+    """
+    table: Dict[str, List[int]] = {"uplink": [GATEWAY_MAC, *uplink_macs]}
+    base = rng.randrange(1 << 20) << 20
+    for host in range(host_count):
+        table[f"host{host}"] = [0x02_00_00_00_00_00 + base + host]
+    return build_switch(name, table, input_ports=["in-host", "in-uplink"])
+
+
+def _prefix_filter(name: str, prefix: str, out_port: str = "out0") -> NetworkElement:
+    """Forward only packets whose destination lies inside ``prefix``."""
+    address, plen = parse_prefix(prefix)
+    interval = prefix_to_interval(address, plen)
+    element = NetworkElement(name, ["in0"], [out_port], kind="prefix-filter")
+    element.set_input_program(
+        "in0",
+        InstructionBlock(
+            Constrain(OneOf(IpDst, IntervalSet([(interval.lo, interval.hi)]))),
+            Forward(out_port),
+        ),
+    )
+    return element
+
+
+def _m1_fib(extra_routes: int) -> List[FibEntry]:
+    """The department router's routing table, including the management-VLAN
+    route that leaks private addresses (the paper's security finding)."""
+
+    def prefix(text: str) -> Tuple[int, int]:
+        address, plen = parse_prefix(text)
+        return address, plen
+
+    office_addr, office_len = prefix(OFFICE_PREFIX)
+    lab_addr, lab_len = prefix(LAB_PREFIX)
+    cluster_addr, cluster_len = prefix(CLUSTER_PREFIX)
+    mgmt_addr, mgmt_len = prefix(MANAGEMENT_PREFIX)
+    fib: List[FibEntry] = [
+        (office_addr, office_len, "to-inside"),
+        (lab_addr, lab_len, "to-inside"),
+        (cluster_addr, cluster_len, "to-inside"),
+        # The management VLAN should not be routable at all, but a static
+        # route makes it reachable through M2 — the security hole of §8.5.
+        (mgmt_addr, mgmt_len, "to-mgmt"),
+        (0, 0, "to-internet"),
+    ]
+    extra_base = ip_to_number("10.44.0.0")
+    for index in range(max(0, extra_routes - len(fib))):
+        fib.append((extra_base + (index << 8), 24, "to-inside"))
+    return fib
+
+
+def build_department_network(
+    access_switches: int = 15,
+    hosts_per_switch: int = 8,
+    mac_entries: int = 6000,
+    extra_routes: int = 400,
+    seed: int = 23,
+) -> DepartmentNetwork:
+    """Build the department network at the requested scale."""
+    rng = random.Random(seed)
+    network = Network("cs-department")
+
+    # --- core devices ---------------------------------------------------------
+    core_table = generate_mac_table(mac_entries, ports=20, seed=seed)
+    aggregation = build_switch(
+        "aggregation",
+        {
+            "to-m2": [GATEWAY_MAC, SWITCH_MGMT_MAC, *core_table["out0"]],
+            **{
+                f"to-access{i}": core_table[f"out{1 + (i % 19)}"]
+                for i in range(access_switches)
+            },
+        },
+        input_ports=["in-access", "in-m2"],
+    )
+    network.add_element(aggregation)
+
+    m2_table = {
+        "to-asa": [GATEWAY_MAC, *core_table["out1"]],
+        "to-aggregation": core_table["out3"],
+        "to-cluster": core_table["out4"],
+        "to-mgmt": [SWITCH_MGMT_MAC, *core_table["out5"]],
+    }
+    m2 = build_switch(
+        "m2",
+        m2_table,
+        input_ports=["in-aggregation", "in-asa", "in-cluster"],
+    )
+    network.add_element(m2)
+
+    # The department router (M1) sits between the ASA's outside interface and
+    # the Internet.
+    m1_routes = _m1_fib(extra_routes)
+    m1 = build_router("m1", m1_routes, input_ports=["in-asa", "in-internet"])
+    network.add_element(m1)
+
+    # The ASA pipeline (first IP hop for office / lab traffic).
+    asa_config = AsaConfig(
+        public_address="141.85.37.1",
+        inbound_rules=[
+            AclRule(action="allow", proto=6, dst="141.85.37.1/32", dst_port=443),
+        ],
+    )
+    asa = build_asa(network, "asa", asa_config)
+
+    # Cluster switch with the management "hole" server.
+    cluster_table = {
+        "to-hole": [HOLE_SERVER_MAC],
+        "to-nodes": core_table["out6"],
+        "to-m2": [GATEWAY_MAC, SWITCH_MGMT_MAC, *core_table["out7"]],
+    }
+    cluster = build_switch(
+        "cluster", cluster_table, input_ports=["in-node", "in-m2"]
+    )
+    network.add_element(cluster)
+
+    # Switch management interfaces live on the management VLAN; reaching this
+    # element means reaching the switches' telnet/ssh management plane.
+    management = NetworkElement(
+        "switch-management", ["in0"], ["reached"], kind="management-plane"
+    )
+    management.set_input_program("in0", Forward("reached"))
+    network.add_element(management)
+    mgmt_filter = _prefix_filter("mgmt-vlan-filter", MANAGEMENT_PREFIX)
+    network.add_element(mgmt_filter)
+    network.add_link(("mgmt-vlan-filter", "out0"), ("switch-management", "in0"))
+
+    # Access switches.
+    first_office = None
+    first_lab = None
+    for index in range(access_switches):
+        kind_is_office = index % 2 == 0
+        name = f"{'office' if kind_is_office else 'lab'}-sw{index}"
+        switch = _access_switch(
+            name, core_table[f"out{8 + (index % 11)}"], hosts_per_switch, rng
+        )
+        network.add_element(switch)
+        network.add_link((name, "uplink"), ("aggregation", "in-access"))
+        network.add_link(("aggregation", f"to-access{index}"), (name, "in-uplink"))
+        if kind_is_office and first_office is None:
+            first_office = name
+        if not kind_is_office and first_lab is None:
+            first_lab = name
+
+    # --- wiring ----------------------------------------------------------------
+    # L2 core.
+    network.add_link(("aggregation", "to-m2"), ("m2", "in-aggregation"))
+    network.add_link(("m2", "to-aggregation"), ("aggregation", "in-m2"))
+    network.add_link(("m2", "to-cluster"), ("cluster", "in-m2"))
+    network.add_link(("cluster", "to-m2"), ("m2", "in-cluster"))
+    # Management plane hangs off M2 (its own VLAN).
+    network.add_link(("m2", "to-mgmt"), ("mgmt-vlan-filter", "in0"))
+
+    # ASA between the L2 core (inside) and M1 (outside).
+    network.add_link(("m2", "to-asa"), asa.inside_entry)
+    network.add_link(asa.inside_exit, ("m2", "in-asa"))
+    network.add_link(asa.outside_exit, ("m1", "in-asa"))
+    network.add_link(("m1", "to-inside"), asa.outside_entry)
+    # The leaked management route bypasses the ASA entirely.
+    network.add_link(("m1", "to-mgmt"), ("mgmt-vlan-filter", "in0"))
+
+    return DepartmentNetwork(
+        network=network,
+        asa=asa,
+        office_entry=(first_office or "office-sw0", "in-host"),
+        lab_entry=(first_lab or "lab-sw1", "in-host"),
+        cluster_entry=("cluster", "in-node"),
+        internet_entry=("m1", "in-internet"),
+        internet_exit=("m1", "to-internet"),
+        management_exit=("switch-management", "reached"),
+        mac_entries=mac_entries,
+        route_entries=len(m1_routes),
+    )

@@ -1,0 +1,227 @@
+"""The Split-TCP enterprise deployment of §8.4 (Figure 10).
+
+Topology (side-band mode)::
+
+    Client C ── AP ── R1 (redirection router) ══ Split-TCP proxy P
+                          │
+                          └── exit router R2 ── Internet
+
+R1 redirects traffic *in both directions* to the proxy by rewriting the
+destination MAC address; after the proxy hands a packet back, R1 forwards it
+on towards the Internet (client→server direction) or towards the client
+(server→client direction).  The builder exposes switches reproducing the
+four operational issues the paper verified:
+
+* ``with_tunnel`` — IP-in-IP encapsulation on the R1→P leg, which shrinks
+  the usable client MTU (the black-holing bug);
+* ``use_vlan`` / ``vlan_bug`` — the proxy strips the 802.1Q tag and (with
+  the bug enabled) forgets to restore it, so R1 drops the returning frames;
+* ``dhcp_check`` — R2 validates the (EtherSrc, IpSrc) pair against the DHCP
+  lease recorded by the client; the proxy rewriting the source MAC then
+  breaks all connectivity;
+* ``mirror_at_exit`` — bounce traffic back at R2 with an IPMirror to check
+  that the reverse path also crosses the proxy (asymmetric-routing check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.click.elements import build_vlan_decap, build_vlan_encap
+from repro.models.mirror import build_ip_mirror
+from repro.models.tunnel import build_decapsulator, build_encapsulator, build_mtu_filter
+from repro.network.element import NetworkElement
+from repro.network.topology import Network
+from repro.sefl.expressions import Eq
+from repro.sefl.fields import ETHERTYPE_IP, ETHERTYPE_VLAN, EtherDst, EtherSrc, EtherType, IpSrc
+from repro.sefl.instructions import Assign, Constrain, Forward, InstructionBlock
+from repro.sefl.util import mac_to_number
+
+CLIENT_MAC = "02:00:00:00:00:01"
+PROXY_MAC = "02:00:00:00:00:99"
+R2_MAC = "02:00:00:00:00:20"
+
+TUNNEL_R1_ADDRESS = "10.10.0.1"
+TUNNEL_P_ADDRESS = "10.10.0.2"
+
+
+@dataclass
+class SplitTcpWorkload:
+    """The generated deployment plus the interesting attachment points."""
+
+    network: Network
+    client_entry: Tuple[str, str]
+    internet_exit: Tuple[str, str]
+    client_return: Tuple[str, str]
+    mirrored: bool
+    options: Dict[str, bool]
+
+
+def _simple_forwarder(name: str, kind: str) -> NetworkElement:
+    element = NetworkElement(name, ["in0"], ["out0"], kind=kind)
+    element.set_input_program("in0", Forward("out0"))
+    return element
+
+
+def _redirection_router(name: str, vlan_expected: bool) -> NetworkElement:
+    """R1: redirect both directions to the proxy via MAC rewriting, then
+    forward proxied packets towards the exit router or the client."""
+    expected_type = ETHERTYPE_VLAN if vlan_expected else ETHERTYPE_IP
+    element = NetworkElement(
+        name,
+        input_ports=["in-client", "in-exit", "in-proxy-fwd", "in-proxy-rev"],
+        output_ports=["to-proxy-fwd", "to-proxy-rev", "to-exit", "to-client"],
+        kind="router",
+    )
+    element.set_input_program(
+        "in-client",
+        InstructionBlock(
+            Constrain(Eq(EtherType, expected_type)),
+            Assign(EtherDst, mac_to_number(PROXY_MAC)),
+            Forward("to-proxy-fwd"),
+        ),
+    )
+    element.set_input_program(
+        "in-proxy-fwd",
+        InstructionBlock(
+            Constrain(Eq(EtherType, expected_type)),
+            Assign(EtherDst, mac_to_number(R2_MAC)),
+            Forward("to-exit"),
+        ),
+    )
+    element.set_input_program(
+        "in-exit",
+        InstructionBlock(
+            Assign(EtherDst, mac_to_number(PROXY_MAC)),
+            Forward("to-proxy-rev"),
+        ),
+    )
+    element.set_input_program(
+        "in-proxy-rev",
+        InstructionBlock(
+            Assign(EtherDst, mac_to_number(CLIENT_MAC)),
+            Forward("to-client"),
+        ),
+    )
+    return element
+
+
+def _proxy(name: str, rewrites_src_mac: bool) -> NetworkElement:
+    """The Split-TCP proxy data path (forward direction on ports 0, reverse
+    direction on ports 1)."""
+    element = NetworkElement(
+        name, ["in0", "in1"], ["out0", "out1"], kind="split-tcp-proxy"
+    )
+    for index in (0, 1):
+        instructions = []
+        if rewrites_src_mac:
+            instructions.append(Assign(EtherSrc, mac_to_number(PROXY_MAC)))
+        instructions.append(Forward(f"out{index}"))
+        element.set_input_program(f"in{index}", InstructionBlock(*instructions))
+    return element
+
+
+def _dhcp_security_appliance(name: str) -> NetworkElement:
+    """R2's lease check: the Ethernet/IP source pair must match the DHCP
+    assignment recorded by the client in the ``origEther`` / ``origIP``
+    metadata (§8.4, "Security Appliance")."""
+    element = NetworkElement(name, ["in0"], ["out0"], kind="dhcp-check")
+    element.set_input_program(
+        "in0",
+        InstructionBlock(
+            Constrain(Eq(IpSrc, "origIP")),
+            Constrain(Eq(EtherSrc, "origEther")),
+            Forward("out0"),
+        ),
+    )
+    return element
+
+
+def build_split_tcp_network(
+    with_tunnel: bool = False,
+    use_vlan: bool = False,
+    vlan_bug: bool = False,
+    dhcp_check: bool = False,
+    proxy_rewrites_src_mac: bool = True,
+    mirror_at_exit: bool = False,
+    mtu_bytes: int = 1536,
+) -> SplitTcpWorkload:
+    """Assemble the deployment with the requested trouble switches enabled."""
+    network = Network("split-tcp")
+
+    ap = _simple_forwarder("AP", "access-point")
+    mtu = build_mtu_filter("R1-mtu", mtu_bytes)
+    r1 = _redirection_router("R1", vlan_expected=use_vlan)
+    proxy = _proxy("P", proxy_rewrites_src_mac)
+    r2 = _simple_forwarder("R2", "exit-router")
+    network.add_elements(ap, mtu, r1, proxy, r2)
+
+    # Client side: AP feeds R1 through the MTU-limited link.
+    network.add_link(("AP", "out0"), ("R1-mtu", "in0"))
+    network.add_link(("R1-mtu", "out0"), ("R1", "in-client"))
+
+    # Forward leg R1 -> proxy, optionally through an IP-in-IP tunnel and/or
+    # VLAN decapsulation at the proxy.
+    forward_entry = ("P", "in0")
+    forward_exit = ("P", "out0")
+    if use_vlan:
+        decap = build_vlan_decap("P-vlan-decap", buggy=False)
+        network.add_element(decap)
+        network.add_link(("P-vlan-decap", "out0"), ("P", "in0"))
+        forward_entry = ("P-vlan-decap", "in0")
+        if not vlan_bug:
+            encap = build_vlan_encap("P-vlan-encap", vlan_id=100)
+            network.add_element(encap)
+            network.add_link(("P", "out0"), ("P-vlan-encap", "in0"))
+            forward_exit = ("P-vlan-encap", "out0")
+    if with_tunnel:
+        ip_encap = build_encapsulator("R1-encap", TUNNEL_R1_ADDRESS, TUNNEL_P_ADDRESS)
+        ip_decap = build_decapsulator("P-decap")
+        # R1 applies its link MTU to the packets it actually transmits, i.e.
+        # *after* encapsulation — this is what silently shrinks the usable
+        # client MTU (§8.4, "MTU issues").
+        tunnel_mtu = build_mtu_filter("R1-tunnel-mtu", mtu_bytes)
+        network.add_elements(ip_encap, ip_decap, tunnel_mtu)
+        network.add_link(("R1", "to-proxy-fwd"), ("R1-encap", "in0"))
+        network.add_link(("R1-encap", "out0"), ("R1-tunnel-mtu", "in0"))
+        network.add_link(("R1-tunnel-mtu", "out0"), ("P-decap", "in0"))
+        network.add_link(("P-decap", "out0"), forward_entry)
+    else:
+        network.add_link(("R1", "to-proxy-fwd"), forward_entry)
+    network.add_link(forward_exit, ("R1", "in-proxy-fwd"))
+
+    # Reverse leg R1 -> proxy -> R1 (no tunnel / VLAN complications needed
+    # for the studied scenarios).
+    network.add_link(("R1", "to-proxy-rev"), ("P", "in1"))
+    network.add_link(("P", "out1"), ("R1", "in-proxy-rev"))
+
+    # R1 -> exit router -> (optional DHCP lease check) -> Internet.
+    if dhcp_check:
+        checker = _dhcp_security_appliance("R2-dhcp-check")
+        network.add_element(checker)
+        network.add_link(("R1", "to-exit"), ("R2-dhcp-check", "in0"))
+        network.add_link(("R2-dhcp-check", "out0"), ("R2", "in0"))
+    else:
+        network.add_link(("R1", "to-exit"), ("R2", "in0"))
+
+    if mirror_at_exit:
+        mirror = build_ip_mirror("R2-mirror")
+        network.add_element(mirror)
+        network.add_link(("R2", "out0"), ("R2-mirror", "in0"))
+        network.add_link(("R2-mirror", "out0"), ("R1", "in-exit"))
+
+    return SplitTcpWorkload(
+        network=network,
+        client_entry=("AP", "in0"),
+        internet_exit=("R2", "out0"),
+        client_return=("R1", "to-client"),
+        mirrored=mirror_at_exit,
+        options={
+            "with_tunnel": with_tunnel,
+            "use_vlan": use_vlan,
+            "vlan_bug": vlan_bug,
+            "dhcp_check": dhcp_check,
+            "proxy_rewrites_src_mac": proxy_rewrites_src_mac,
+        },
+    )

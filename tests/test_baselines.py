@@ -1,0 +1,210 @@
+"""Tests for the evaluation baselines: Header Space Analysis and the
+Klee-style byte-level symbolic executor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.hsa import (
+    HeaderSpace,
+    HsaNetwork,
+    TransferFunction,
+    TransferRule,
+    WildcardExpr,
+)
+from repro.baselines.kleesim import KleeOptionsAnalysis
+from repro.models.tcp_options import (
+    ALLOW,
+    DROP,
+    OPTION_MSS,
+    OPTION_SACK_OK,
+    OPTION_TIMESTAMP,
+    OPTION_WSCALE,
+    OptionPolicy,
+)
+
+
+class TestWildcardExpr:
+    def test_all_wildcards_matches_everything(self):
+        expr = WildcardExpr.all_wildcards(8)
+        assert expr.intersect(WildcardExpr.exact(8, 0)) is not None
+        assert expr.intersect(WildcardExpr.exact(8, 255)) is not None
+
+    def test_exact_conflict(self):
+        a = WildcardExpr.exact(8, 5)
+        b = WildcardExpr.exact(8, 6)
+        assert a.intersect(b) is None
+        assert a.intersect(a) == a
+
+    def test_from_field(self):
+        expr = WildcardExpr.from_field(16, 8, 8, 0xAB)
+        assert expr.intersect(WildcardExpr.exact(16, 0xAB00)) is not None
+        assert expr.intersect(WildcardExpr.exact(16, 0xAB42)) is not None
+        assert expr.intersect(WildcardExpr.exact(16, 0xAC00)) is None
+
+    def test_from_prefix(self):
+        expr = WildcardExpr.from_prefix(32, 0, 32, 0x0A000000, 8)
+        assert expr.intersect(WildcardExpr.exact(32, 0x0A123456)) is not None
+        assert expr.intersect(WildcardExpr.exact(32, 0x0B000000)) is None
+
+    def test_rewrite(self):
+        expr = WildcardExpr.all_wildcards(8)
+        rewritten = expr.rewrite(0x0F, 0xA0)  # overwrite the high nibble with 0xA
+        assert rewritten.intersect(WildcardExpr.exact(8, 0xA3)) is not None
+        assert rewritten.intersect(WildcardExpr.exact(8, 0x53)) is None
+
+    def test_covers(self):
+        broad = WildcardExpr.from_prefix(32, 0, 32, 0x0A000000, 8)
+        narrow = WildcardExpr.from_prefix(32, 0, 32, 0x0A0A0000, 16)
+        assert broad.covers(narrow)
+        assert not narrow.covers(broad)
+
+    def test_string_rendering(self):
+        expr = WildcardExpr.from_field(4, 0, 2, 0b10)
+        assert str(expr) == "xx10"
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_intersection_matches_concrete_semantics(self, dc1, v1, dc2, v2):
+        a = WildcardExpr(8, dc1, v1)
+        b = WildcardExpr(8, dc2, v2)
+        joined = a.intersect(b)
+        concrete_both = [
+            value
+            for value in range(256)
+            if a.intersect(WildcardExpr.exact(8, value)) is not None
+            and b.intersect(WildcardExpr.exact(8, value)) is not None
+        ]
+        if joined is None:
+            assert concrete_both == []
+        else:
+            matches = [
+                value
+                for value in range(256)
+                if joined.intersect(WildcardExpr.exact(8, value)) is not None
+            ]
+            assert matches == concrete_both
+
+
+class TestHeaderSpaceAndTransferFunctions:
+    def test_header_space_intersection(self):
+        space = HeaderSpace.all_headers(8)
+        narrowed = space.intersect_expr(WildcardExpr.exact(8, 7))
+        assert not narrowed.is_empty()
+        assert narrowed.covers_exact(7)
+        assert not narrowed.covers_exact(8)
+
+    def test_transfer_rule_rewrite(self):
+        rule = TransferRule(
+            match=WildcardExpr.all_wildcards(8),
+            out_ports=("out0",),
+            rewrite_mask=0x0F,
+            rewrite_value=0xA0,
+        )
+        produced = rule.apply(HeaderSpace.all_headers(8))
+        assert produced is not None
+        assert produced.covers_exact(0xA5)
+        assert not produced.covers_exact(0x15)
+
+    def test_transfer_function_port_dispatch(self):
+        box = TransferFunction("fw", 8)
+        box.add_rule("in0", TransferRule(WildcardExpr.exact(8, 1), ("out0",)))
+        box.add_rule("*", TransferRule(WildcardExpr.exact(8, 2), ("out1",)))
+        outputs = box.apply("in0", HeaderSpace.all_headers(8))
+        assert {port for port, _ in outputs} == {"out0", "out1"}
+        outputs = box.apply("in9", HeaderSpace.all_headers(8))
+        assert {port for port, _ in outputs} == {"out1"}
+
+    def test_reachability_over_links(self):
+        network = HsaNetwork(8)
+        a = TransferFunction("a", 8)
+        a.add_rule("in0", TransferRule(WildcardExpr.from_field(8, 4, 4, 0xA), ("out0",)))
+        b = TransferFunction("b", 8)
+        b.add_rule("in0", TransferRule(WildcardExpr.all_wildcards(8), ("out0",)))
+        network.add_box(a)
+        network.add_box(b)
+        network.add_link(("a", "out0"), ("b", "in0"))
+        result = network.reachability("a", "in0")
+        assert result.reaches("b", "in0")
+        space = result.space_at("b", "out0")
+        assert space is not None and space.covers_exact(0xA5)
+        assert not space.covers_exact(0x15)
+
+    def test_reachability_terminates_on_loops(self):
+        network = HsaNetwork(4)
+        a = TransferFunction("a", 4)
+        a.add_rule("in0", TransferRule(WildcardExpr.all_wildcards(4), ("out0",)))
+        network.add_box(a)
+        network.add_link(("a", "out0"), ("a", "in0"))
+        result = network.reachability("a", "in0", max_hops=16)
+        assert result.reaches("a", "in0")
+
+    def test_hsa_cannot_express_per_packet_invariance(self):
+        """The §2 argument: pushing all headers through an identity transfer
+        function yields all headers again — the output space equals the input
+        space, but that tells us nothing about individual packets (SymNet's
+        symbolic values do; see the tunnel tests)."""
+        network = HsaNetwork(8)
+        identity = TransferFunction("t", 8)
+        identity.add_rule(
+            "in0", TransferRule(WildcardExpr.all_wildcards(8), ("out0",))
+        )
+        network.add_box(identity)
+        result = network.reachability("t", "in0")
+        out_space = result.space_at("t", "out0")
+        # The output admits *every* header: a rewriting box would produce the
+        # same answer, so invariance is not observable.
+        assert all(out_space.covers_exact(value) for value in range(256))
+
+
+class TestKleeSim:
+    def test_path_count_grows_superlinearly(self):
+        counts = [KleeOptionsAnalysis(length).run().path_count for length in (1, 2, 3, 4)]
+        assert counts[0] < counts[1] < counts[2] < counts[3]
+        # Super-linear growth: each extra byte multiplies the path count.
+        assert counts[3] >= 2 * counts[2]
+
+    def test_zero_length_options(self):
+        result = KleeOptionsAnalysis(0).run()
+        assert result.path_count == 1
+        assert result.paths[0].accepts
+
+    def test_length_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            KleeOptionsAnalysis(41)
+
+    def test_drop_verdict_paths_present(self):
+        policy = OptionPolicy(verdicts={OPTION_MSS: ALLOW, 19: DROP})
+        analysis = KleeOptionsAnalysis(3, policy=policy)
+        result = analysis.run()
+        assert any(not path.accepts for path in result.paths)
+
+    def test_budget_interrupts_exploration(self):
+        analysis = KleeOptionsAnalysis(6)
+        result = analysis.run(max_paths=5)
+        assert not result.finished
+        assert result.path_count >= 5
+
+    def test_time_budget_interrupts_exploration(self):
+        analysis = KleeOptionsAnalysis(8)
+        result = analysis.run(time_budget_seconds=0.0)
+        assert not result.finished
+
+    def test_option_allowed_queries(self):
+        analysis = KleeOptionsAnalysis(4)
+        result = analysis.run()
+        assert analysis.option_allowed(result, OPTION_MSS)
+        assert analysis.option_allowed(result, OPTION_WSCALE)
+
+    def test_small_length_cannot_see_long_option_combinations(self):
+        """The Table 4 phenomenon: with a short options field the analysis
+        cannot certify that three 4-byte options fit simultaneously."""
+        analysis = KleeOptionsAnalysis(4)
+        result = analysis.run()
+        assert not analysis.combination_allowed(
+            result, [OPTION_MSS, OPTION_SACK_OK, OPTION_WSCALE]
+        )
+
+    def test_solver_calls_recorded(self):
+        analysis = KleeOptionsAnalysis(2)
+        result = analysis.run()
+        assert result.solver_calls > 0

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface (the §7.1 directory workflow)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+MAC_SNAPSHOT = """
+Vlan    Mac Address       Type        Ports
+----    -----------       ----        -----
+ 302    0011.2233.4455    DYNAMIC     uplink
+ 302    0011.2233.4456    DYNAMIC     host0
+"""
+
+FIB_SNAPSHOT = """
+10.0.0.0/8      to-lan
+0.0.0.0/0       to-internet
+"""
+
+TOPOLOGY = """
+device sw switch sw.mac
+device r1 router r1.fib
+link sw:uplink -> r1:in0
+link r1:to-lan -> sw:in0
+"""
+
+
+@pytest.fixture()
+def network_dir(tmp_path):
+    (tmp_path / "topology.txt").write_text(TOPOLOGY)
+    (tmp_path / "sw.mac").write_text(MAC_SNAPSHOT)
+    (tmp_path / "r1.fib").write_text(FIB_SNAPSHOT)
+    return tmp_path
+
+
+class TestShow:
+    def test_show_lists_elements_and_links(self, network_dir, capsys):
+        assert main(["show", str(network_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "sw (switch)" in output
+        assert "r1 (router)" in output
+        assert "sw:uplink -> r1:in0" in output
+
+
+class TestReachability:
+    def test_json_report_on_stdout(self, network_dir, capsys):
+        assert main(["reachability", str(network_dir), "sw", "in0"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["injected_at"] == "sw:in0"
+        assert payload["path_count"] >= 1
+        assert all("status" in path for path in payload["paths"])
+
+    def test_report_written_to_file(self, network_dir, tmp_path, capsys):
+        target = tmp_path / "paths.json"
+        assert main(
+            ["reachability", str(network_dir), "sw", "in0", "-o", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert payload["path_count"] >= 1
+        assert "wrote" in capsys.readouterr().out
+
+    def test_field_overrides_steer_the_packet(self, network_dir, capsys):
+        # Pin the destination MAC to the uplink entry and the IP destination
+        # outside 10/8: the packet must exit at the router's Internet port.
+        assert main(
+            [
+                "reachability",
+                str(network_dir),
+                "sw",
+                "in0",
+                "--field",
+                "EtherDst=00:11:22:33:44:55",
+                "--field",
+                "IpDst=8.8.8.8",
+                "--no-failed-paths",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        delivered = [p for p in payload["paths"] if p["status"] == "delivered"]
+        assert delivered
+        assert all(p["last_port"] == "r1:to-internet" for p in delivered)
+
+    def test_packet_template_selection(self, network_dir, capsys):
+        assert main(
+            ["reachability", str(network_dir), "sw", "in0", "--packet", "udp"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["path_count"] >= 1
+
+    def test_unknown_field_rejected(self, network_dir):
+        with pytest.raises(SystemExit):
+            main(
+                ["reachability", str(network_dir), "sw", "in0", "--field", "Bogus=1"]
+            )
+
+    def test_malformed_field_rejected(self, network_dir):
+        with pytest.raises(SystemExit):
+            main(["reachability", str(network_dir), "sw", "in0", "--field", "IpDst"])

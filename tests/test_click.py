@@ -1,0 +1,295 @@
+"""Tests for the Click element models and the Click configuration parser."""
+
+import pytest
+
+from repro import ExecutionSettings, Network, SymbolicExecutor, models
+from repro.click import (
+    ClickParseError,
+    parse_click_config,
+)
+from repro.click.elements import (
+    BROADCAST_MAC,
+    build_check_ip_header,
+    build_dec_ip_ttl,
+    build_discard,
+    build_drop_broadcasts,
+    build_ether_encap,
+    build_ether_rewrite,
+    build_host_ether_filter,
+    build_ip_classifier,
+    build_ip_filter,
+    build_ip_mirror_element,
+    build_ip_rewriter,
+    build_queue,
+    build_strip_ether,
+    build_vlan_decap,
+    build_vlan_encap,
+)
+from repro.core import verification as V
+from repro.sefl import (
+    ETHER_HEADER_BITS,
+    EtherDst,
+    EtherType,
+    IpDst,
+    IpProto,
+    IpSrc,
+    IpTtl,
+    TcpDst,
+    ip_to_number,
+    mac_to_number,
+)
+from repro.sefl.fields import ETHERTYPE_IP, ETHERTYPE_VLAN, VlanId
+
+SETTINGS = ExecutionSettings(record_failed_paths=True)
+
+
+def run_element(element, packet, port="in0"):
+    network = Network()
+    network.add_element(element)
+    return SymbolicExecutor(network, settings=SETTINGS).inject(packet, element.name, port)
+
+
+class TestSimpleElements:
+    def test_queue_is_a_wire(self):
+        result = run_element(build_queue("q"), models.symbolic_tcp_packet())
+        assert result.reaching("q", "out0")
+
+    def test_discard_drops_everything(self):
+        result = run_element(build_discard("d"), models.symbolic_tcp_packet())
+        assert not result.delivered()
+
+    def test_drop_broadcasts(self):
+        broadcast = models.symbolic_tcp_packet({EtherDst: BROADCAST_MAC})
+        unicast = models.symbolic_tcp_packet({EtherDst: 0x1234})
+        assert not run_element(build_drop_broadcasts("b"), broadcast).delivered()
+        assert run_element(build_drop_broadcasts("b"), unicast).delivered()
+
+    def test_check_ip_header(self):
+        good = models.symbolic_tcp_packet({IpSrc: ip_to_number("10.0.0.1")})
+        bad_version = models.symbolic_tcp_packet({EtherType: 0x0806})
+        assert run_element(build_check_ip_header("c"), good).delivered()
+        assert not run_element(build_check_ip_header("c"), bad_version).delivered()
+
+    def test_host_ether_filter(self):
+        mac = mac_to_number("00:aa:00:aa:00:aa")
+        accepted = models.symbolic_tcp_packet({EtherDst: mac})
+        rejected = models.symbolic_tcp_packet({EtherDst: mac + 1})
+        element = build_host_ether_filter("h", "00:aa:00:aa:00:aa")
+        assert run_element(element, accepted).delivered()
+        assert not run_element(element, rejected).delivered()
+
+    def test_ether_rewrite(self):
+        element = build_ether_rewrite("rw", dst="02:00:00:00:00:99")
+        result = run_element(element, models.symbolic_tcp_packet())
+        path = result.delivered()[0]
+        assert V.field_concrete_value(path, EtherDst) == mac_to_number("02:00:00:00:00:99")
+
+
+class TestDecIpTtl:
+    def test_correct_model_decrements(self):
+        element = build_dec_ip_ttl("ttl")
+        result = run_element(element, models.symbolic_tcp_packet({IpTtl: 5}))
+        path = result.delivered()[0]
+        assert V.field_concrete_value(path, IpTtl) == 4
+
+    def test_correct_model_drops_expired(self):
+        element = build_dec_ip_ttl("ttl")
+        result = run_element(element, models.symbolic_tcp_packet({IpTtl: 0}))
+        assert not result.delivered()
+
+    def test_buggy_model_requires_ttl_two(self):
+        """The decrement-then-check ordering bug of §8.3: TTL 1 packets are
+        wrongly predicted to be dropped."""
+        element = build_dec_ip_ttl("ttl", buggy=True)
+        assert not run_element(element, models.symbolic_tcp_packet({IpTtl: 1})).delivered()
+        assert run_element(build_dec_ip_ttl("ttl"), models.symbolic_tcp_packet({IpTtl: 1})).delivered()
+
+
+class TestClassifiersAndFilters:
+    FILTERS = [
+        {"proto": 6, "dst_port": 80},
+        {"proto": 17},
+        {"dst": "10.0.0.0/8"},
+    ]
+
+    def test_classifier_routes_to_first_match(self):
+        element = build_ip_classifier("cls", self.FILTERS)
+        http = models.symbolic_tcp_packet({IpProto: 6, TcpDst: 80})
+        result = run_element(element, http)
+        assert [p.last_port.port for p in result.delivered()] == ["out0"]
+
+    def test_classifier_respects_rule_priority(self):
+        element = build_ip_classifier("cls", self.FILTERS)
+        # Matches both filter 0 (tcp/80) and filter 2 (10/8): must exit out0.
+        packet = models.symbolic_tcp_packet(
+            {IpProto: 6, TcpDst: 80, IpDst: ip_to_number("10.1.1.1")}
+        )
+        result = run_element(element, packet)
+        assert [p.last_port.port for p in result.delivered()] == ["out0"]
+
+    def test_classifier_drops_unmatched(self):
+        element = build_ip_classifier("cls", self.FILTERS)
+        packet = models.symbolic_tcp_packet(
+            {IpProto: 6, TcpDst: 22, IpDst: ip_to_number("192.168.0.1")}
+        )
+        assert not run_element(element, packet).delivered()
+
+    def test_classifier_symbolic_packet_has_one_path_per_feasible_output(self):
+        element = build_ip_classifier("cls", self.FILTERS)
+        result = run_element(element, models.symbolic_tcp_packet())
+        # The injected packet is TCP (IpProto pinned to 6), so the UDP filter
+        # can never match: exactly the two feasible outputs produce paths.
+        assert {p.last_port.port for p in result.delivered()} == {"out0", "out2"}
+        # With a symbolic protocol every output is reachable.
+        from repro.sefl import SymbolicValue
+
+        symbolic_proto = models.symbolic_tcp_packet({IpProto: SymbolicValue("proto", 8)})
+        result = run_element(element, symbolic_proto)
+        assert len(result.delivered()) == len(self.FILTERS)
+
+    def test_ip_filter_allow_and_deny(self):
+        element = build_ip_filter(
+            "f", [("deny", {"dst_port": 23}), ("allow", {"proto": 6})]
+        )
+        telnet = models.symbolic_tcp_packet({IpProto: 6, TcpDst: 23})
+        web = models.symbolic_tcp_packet({IpProto: 6, TcpDst: 80})
+        assert not run_element(element, telnet).delivered()
+        assert run_element(element, web).delivered()
+
+
+class TestEncapsulationElements:
+    def test_ether_encap_after_strip(self):
+        network = Network()
+        network.add_element(build_strip_ether("strip"))
+        network.add_element(build_ether_encap("encap", src="02:00:00:00:00:01", dst="02:00:00:00:00:02"))
+        network.add_link(("strip", "out0"), ("encap", "in0"))
+        result = SymbolicExecutor(network, settings=SETTINGS).inject(
+            models.symbolic_tcp_packet(), "strip", "in0"
+        )
+        path = result.reaching("encap", "out0")[0]
+        assert V.field_concrete_value(path, EtherDst) == mac_to_number("02:00:00:00:00:02")
+        assert V.field_invariant(path, IpDst)
+
+    def test_vlan_encap_sets_tpid_and_id(self):
+        element = build_vlan_encap("v", vlan_id=302)
+        result = run_element(element, models.symbolic_tcp_packet())
+        path = result.delivered()[0]
+        assert V.field_concrete_value(path, EtherType) == ETHERTYPE_VLAN
+        assert V.field_concrete_value(path, VlanId) == 302
+
+    def test_vlan_decap_restores_ethertype(self):
+        network = Network()
+        network.add_element(build_vlan_encap("enc", vlan_id=100))
+        network.add_element(build_vlan_decap("dec"))
+        network.add_link(("enc", "out0"), ("dec", "in0"))
+        result = SymbolicExecutor(network, settings=SETTINGS).inject(
+            models.symbolic_tcp_packet(), "enc", "in0"
+        )
+        path = result.reaching("dec", "out0")[0]
+        assert V.field_concrete_value(path, EtherType) == ETHERTYPE_IP
+
+    def test_vlan_decap_requires_vlan_tag(self):
+        result = run_element(build_vlan_decap("dec"), models.symbolic_tcp_packet())
+        assert not result.delivered()
+
+    def test_buggy_vlan_decap_leaves_wrong_ethertype(self):
+        network = Network()
+        network.add_element(build_vlan_encap("enc", vlan_id=100))
+        network.add_element(build_vlan_decap("dec", buggy=True))
+        network.add_link(("enc", "out0"), ("dec", "in0"))
+        result = SymbolicExecutor(network, settings=SETTINGS).inject(
+            models.symbolic_tcp_packet(), "enc", "in0"
+        )
+        path = result.reaching("dec", "out0")[0]
+        assert V.field_concrete_value(path, EtherType) == ETHERTYPE_VLAN
+
+
+class TestIpRewriterCycle:
+    """The Figure 9 experiment: a stateful firewall bounced through an
+    IPMirror loops when the endpoints may coincide."""
+
+    def build(self, constrain_distinct):
+        network = Network()
+        network.add_element(
+            build_ip_rewriter("rw", constrain_distinct_endpoints=constrain_distinct)
+        )
+        network.add_element(build_ip_mirror_element("mirror"))
+        network.add_link(("rw", "out0"), ("mirror", "in0"))
+        network.add_link(("mirror", "out0"), ("rw", "in1"))
+        return network
+
+    def test_unconstrained_model_loops(self):
+        network = self.build(constrain_distinct=False)
+        result = SymbolicExecutor(network, settings=SETTINGS).inject(
+            models.symbolic_tcp_packet(), "rw", "in0"
+        )
+        assert result.loops()
+
+    def test_fixed_model_does_not_loop(self):
+        network = self.build(constrain_distinct=True)
+        result = SymbolicExecutor(network, settings=SETTINGS).inject(
+            models.symbolic_tcp_packet(), "rw", "in0"
+        )
+        assert not result.loops()
+        assert result.reaching("rw", "out1")
+
+
+class TestClickParser:
+    CONFIG = """
+    // a tiny firewall pipeline
+    filter :: HostEtherFilter(00:aa:00:aa:00:aa);
+    ttl :: DecIPTTL;
+    cls :: IPClassifier(proto=6 dst_port=80, proto=17);
+    web :: Queue;
+    dns :: Discard;
+
+    filter -> ttl;
+    ttl -> cls;
+    cls [0] -> [0] web;
+    cls [1] -> [0] dns;
+    """
+
+    def test_parse_builds_all_elements(self):
+        network = parse_click_config(self.CONFIG)
+        assert {e.name for e in network} == {"filter", "ttl", "cls", "web", "dns"}
+        assert len(network.links) == 4
+
+    def test_parsed_network_executes(self):
+        network = parse_click_config(self.CONFIG)
+        packet = models.symbolic_tcp_packet(
+            {EtherDst: mac_to_number("00:aa:00:aa:00:aa"), IpProto: 6, TcpDst: 80, IpTtl: 9}
+        )
+        result = SymbolicExecutor(network, settings=SETTINGS).inject(packet, "filter", "in0")
+        assert result.reaching("web", "out0")
+
+    def test_comments_and_whitespace_ignored(self):
+        network = parse_click_config("/* block */ q :: Queue; // trailing\n")
+        assert network.has_element("q")
+
+    def test_unknown_element_class_rejected(self):
+        with pytest.raises(ClickParseError):
+            parse_click_config("x :: FluxCapacitor;")
+
+    def test_unknown_connection_target_rejected(self):
+        with pytest.raises(ClickParseError):
+            parse_click_config("a :: Queue; a -> ghost;")
+
+    def test_malformed_statement_rejected(self):
+        with pytest.raises(ClickParseError):
+            parse_click_config("this is not click;")
+
+    def test_bad_filter_clause_rejected(self):
+        with pytest.raises(ClickParseError):
+            parse_click_config("c :: IPClassifier(colour=blue);")
+
+    def test_ipfilter_rules(self):
+        network = parse_click_config(
+            'f :: IPFilter(deny dst_port=23, allow proto=6);'
+        )
+        packet = models.symbolic_tcp_packet({IpProto: 6, TcpDst: 23})
+        result = SymbolicExecutor(network, settings=SETTINGS).inject(packet, "f", "in0")
+        assert not result.delivered()
+
+    def test_hex_and_int_arguments(self):
+        network = parse_click_config("e :: EtherEncap(0x0800, 02:00:00:00:00:01, 02:00:00:00:00:02);")
+        assert network.has_element("e")

@@ -1,0 +1,231 @@
+"""Tests for the conformance-testing framework (§8.3): the model-vs-
+implementation loop must accept correct models and catch the paper's bugs."""
+
+import random
+
+import pytest
+
+from repro import Network, models
+from repro.click.elements import (
+    build_dec_ip_ttl,
+    build_host_ether_filter,
+    build_ip_classifier,
+    build_ip_mirror_element,
+)
+from repro.models.router import router_egress
+from repro.models.switch import switch_egress
+from repro.sefl import (
+    EtherDst,
+    EtherSrc,
+    EtherType,
+    IpDst,
+    IpLength,
+    IpProto,
+    IpSrc,
+    IpTtl,
+    IpVersion,
+    SymbolicValue,
+    TcpDst,
+    TcpSrc,
+)
+from repro.testing import (
+    ConcretePacket,
+    ConformanceTester,
+    ReferenceDataplane,
+    concrete_packet_from_path,
+    evaluate_term,
+    reference_dec_ip_ttl,
+    reference_host_ether_filter,
+    reference_ip_classifier,
+    reference_ip_mirror,
+    reference_router,
+    reference_switch,
+)
+from repro.solver.ast import Add, Const, Sub, Var
+
+FIELDS = [
+    EtherDst,
+    EtherSrc,
+    EtherType,
+    IpVersion,
+    IpSrc,
+    IpDst,
+    IpProto,
+    IpTtl,
+    IpLength,
+    TcpSrc,
+    TcpDst,
+]
+
+
+def make_tester(element, behaviour):
+    network = Network()
+    network.add_element(element)
+    dataplane = ReferenceDataplane(network)
+    dataplane.register(element.name, behaviour)
+    return ConformanceTester(network, dataplane, FIELDS)
+
+
+class TestTermEvaluation:
+    def test_evaluate_term(self):
+        model = {"a": 5}
+        a = Var("a", 8)
+        assert evaluate_term(Const(3), model) == 3
+        assert evaluate_term(a, model) == 5
+        assert evaluate_term(Add(a, Const(2)), model) == 7
+        assert evaluate_term(Sub(a, Const(2)), model) == 3
+        assert evaluate_term(Var("unbound", 8), model, default=9) == 9
+
+
+class TestPacketGeneration:
+    def test_concrete_packet_satisfies_path_constraints(self):
+        from repro import SymbolicExecutor
+        from repro.sefl import Constrain, Eq, Forward, InstructionBlock
+        from repro.network import NetworkElement
+
+        network = Network()
+        element = NetworkElement("box", ["in0"], ["out0"])
+        element.set_input_program(
+            "in0", InstructionBlock(Constrain(Eq(TcpDst, 8080)), Forward("out0"))
+        )
+        network.add_element(element)
+        result = SymbolicExecutor(network).inject(
+            models.symbolic_tcp_packet(), "box", "in0"
+        )
+        packet = concrete_packet_from_path(result.delivered()[0], FIELDS)
+        assert packet.fields["TcpDst"] == 8080
+        assert packet.fields["IpProto"] == 6
+
+
+class TestConformanceCatchesPaperBugs:
+    """Each of the §8.3 war stories: the fixed model passes, the buggy one is
+    caught."""
+
+    def test_ip_mirror(self):
+        fixed = make_tester(build_ip_mirror_element("m"), reference_ip_mirror())
+        assert fixed.test(models.symbolic_tcp_packet(), "m", random_trials=5).conformant
+
+        buggy = make_tester(build_ip_mirror_element("m", buggy=True), reference_ip_mirror())
+        report = buggy.test(models.symbolic_tcp_packet(), "m", random_trials=5)
+        assert not report.conformant
+        assert any(m.kind == "value-mismatch" for m in report.mismatches)
+
+    def test_dec_ip_ttl(self):
+        probes = [
+            ConcretePacket(fields={"IpTtl": 0, "EtherDst": 1, "EtherSrc": 2,
+                                   "IpSrc": 3, "IpDst": 4, "TcpSrc": 5, "TcpDst": 6,
+                                   "IpLength": 100}),
+            ConcretePacket(fields={"IpTtl": 1, "EtherDst": 1, "EtherSrc": 2,
+                                   "IpSrc": 3, "IpDst": 4, "TcpSrc": 5, "TcpDst": 6,
+                                   "IpLength": 100}),
+        ]
+        fixed = make_tester(build_dec_ip_ttl("d"), reference_dec_ip_ttl())
+        assert fixed.test(
+            models.symbolic_tcp_packet(), "d", random_trials=10, probe_packets=probes
+        ).conformant
+
+        buggy = make_tester(build_dec_ip_ttl("d", buggy=True), reference_dec_ip_ttl())
+        report = buggy.test(
+            models.symbolic_tcp_packet(), "d", random_trials=10, probe_packets=probes
+        )
+        assert not report.conformant
+
+    def test_host_ether_filter(self):
+        packet = models.symbolic_tcp_packet({EtherType: SymbolicValue("etype", 16)})
+        fixed = make_tester(
+            build_host_ether_filter("h", 0xAABB), reference_host_ether_filter(0xAABB)
+        )
+        assert fixed.test(packet, "h", random_trials=10).conformant
+
+        buggy = make_tester(
+            build_host_ether_filter("h", 0xAABB, buggy=True),
+            reference_host_ether_filter(0xAABB),
+        )
+        assert not buggy.test(packet, "h", random_trials=10).conformant
+
+    def test_ip_classifier(self):
+        filters = [{"proto": 6, "dst_port": 80}, {"proto": 6, "dst_port": 22}]
+        tester = make_tester(
+            build_ip_classifier("cls", filters), reference_ip_classifier(filters)
+        )
+        report = tester.test(models.symbolic_tcp_packet(), "cls", random_trials=10)
+        assert report.conformant
+        assert report.paths_tested == 2
+
+
+class TestConformanceOnForwardingModels:
+    def test_switch_model_conforms_to_lookup(self):
+        table = {"out0": [1, 2, 3], "out1": [7, 8]}
+        tester = make_tester(switch_egress("sw", table), reference_switch(table))
+        report = tester.test(models.symbolic_tcp_packet(), "sw", random_trials=10)
+        assert report.conformant
+        assert report.paths_tested == 2
+
+    def test_switch_model_with_wrong_table_is_caught(self):
+        table = {"out0": [1, 2, 3], "out1": [7, 8]}
+        wrong = {"out0": [1, 2, 3, 7], "out1": [8]}
+        tester = make_tester(switch_egress("sw", wrong), reference_switch(table))
+        # Probe the disputed MAC address explicitly (the tester's targeted
+        # packets, on top of the per-path and random ones).
+        probe = ConcretePacket(fields={"EtherDst": 7, "EtherSrc": 1, "IpSrc": 2,
+                                       "IpDst": 3, "TcpSrc": 4, "TcpDst": 5,
+                                       "IpTtl": 9, "IpLength": 100})
+        report = tester.test(
+            models.symbolic_tcp_packet(), "sw", random_trials=5, probe_packets=[probe]
+        )
+        assert not report.conformant
+
+    def test_router_model_conforms_to_lpm(self):
+        fib = [
+            (0x0A000000, 8, "if0"),
+            (0x0A0A0000, 16, "if1"),
+            (0, 0, "if2"),
+        ]
+        tester = make_tester(router_egress("r", fib), reference_router(fib))
+        report = tester.test(models.symbolic_ip_packet(), "r", random_trials=10)
+        assert report.conformant
+        assert report.paths_tested == 3
+
+
+class TestReferenceDataplane:
+    def test_unregistered_element_acts_as_wire(self):
+        from repro.network import NetworkElement
+
+        network = Network()
+        network.add_element(NetworkElement("wire", ["in0"], ["out0"]))
+        dataplane = ReferenceDataplane(network)
+        outputs = dataplane.inject(ConcretePacket(fields={"IpDst": 1}), "wire", "in0")
+        assert len(outputs) == 1
+        assert outputs[0].port == "out0"
+
+    def test_propagation_across_links(self):
+        table = {"out0": [5]}
+        network = Network()
+        network.add_element(switch_egress("sw", table))
+        network.add_element(build_ip_mirror_element("m"))
+        network.add_link(("sw", "out0"), ("m", "in0"))
+        dataplane = ReferenceDataplane(network)
+        dataplane.register("sw", reference_switch(table))
+        dataplane.register("m", reference_ip_mirror())
+        packet = ConcretePacket(fields={"EtherDst": 5, "IpSrc": 1, "IpDst": 2,
+                                        "TcpSrc": 3, "TcpDst": 4})
+        outputs = dataplane.inject(packet, "sw", "in0")
+        assert len(outputs) == 1
+        assert outputs[0].element == "m"
+        assert outputs[0].packet.fields["IpSrc"] == 2
+
+    def test_state_reset(self):
+        from repro.testing import reference_ip_rewriter
+
+        network = Network()
+        from repro.click.elements import build_ip_rewriter
+
+        network.add_element(build_ip_rewriter("rw"))
+        dataplane = ReferenceDataplane(network)
+        dataplane.register("rw", reference_ip_rewriter())
+        outgoing = ConcretePacket(fields={"IpSrc": 1, "IpDst": 2, "TcpSrc": 3, "TcpDst": 4})
+        returning = ConcretePacket(fields={"IpSrc": 2, "IpDst": 1, "TcpSrc": 4, "TcpDst": 3})
+        dataplane.inject(outgoing, "rw", "in0")
+        assert dataplane.inject(returning, "rw", "in1")
+        dataplane.reset_state()
+        assert not dataplane.inject(returning, "rw", "in1")

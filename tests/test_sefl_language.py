@@ -1,0 +1,136 @@
+"""Tests for SEFL syntax: fields, tags, expressions and instructions."""
+
+import pytest
+
+from repro.sefl import (
+    Allocate,
+    Assign,
+    Constrain,
+    Eq,
+    EtherDst,
+    Fork,
+    Forward,
+    HeaderField,
+    InstructionBlock,
+    IpDst,
+    IpSrc,
+    NoOp,
+    OneOf,
+    Or,
+    Tag,
+    TcpDst,
+    TcpSrc,
+    standard_fields,
+)
+from repro.sefl.expressions import OneOf as OneOfExpr
+from repro.sefl.fields import (
+    ETHER_HEADER_BITS,
+    IP_HEADER_BITS,
+    TCP_HEADER_BITS,
+    TagOffset,
+    ethernet_fields,
+    ipv4_fields,
+    tcp_fields,
+    udp_fields,
+)
+from repro.solver.intervals import IntervalSet
+
+
+class TestTagsAndFields:
+    def test_tag_arithmetic(self):
+        address = Tag("L3") + 96
+        assert isinstance(address, TagOffset)
+        assert address.tag == "L3"
+        assert address.offset == 96
+        assert (address - 32).offset == 64
+
+    def test_ip_src_matches_paper_offset(self):
+        # The paper's example writes the IP source address as Tag("L3")+96.
+        assert IpSrc.tag == "L3"
+        assert IpSrc.offset == 96
+        assert IpSrc.width == 32
+
+    def test_ip_dst_offset(self):
+        assert IpDst.offset == 128
+
+    def test_header_sizes_match_layouts(self):
+        assert ETHER_HEADER_BITS == 112
+        assert IP_HEADER_BITS == 160
+        assert TCP_HEADER_BITS == 160
+
+    def test_ethernet_fields_cover_header(self):
+        assert sum(f.width for f in ethernet_fields()) == ETHER_HEADER_BITS
+
+    def test_ipv4_fields_cover_header(self):
+        assert sum(f.width for f in ipv4_fields()) == IP_HEADER_BITS
+
+    def test_tcp_fields_cover_header(self):
+        assert sum(f.width for f in tcp_fields()) == TCP_HEADER_BITS
+
+    def test_udp_fields(self):
+        assert sum(f.width for f in udp_fields()) == 64
+
+    def test_fields_do_not_overlap_within_layer(self):
+        for fields in (ethernet_fields(), ipv4_fields(), tcp_fields(), udp_fields()):
+            spans = sorted((f.offset, f.offset + f.width) for f in fields)
+            for (start_a, end_a), (start_b, _) in zip(spans, spans[1:]):
+                assert end_a <= start_b
+
+    def test_standard_fields_registry(self):
+        registry = standard_fields()
+        assert registry["IpDst"] is IpDst
+        assert registry["TcpSrc"] is TcpSrc
+        assert all(isinstance(f, HeaderField) for f in registry.values())
+
+    def test_field_repr_uses_name(self):
+        assert repr(IpDst) == "IpDst"
+        assert 'Tag("L3")' in repr(Tag("L3") + 8)
+
+
+class TestExpressions:
+    def test_oneof_coerces_points(self):
+        cond = OneOfExpr(EtherDst, [1, 2, 3])
+        assert isinstance(cond.values, IntervalSet)
+        assert cond.values.size() == 3
+
+    def test_oneof_coerces_ranges(self):
+        cond = OneOfExpr(TcpDst, [(1000, 2000)])
+        assert cond.values.size() == 1001
+
+    def test_oneof_accepts_interval_set(self):
+        values = IntervalSet.points([7])
+        assert OneOfExpr(TcpDst, values).values is values
+
+    def test_or_and_flattening_not_applied(self):
+        cond = Or(Eq(TcpDst, 80), Eq(TcpDst, 443))
+        assert len(cond.operands) == 2
+
+
+class TestInstructions:
+    def test_instruction_block_flattens_nested_lists(self):
+        block = InstructionBlock(NoOp(), [NoOp(), NoOp()])
+        assert len(block) == 3
+
+    def test_instruction_block_iterates(self):
+        block = InstructionBlock(NoOp(), Forward("out0"))
+        kinds = [type(i).__name__ for i in block]
+        assert kinds == ["NoOp", "Forward"]
+
+    def test_fork_collects_ports(self):
+        fork = Fork("out0", "out1", "out2")
+        assert fork.ports == ("out0", "out1", "out2")
+
+    def test_allocate_defaults(self):
+        alloc = Allocate("meta")
+        assert alloc.size is None
+        assert alloc.visibility == "global"
+
+    def test_constrain_wraps_condition(self):
+        instr = Constrain(Eq(TcpDst, 80))
+        assert isinstance(instr.condition, Eq)
+
+    def test_instructions_are_hashable_syntax(self):
+        # Frozen dataclasses: models can be deduplicated / compared.
+        assert Assign(TcpSrc, 5) == Assign(TcpSrc, 5)
+        assert Forward("out0") == Forward("out0")
+        assert Forward("out0") != Forward("out1")

@@ -1,0 +1,83 @@
+"""Tests for IP/MAC literal helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sefl.util import (
+    ip_to_number,
+    mac_to_number,
+    number_to_ip,
+    number_to_mac,
+    parse_prefix,
+)
+
+
+class TestIpConversion:
+    def test_known_addresses(self):
+        assert ip_to_number("0.0.0.0") == 0
+        assert ip_to_number("255.255.255.255") == (1 << 32) - 1
+        assert ip_to_number("192.168.1.1") == 0xC0A80101
+        assert ip_to_number("10.0.0.1") == 0x0A000001
+
+    def test_roundtrip_known(self):
+        assert number_to_ip(0xC0A80101) == "192.168.1.1"
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "1.2.3.256", "a.b.c.d", ""])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            ip_to_number(bad)
+
+    def test_number_out_of_range(self):
+        with pytest.raises(ValueError):
+            number_to_ip(1 << 32)
+        with pytest.raises(ValueError):
+            number_to_ip(-1)
+
+    @given(st.integers(0, (1 << 32) - 1))
+    def test_roundtrip_property(self, value):
+        assert ip_to_number(number_to_ip(value)) == value
+
+
+class TestMacConversion:
+    def test_colon_notation(self):
+        assert mac_to_number("00:aa:00:aa:00:aa") == 0x00AA00AA00AA
+
+    def test_cisco_dot_notation(self):
+        assert mac_to_number("0011.2233.4455") == 0x001122334455
+
+    def test_dash_notation(self):
+        assert mac_to_number("00-11-22-33-44-55") == 0x001122334455
+
+    def test_uppercase(self):
+        assert mac_to_number("AA:BB:CC:DD:EE:FF") == 0xAABBCCDDEEFF
+
+    @pytest.mark.parametrize("bad", ["00:11:22:33:44", "0011.2233", "zz:zz:zz:zz:zz:zz"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            mac_to_number(bad)
+
+    def test_number_out_of_range(self):
+        with pytest.raises(ValueError):
+            number_to_mac(1 << 48)
+
+    @given(st.integers(0, (1 << 48) - 1))
+    def test_roundtrip_property(self, value):
+        assert mac_to_number(number_to_mac(value)) == value
+
+
+class TestParsePrefix:
+    def test_with_length(self):
+        address, plen = parse_prefix("10.0.0.0/8")
+        assert address == 0x0A000000
+        assert plen == 8
+
+    def test_without_length_is_host_route(self):
+        address, plen = parse_prefix("192.168.0.1")
+        assert plen == 32
+
+    def test_default_route(self):
+        assert parse_prefix("0.0.0.0/0") == (0, 0)
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            parse_prefix("10.0.0.0/33")

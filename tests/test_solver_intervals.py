@@ -1,0 +1,253 @@
+"""Tests for interval sets, the solver's domain representation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver.intervals import (
+    Interval,
+    IntervalSet,
+    intervals_from_prefixes,
+    prefix_to_interval,
+)
+
+
+# ---------------------------------------------------------------------------
+# Interval basics
+# ---------------------------------------------------------------------------
+
+
+class TestInterval:
+    def test_contains(self):
+        interval = Interval(3, 7)
+        assert 3 in interval
+        assert 7 in interval
+        assert 5 in interval
+        assert 2 not in interval
+        assert 8 not in interval
+
+    def test_len(self):
+        assert len(Interval(0, 0)) == 1
+        assert len(Interval(2, 9)) == 8
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 2).intersection(Interval(3, 9)) is None
+
+    def test_intersects(self):
+        assert Interval(0, 5).intersects(Interval(5, 9))
+        assert not Interval(0, 4).intersects(Interval(5, 9))
+
+
+# ---------------------------------------------------------------------------
+# IntervalSet construction and queries
+# ---------------------------------------------------------------------------
+
+
+class TestIntervalSetConstruction:
+    def test_empty(self):
+        assert IntervalSet.empty().is_empty()
+        assert not IntervalSet.empty()
+        assert IntervalSet.empty().size() == 0
+
+    def test_full(self):
+        full = IntervalSet.full(8)
+        assert full.size() == 256
+        assert full.min() == 0
+        assert full.max() == 255
+
+    def test_point_and_points(self):
+        assert IntervalSet.point(7).size() == 1
+        pts = IntervalSet.points([1, 3, 5])
+        assert pts.size() == 3
+        assert 3 in pts
+        assert 4 not in pts
+
+    def test_adjacent_points_merge(self):
+        merged = IntervalSet.points([1, 2, 3])
+        assert len(merged.intervals) == 1
+        assert merged.intervals[0] == Interval(1, 3)
+
+    def test_overlapping_ranges_merge(self):
+        merged = IntervalSet([(0, 5), (3, 9), (20, 30)])
+        assert len(merged.intervals) == 2
+        assert merged.size() == 21
+
+    def test_range_empty_when_inverted(self):
+        assert IntervalSet.range(5, 2).is_empty()
+
+    def test_at_most_at_least(self):
+        assert IntervalSet.at_most(-1).is_empty()
+        assert IntervalSet.at_most(3).size() == 4
+        assert IntervalSet.at_least(250, 8).size() == 6
+        assert IntervalSet.at_least(300, 8).is_empty()
+
+    def test_singleton(self):
+        single = IntervalSet.point(9)
+        assert single.is_singleton()
+        assert single.singleton_value() == 9
+        assert not IntervalSet.points([1, 2]).is_singleton()
+        with pytest.raises(ValueError):
+            IntervalSet.points([1, 5]).singleton_value()
+
+    def test_min_max_on_empty_raise(self):
+        with pytest.raises(ValueError):
+            IntervalSet.empty().min()
+        with pytest.raises(ValueError):
+            IntervalSet.empty().max()
+
+    def test_iter_values_with_limit(self):
+        values = list(IntervalSet([(0, 100)]).iter_values(limit=5))
+        assert values == [0, 1, 2, 3, 4]
+
+
+class TestIntervalSetAlgebra:
+    def test_intersection(self):
+        a = IntervalSet([(0, 10), (20, 30)])
+        b = IntervalSet([(5, 25)])
+        result = a.intersection(b)
+        assert result == IntervalSet([(5, 10), (20, 25)])
+
+    def test_union(self):
+        a = IntervalSet([(0, 5)])
+        b = IntervalSet([(10, 15)])
+        assert a.union(b).size() == 12
+
+    def test_complement(self):
+        a = IntervalSet([(1, 2), (5, 6)])
+        comp = a.complement(3)
+        assert comp == IntervalSet([(0, 0), (3, 4), (7, 7)])
+
+    def test_complement_of_empty_is_full(self):
+        assert IntervalSet.empty().complement(4) == IntervalSet.full(4)
+
+    def test_difference(self):
+        a = IntervalSet([(0, 10)])
+        b = IntervalSet([(3, 5)])
+        diff = a.difference(b)
+        assert diff == IntervalSet([(0, 2), (6, 10)])
+
+    def test_remove_point(self):
+        a = IntervalSet([(0, 3)])
+        assert a.remove_point(2) == IntervalSet([(0, 1), (3, 3)])
+        assert a.remove_point(99) == a
+
+    def test_shift_positive_and_negative(self):
+        a = IntervalSet([(5, 10)])
+        assert a.shift(3) == IntervalSet([(8, 13)])
+        assert a.shift(-5) == IntervalSet([(0, 5)])
+
+    def test_shift_drops_fully_negative_intervals(self):
+        a = IntervalSet([(0, 3)])
+        assert a.shift(-10).is_empty()
+
+    def test_shift_clamps_to_width(self):
+        a = IntervalSet([(250, 255)])
+        shifted = a.shift(10, width=8)
+        assert shifted.is_empty() or shifted.max() <= 255
+
+    def test_covers(self):
+        big = IntervalSet([(0, 100)])
+        small = IntervalSet([(5, 10), (50, 60)])
+        assert big.covers(small)
+        assert not small.covers(big)
+
+
+# ---------------------------------------------------------------------------
+# Prefix helpers
+# ---------------------------------------------------------------------------
+
+
+class TestPrefixes:
+    def test_prefix_to_interval_basics(self):
+        interval = prefix_to_interval(0x0A000000, 8)
+        assert interval.lo == 0x0A000000
+        assert interval.hi == 0x0AFFFFFF
+
+    def test_host_route(self):
+        interval = prefix_to_interval(0xC0A80001, 32)
+        assert interval.lo == interval.hi == 0xC0A80001
+
+    def test_default_route_covers_everything(self):
+        interval = prefix_to_interval(0, 0)
+        assert interval.lo == 0
+        assert interval.hi == (1 << 32) - 1
+
+    def test_prefix_len_out_of_range(self):
+        with pytest.raises(ValueError):
+            prefix_to_interval(0, 33)
+
+    def test_intervals_from_prefixes(self):
+        merged = intervals_from_prefixes([(0x0A000000, 8), (0x0A000000, 16)])
+        assert merged.size() == 1 << 24
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests against a set-based reference
+# ---------------------------------------------------------------------------
+
+small_sets = st.lists(
+    st.tuples(st.integers(0, 40), st.integers(0, 40)), min_size=0, max_size=6
+)
+
+
+def as_python_set(pairs):
+    values = set()
+    for lo, hi in pairs:
+        if lo <= hi:
+            values.update(range(lo, hi + 1))
+    return values
+
+
+@settings(max_examples=150, deadline=None)
+@given(small_sets, small_sets)
+def test_intersection_matches_set_semantics(a_pairs, b_pairs):
+    a, b = IntervalSet(a_pairs), IntervalSet(b_pairs)
+    expected = as_python_set(a_pairs) & as_python_set(b_pairs)
+    result = a.intersection(b)
+    assert set(result.iter_values()) == expected
+    assert result.size() == len(expected)
+
+
+@settings(max_examples=150, deadline=None)
+@given(small_sets, small_sets)
+def test_union_matches_set_semantics(a_pairs, b_pairs):
+    a, b = IntervalSet(a_pairs), IntervalSet(b_pairs)
+    expected = as_python_set(a_pairs) | as_python_set(b_pairs)
+    assert set(a.union(b).iter_values()) == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(small_sets)
+def test_complement_matches_set_semantics(pairs):
+    width = 6
+    full = set(range(1 << width))
+    clipped = [(lo, min(hi, (1 << width) - 1)) for lo, hi in pairs if lo < (1 << width)]
+    a = IntervalSet(clipped)
+    expected = full - as_python_set(clipped)
+    assert set(a.complement(width).iter_values()) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(small_sets, st.integers(0, 40))
+def test_remove_point_matches_set_semantics(pairs, point):
+    a = IntervalSet(pairs)
+    expected = as_python_set(pairs) - {point}
+    assert set(a.remove_point(point).iter_values()) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(0, (1 << 32) - 1),
+    st.integers(0, 32),
+    st.integers(0, (1 << 32) - 1),
+)
+def test_prefix_interval_membership_matches_mask_semantics(address, plen, probe):
+    interval = prefix_to_interval(address, plen)
+    host_bits = 32 - plen
+    mask = ((1 << plen) - 1) << host_bits if plen else 0
+    expected = (probe & mask) == (address & mask)
+    assert (interval.lo <= probe <= interval.hi) == expected

@@ -1,0 +1,173 @@
+"""Tests for the verification queries of §6: reachability helpers, invariants,
+header visibility, subsumption and memory-safety reporting."""
+
+import pytest
+
+from repro import Network, NetworkElement, SymbolicExecutor, models
+from repro.core import verification as V
+from repro.sefl import (
+    Assign,
+    Constrain,
+    Eq,
+    Forward,
+    If,
+    InstructionBlock,
+    IpDst,
+    IpSrc,
+    Le,
+    SymbolicValue,
+    TcpDst,
+    TcpPayload,
+    ip_to_number,
+)
+from repro.solver.ast import Const, Eq as SEq, Ne as SNe, Var
+from repro.solver.solver import Solver
+
+
+def run_single(program, packet=None):
+    network = Network()
+    element = NetworkElement("box", ["in0"], ["out0", "out1"])
+    element.set_input_program("in0", program)
+    network.add_element(element)
+    executor = SymbolicExecutor(network)
+    return executor.inject(packet or models.symbolic_tcp_packet(), "box", "in0")
+
+
+class TestReachability:
+    def test_reachable_paths_and_helpers(self):
+        result = run_single(If(Eq(TcpDst, 80), Forward("out0"), Forward("out1")))
+        assert V.is_reachable(result, "box", "out0")
+        assert V.is_reachable(result, "box", "out1")
+        assert not V.is_reachable(result, "box", "out7")
+        assert len(V.reachable_paths(result, "box")) == 2
+
+    def test_admitted_values_reflect_constraints(self):
+        result = run_single(
+            InstructionBlock(Constrain(Eq(TcpDst, 8080)), Forward("out0"))
+        )
+        path = result.reaching("box", "out0")[0]
+        values = V.admitted_values(path, TcpDst, samples=3)
+        assert values == [8080]
+
+    def test_admitted_values_multiple_samples(self):
+        result = run_single(
+            InstructionBlock(Constrain(Le(TcpDst, 2)), Forward("out0"))
+        )
+        path = result.reaching("box", "out0")[0]
+        values = V.admitted_values(path, TcpDst, samples=5)
+        assert set(values) <= {0, 1, 2}
+        assert len(values) == 3
+
+
+class TestInvariantsAndVisibility:
+    def test_invariant_when_untouched(self):
+        result = run_single(Forward("out0"))
+        path = result.delivered()[0]
+        assert V.field_invariant(path, IpDst)
+
+    def test_not_invariant_after_rewrite(self):
+        result = run_single(
+            InstructionBlock(Assign(IpDst, ip_to_number("1.2.3.4")), Forward("out0"))
+        )
+        path = result.delivered()[0]
+        assert not V.field_invariant(path, IpDst)
+
+    def test_invariant_after_rewrite_back(self):
+        program = InstructionBlock(
+            Assign(IpDst, ip_to_number("1.2.3.4")),
+            Assign(IpDst, IpSrc),
+            Assign(IpSrc, IpDst),  # both now hold the original IpSrc symbol
+            Forward("out0"),
+        )
+        result = run_single(program)
+        path = result.delivered()[0]
+        assert V.values_equal(path, IpSrc, IpDst)
+
+    def test_invariant_forced_by_constraints(self):
+        # The field is overwritten with a fresh symbol, but a constraint pins
+        # the fresh symbol to the original value: semantically invariant.
+        program = InstructionBlock(
+            Assign("copy", SymbolicValue("copy", 16)),
+            Forward("out0"),
+        )
+        # Simpler: constrain TcpDst == 80 at entry and reassign to 80.
+        program = InstructionBlock(
+            Constrain(Eq(TcpDst, 80)),
+            Assign(TcpDst, 80),
+            Forward("out0"),
+        )
+        result = run_single(program)
+        path = result.delivered()[0]
+        assert V.field_invariant(path, TcpDst)
+
+    def test_header_visibility_distinguishes_masking(self):
+        result = run_single(
+            InstructionBlock(
+                Assign(TcpPayload, SymbolicValue("cipher", 32)), Forward("out0")
+            )
+        )
+        path = result.delivered()[0]
+        original = path.state.variable_history(TcpPayload)[0]
+        assert not V.header_visible(path, TcpPayload, original)
+
+    def test_header_visible_when_unchanged(self):
+        result = run_single(Forward("out0"))
+        path = result.delivered()[0]
+        original = path.state.variable_history(TcpDst)[0]
+        assert V.header_visible(path, TcpDst, original)
+
+    def test_field_concrete_value(self):
+        from repro.sefl import TcpSrc
+
+        result = run_single(
+            InstructionBlock(Assign(TcpDst, 443), Forward("out0"))
+        )
+        path = result.delivered()[0]
+        assert V.field_concrete_value(path, TcpDst) == 443
+        assert V.field_concrete_value(path, TcpSrc) is None
+
+
+class TestSubsumption:
+    def test_identical_states_subsume(self):
+        x = Var("x", 16)
+        constraints = [SEq(x, Const(5))]
+        assert V.state_subsumed(constraints, constraints)
+
+    def test_more_specific_new_state_is_not_a_loop(self):
+        x = Var("x", 16)
+        old = [SEq(x, Const(5))]  # old: x == 5
+        new = [SEq(x, Const(5)), SNe(x, Const(6))]
+        # new covers old (every x==5 packet satisfies new), so subsumed.
+        assert V.state_subsumed(old, new)
+
+    def test_disjoint_states_do_not_subsume(self):
+        x = Var("x", 16)
+        assert not V.state_subsumed([SEq(x, Const(5))], [SEq(x, Const(6))])
+
+    def test_narrower_new_state_does_not_subsume(self):
+        from repro.solver.ast import Le as SLe
+
+        x = Var("x", 16)
+        old = [SLe(x, Const(10))]
+        new = [SEq(x, Const(3))]
+        assert not V.state_subsumed(old, new)
+
+
+class TestFailureClassification:
+    def test_memory_safety_violations_reported(self):
+        from repro.sefl import Tag
+
+        result = run_single(
+            InstructionBlock(Constrain(Eq(Tag("L3") + 999, 1)), Forward("out0"))
+        )
+        assert len(V.memory_safety_violations(result)) == 1
+        assert not V.constraint_violations(result)
+
+    def test_constraint_violations_reported(self):
+        result = run_single(
+            InstructionBlock(
+                Constrain(Eq(TcpDst, 1)), Constrain(Eq(TcpDst, 2)), Forward("out0")
+            )
+        )
+        assert len(V.constraint_violations(result)) == 1
+        assert not V.memory_safety_violations(result)

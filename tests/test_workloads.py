@@ -1,0 +1,263 @@
+"""Tests for the synthetic workload generators and the evaluation topologies
+(department network §8.5, Split-TCP deployment §8.4, Stanford-like backbone)."""
+
+import pytest
+
+from repro import ExecutionSettings, SymbolicExecutor, models
+from repro.core import verification as V
+from repro.models.router import longest_prefix_match
+from repro.sefl import (
+    EtherSrc,
+    IpDst,
+    IpLength,
+    IpProto,
+    IpSrc,
+    TcpDst,
+    ip_to_number,
+)
+from repro.sefl.expressions import SymbolicValue
+from repro.sefl.instructions import Allocate, Assign, InstructionBlock
+from repro.workloads import (
+    build_department_network,
+    build_split_tcp_network,
+    build_stanford_like_backbone,
+    generate_fib,
+    generate_mac_table,
+    stanford_hsa_network,
+)
+from repro.workloads.department import MANAGEMENT_PREFIX
+from repro.workloads.fibs import count_overlaps, fib_as_text, fib_subset
+from repro.workloads.mac_tables import mac_table_as_text, mac_table_entry_count
+
+SETTINGS = ExecutionSettings(record_failed_paths=False)
+
+
+class TestGenerators:
+    def test_mac_table_size_and_uniqueness(self):
+        table = generate_mac_table(500, ports=20, seed=1)
+        assert mac_table_entry_count(table) == 500
+        all_macs = [mac for macs in table.values() for mac in macs]
+        assert len(set(all_macs)) == 500
+
+    def test_mac_table_deterministic(self):
+        assert generate_mac_table(100, seed=5) == generate_mac_table(100, seed=5)
+
+    def test_mac_table_skew_concentrates_on_first_ports(self):
+        table = generate_mac_table(2000, ports=10, seed=2, skew=1.5)
+        assert len(table["out0"]) > len(table["out9"])
+
+    def test_mac_table_text_roundtrip(self):
+        from repro.parsers import parse_mac_table
+
+        table = generate_mac_table(50, ports=4, seed=3)
+        parsed = parse_mac_table(mac_table_as_text(table))
+        assert mac_table_entry_count(parsed) == 50
+
+    def test_fib_size_and_determinism(self):
+        fib = generate_fib(1000, ports=8, seed=4)
+        assert len(fib) == 1000
+        assert fib == generate_fib(1000, ports=8, seed=4)
+        assert len({(a, l) for a, l, _ in fib}) == 1000  # unique prefixes
+
+    def test_fib_has_overlaps(self):
+        fib = generate_fib(500, seed=6, overlap_fraction=0.5)
+        assert count_overlaps(fib) > 0
+
+    def test_fib_prefixes_are_canonical(self):
+        for address, plen, _ in generate_fib(200, seed=7):
+            host_bits = 32 - plen
+            assert address & ((1 << host_bits) - 1) == 0 if host_bits else True
+
+    def test_fib_subset_fraction(self):
+        fib = generate_fib(300, seed=8)
+        subset = fib_subset(fib, 0.1)
+        assert len(subset) == 30
+        assert set(subset) <= set(fib)
+        assert fib_subset(fib, 1.0) == fib
+
+    def test_fib_text_roundtrip(self):
+        from repro.parsers import parse_routing_table
+
+        fib = generate_fib(50, seed=9)
+        assert parse_routing_table(fib_as_text(fib)) == fib
+
+
+class TestDepartmentNetwork:
+    @pytest.fixture(scope="class")
+    def dept(self):
+        return build_department_network(
+            access_switches=4, hosts_per_switch=3, mac_entries=400, extra_routes=40
+        )
+
+    def test_inventory(self, dept):
+        assert dept.device_count() >= 15
+        assert dept.port_count() > 40
+        assert dept.route_entries == 40
+
+    def test_office_reaches_internet_via_asa(self, dept):
+        executor = SymbolicExecutor(dept.network, settings=SETTINGS)
+        result = executor.inject(models.symbolic_tcp_packet(), *dept.office_entry)
+        internet_paths = result.reaching(*dept.internet_exit)
+        assert internet_paths
+        assert all(p.visited("asa-fw") for p in internet_paths)
+
+    def test_outbound_traffic_is_natted_and_options_filtered(self, dept):
+        from repro.models.tcp_options import OPTION_MPTCP, option_var
+        from repro.models import tcp_options_metadata
+
+        program = InstructionBlock(
+            models.symbolic_tcp_packet(),
+            tcp_options_metadata([2, 30]),
+        )
+        executor = SymbolicExecutor(dept.network, settings=SETTINGS)
+        result = executor.inject(program, *dept.office_entry)
+        path = result.reaching(*dept.internet_exit)[0]
+        assert not V.field_invariant(path, IpSrc)  # dynamic NAT applied
+        assert V.field_concrete_value(path, option_var(OPTION_MPTCP)) == 0
+
+    def test_management_vlan_reachable_from_internet(self, dept):
+        """The security hole of §8.5: private management addresses are
+        reachable from outside via the leaked route on M1."""
+        executor = SymbolicExecutor(dept.network, settings=SETTINGS)
+        result = executor.inject(models.symbolic_tcp_packet(), *dept.internet_entry)
+        leaked = result.reaching(*dept.management_exit)
+        assert leaked
+        values = V.admitted_values(leaked[0], IpDst, samples=1)
+        prefix = ip_to_number(MANAGEMENT_PREFIX.split("/")[0])
+        assert values and all(prefix <= v < prefix + 256 for v in values)
+
+    def test_management_vlan_reachable_from_cluster(self, dept):
+        executor = SymbolicExecutor(dept.network, settings=SETTINGS)
+        result = executor.inject(models.symbolic_tcp_packet(), *dept.cluster_entry)
+        assert result.reaching(*dept.management_exit)
+
+    def test_unsolicited_inbound_does_not_reach_office_hosts(self, dept):
+        executor = SymbolicExecutor(dept.network, settings=SETTINGS)
+        result = executor.inject(models.symbolic_tcp_packet(), *dept.internet_entry)
+        office_switch = dept.office_entry[0]
+        assert not [p for p in result.delivered() if p.reached(office_switch)]
+
+
+class TestSplitTcpDeployment:
+    def test_asymmetric_routing_check_passes(self):
+        """§8.4: both directions cross the proxy."""
+        workload = build_split_tcp_network(mirror_at_exit=True)
+        executor = SymbolicExecutor(workload.network, settings=SETTINGS)
+        result = executor.inject(models.symbolic_tcp_packet(), *workload.client_entry)
+        returned = result.reaching(*workload.client_return)
+        assert returned
+        for path in returned:
+            assert path.visited("P", "in0")
+            assert path.visited("P", "in1")
+            assert path.visited("R2")
+
+    def test_mtu_constraint_without_tunnel(self):
+        workload = build_split_tcp_network()
+        executor = SymbolicExecutor(workload.network, settings=SETTINGS)
+        result = executor.inject(models.symbolic_tcp_packet(), *workload.client_entry)
+        path = result.reaching("R2", "out0")[0]
+        from repro.solver.ast import Const, Eq as SEq
+        from repro.solver.solver import Solver
+
+        length_term = path.state.read_variable(IpLength)
+        solver = Solver()
+        assert solver.check(list(path.constraints) + [SEq(length_term, Const(1536))]).is_sat
+        assert solver.check(list(path.constraints) + [SEq(length_term, Const(1537))]).is_unsat
+
+    def test_mtu_shrinks_with_tunnel(self):
+        """With IP-in-IP on the R1→P leg the usable client MTU drops by one
+        IP header — the black-holing bug."""
+        workload = build_split_tcp_network(with_tunnel=True)
+        executor = SymbolicExecutor(workload.network, settings=SETTINGS)
+        result = executor.inject(models.symbolic_tcp_packet(), *workload.client_entry)
+        path = result.reaching("R2", "out0")[0]
+        from repro.solver.ast import Const, Eq as SEq
+        from repro.solver.solver import Solver
+
+        length_term = path.state.read_variable(IpLength)
+        solver = Solver()
+        assert solver.check(list(path.constraints) + [SEq(length_term, Const(1516))]).is_sat
+        assert solver.check(list(path.constraints) + [SEq(length_term, Const(1530))]).is_unsat
+
+    def test_missing_vlan_tag_blackholes_traffic(self):
+        good = build_split_tcp_network(use_vlan=True, vlan_bug=False)
+        executor = SymbolicExecutor(good.network, settings=SETTINGS)
+        packet = models.symbolic_tcp_packet()
+        # Tag the packet like the client's access network would.
+        from repro.click.elements import build_vlan_encap
+
+        tagger = build_vlan_encap("tagger", vlan_id=100)
+        good.network.add_element(tagger)
+        good.network.add_link(("tagger", "out0"), good.client_entry)
+        result = executor.inject(packet, "tagger", "in0")
+        assert result.reaching("R2", "out0")
+
+        bad = build_split_tcp_network(use_vlan=True, vlan_bug=True)
+        tagger = build_vlan_encap("tagger", vlan_id=100)
+        bad.network.add_element(tagger)
+        bad.network.add_link(("tagger", "out0"), bad.client_entry)
+        result = SymbolicExecutor(bad.network, settings=SETTINGS).inject(packet, "tagger", "in0")
+        assert not result.reaching("R2", "out0")
+
+    def test_dhcp_lease_check_drops_proxied_traffic(self):
+        """§8.4 "Security Appliance": the proxy rewrites the source MAC, so
+        the exit router's lease check kills everything."""
+        from repro.sefl import mac_to_number
+        from repro.workloads.enterprise import CLIENT_MAC
+
+        def client_packet():
+            # The client's MAC is concrete (its DHCP lease), so a frame whose
+            # source MAC was rewritten by the proxy can never match it.
+            return InstructionBlock(
+                models.symbolic_tcp_packet({EtherSrc: mac_to_number(CLIENT_MAC)}),
+                Allocate("origIP", 32),
+                Assign("origIP", IpSrc),
+                Allocate("origEther", 48),
+                Assign("origEther", EtherSrc),
+            )
+
+        broken = build_split_tcp_network(dhcp_check=True, proxy_rewrites_src_mac=True)
+        result = SymbolicExecutor(broken.network, settings=SETTINGS).inject(
+            client_packet(), *broken.client_entry
+        )
+        assert not result.reaching("R2", "out0")
+
+        honest = build_split_tcp_network(dhcp_check=True, proxy_rewrites_src_mac=False)
+        result = SymbolicExecutor(honest.network, settings=SETTINGS).inject(
+            client_packet(), *honest.client_entry
+        )
+        assert result.reaching("R2", "out0")
+
+
+class TestStanfordBackbone:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return build_stanford_like_backbone(zones=4, internal_prefixes_per_zone=30)
+
+    def test_inventory(self, workload):
+        assert len(workload.zone_routers) == 4
+        assert len(workload.core_routers) == 2
+        assert workload.total_rules() > 4 * 30
+
+    def test_zone_to_zone_reachability(self, workload):
+        executor = SymbolicExecutor(workload.network, settings=SETTINGS)
+        result = executor.inject(models.symbolic_ip_packet(), "zr0", "in-hosts")
+        assert result.is_visited("core0")
+        assert result.is_visited("core1")
+        for zone in workload.zone_routers[1:]:
+            assert result.is_reachable(zone, "hosts")
+
+    def test_concrete_destination_follows_both_fibs(self, workload):
+        destination = ip_to_number("10.2.7.1")
+        executor = SymbolicExecutor(workload.network, settings=SETTINGS)
+        result = executor.inject(
+            models.symbolic_ip_packet({IpDst: destination}), "zr0", "in-hosts"
+        )
+        assert result.is_reachable("zr2", "hosts")
+
+    def test_hsa_encoding_matches_sefl_reachability(self, workload):
+        hsa = stanford_hsa_network(workload)
+        assert hsa.total_rules() == workload.total_rules()
+        result = hsa.reachability("zr0", "in-hosts")
+        assert result.reaches("core0", "in-z0")
+        assert result.reaches("zr1", "hosts")
