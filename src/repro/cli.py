@@ -27,6 +27,7 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.engine import ExecutionSettings, SymbolicExecutor
+from repro.core.strategy import STRATEGIES
 from repro.models import host as host_models
 from repro.parsers.topology_file import load_network_directory
 from repro.sefl.fields import HeaderField, standard_fields
@@ -91,7 +92,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--field", action="append", default=[], metavar="NAME=VALUE",
         help="pin a header field to a concrete value (repeatable)",
     )
-    reach.add_argument("--max-hops", type=int, default=128)
+    defaults = ExecutionSettings()
+    reach.add_argument("--max-hops", type=int, default=defaults.max_hops)
+    reach.add_argument(
+        "--max-paths", type=int, default=defaults.max_paths,
+        help="stop exploring after this many recorded paths (the report is "
+        "marked as truncated when the budget cuts exploration short)",
+    )
+    reach.add_argument(
+        "--strategy", choices=sorted(STRATEGIES), default=defaults.strategy,
+        help=f"worklist exploration strategy (default: {defaults.strategy})",
+    )
+    reach.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable the incremental solver and re-solve every path "
+        "conjunction from scratch (for debugging/benchmarking)",
+    )
     reach.add_argument(
         "--no-failed-paths", action="store_true",
         help="omit failed/filtered paths from the output",
@@ -129,7 +145,10 @@ def _command_reachability(args: argparse.Namespace) -> int:
     packet_program = PACKET_TEMPLATES[args.packet](overrides or None)
     settings = ExecutionSettings(
         max_hops=args.max_hops,
+        max_paths=args.max_paths,
         record_failed_paths=not args.no_failed_paths,
+        strategy=args.strategy,
+        use_incremental_solver=not args.no_incremental,
     )
     executor = SymbolicExecutor(network, settings=settings)
     result = executor.inject(packet_program, args.element, args.port)
@@ -138,9 +157,16 @@ def _command_reachability(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report)
         counts = ", ".join(f"{k}={v}" for k, v in sorted(result.summary_counts().items()))
-        print(f"wrote {len(result.paths)} paths to {args.output} ({counts})")
+        suffix = " [truncated]" if result.truncated else ""
+        print(f"wrote {len(result.paths)} paths to {args.output} ({counts}){suffix}")
     else:
         print(report)
+    if result.truncated:
+        print(
+            f"warning: exploration truncated at --max-paths={args.max_paths}; "
+            "pending states were discarded",
+            file=sys.stderr,
+        )
     return 0
 
 

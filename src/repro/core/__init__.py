@@ -21,19 +21,33 @@ from repro.core.errors import (
 )
 from repro.core.paths import ExecutionResult, PathRecord, PathStatus
 from repro.core.state import ExecutionState
+from repro.core.strategy import (
+    BreadthFirstStrategy,
+    CoverageOrderedStrategy,
+    DepthFirstStrategy,
+    ExplorationStrategy,
+    STRATEGIES,
+    make_strategy,
+)
 from repro.core.values import SymbolFactory
 from repro.core import verification
 
 __all__ = [
+    "BreadthFirstStrategy",
+    "CoverageOrderedStrategy",
+    "DepthFirstStrategy",
     "ExecutionResult",
     "ExecutionSettings",
     "ExecutionState",
+    "ExplorationStrategy",
     "MemorySafetyError",
     "ModelError",
     "PathRecord",
     "PathStatus",
+    "STRATEGIES",
     "SymNetError",
     "SymbolFactory",
     "SymbolicExecutor",
+    "make_strategy",
     "verification",
 ]

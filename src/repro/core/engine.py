@@ -12,11 +12,12 @@ from __future__ import annotations
 import re
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import MemorySafetyError, ModelError
 from repro.core.paths import ExecutionResult, PathRecord, PathStatus
 from repro.core.state import ExecutionState
+from repro.core.strategy import ExplorationStrategy, make_strategy
 from repro.core.values import SymbolFactory, concrete_value
 from repro.network.element import NetworkElement
 from repro.network.ports import PortId
@@ -26,6 +27,7 @@ from repro.sefl import instructions as si
 from repro.sefl.fields import HeaderField, TagOffset
 from repro.solver import ast as sa
 from repro.solver.ast import Const, Formula, Term
+from repro.solver.incremental import IncrementalSolver
 from repro.solver.solver import Solver
 
 
@@ -39,6 +41,14 @@ class ExecutionSettings:
     record_infeasible_branches: bool = False
     check_constraints_eagerly: bool = True
     max_paths: int = 1_000_000
+    #: Worklist discipline: a name registered in
+    #: :data:`repro.core.strategy.STRATEGIES` ("dfs", "bfs", "coverage") or a
+    #: zero-argument factory returning an ExplorationStrategy.
+    strategy: Union[str, Callable[[], ExplorationStrategy]] = "dfs"
+    #: Route feasibility checks through the incremental solver (push/pop
+    #: scopes + per-path propagated domains + memoized full checks).  Off,
+    #: every check re-solves the whole path conjunction from scratch.
+    use_incremental_solver: bool = True
 
 
 @dataclass
@@ -64,6 +74,9 @@ class SymbolicExecutor:
         self.solver = solver if solver is not None else Solver()
         self.settings = settings if settings is not None else ExecutionSettings()
         self.symbols = symbols if symbols is not None else SymbolFactory()
+        # Shares the base solver (and its stats); the memo cache persists
+        # across inject() calls so repeated analyses reuse verdicts.
+        self.incremental = IncrementalSolver(self.solver)
 
     # ------------------------------------------------------------------ public
 
@@ -77,34 +90,56 @@ class SymbolicExecutor:
         """Build a packet with ``packet_program`` and inject it at
         ``element:port``, returning every explored path."""
         start = time.perf_counter()
-        solver_calls_before = self.solver.stats.calls
-        solver_time_before = self.solver.stats.time_seconds
+        stats = self.solver.stats
+        solver_calls_before = stats.calls
+        solver_time_before = stats.time_seconds
+        fast_paths_before = stats.fast_paths
+        cache_hits_before = stats.cache_hits
+        cache_misses_before = stats.cache_misses
 
         result = ExecutionResult(injected_at=PortId(element, port))
         state = initial_state if initial_state is not None else ExecutionState(self.symbols)
+        if not self.settings.use_incremental_solver:
+            # A reused initial_state may carry a context from an earlier
+            # incremental run; drop it so this run really re-solves from
+            # scratch (descendant states clone from here).
+            state.solver_context = None
+        elif (
+            state.solver_context is None
+            or state.solver_context.owner is not self.incremental
+        ):
+            # No context yet, or one bound to a different executor's solver
+            # (reused state): rebuild from the accumulated constraints so
+            # checks and stats go through *this* executor.
+            context = self.incremental.context()
+            for existing in state.constraints:
+                context.assume(existing)
+            state.solver_context = context
 
         # The injection program runs outside any element; it must not forward.
         injected = self._run_program(packet_program, state, element=None)
-        worklist: List[Tuple[ExecutionState, str, str]] = []
+        frontier = make_strategy(self.settings.strategy)
         for outcome in injected:
             if not outcome.state.is_alive:
                 self._record(result, outcome.state, None)
                 continue
             if outcome.forwards:
                 raise ModelError("packet construction programs must not forward")
-            worklist.append((outcome.state, element, port))
+            frontier.push((outcome.state, element, port))
 
-        while worklist:
+        while frontier:
             if len(result.paths) >= self.settings.max_paths:
+                result.truncated = True
                 break
-            current, element_name, in_port = worklist.pop()
-            self._step(current, element_name, in_port, worklist, result)
+            current, element_name, in_port = frontier.pop()
+            self._step(current, element_name, in_port, frontier, result)
 
         result.elapsed_seconds = time.perf_counter() - start
-        result.solver_calls = self.solver.stats.calls - solver_calls_before
-        result.solver_time_seconds = (
-            self.solver.stats.time_seconds - solver_time_before
-        )
+        result.solver_calls = stats.calls - solver_calls_before
+        result.solver_time_seconds = stats.time_seconds - solver_time_before
+        result.solver_fast_paths = stats.fast_paths - fast_paths_before
+        result.solver_cache_hits = stats.cache_hits - cache_hits_before
+        result.solver_cache_misses = stats.cache_misses - cache_misses_before
         return result
 
     # ------------------------------------------------------------ propagation
@@ -114,7 +149,7 @@ class SymbolicExecutor:
         state: ExecutionState,
         element_name: str,
         in_port: str,
-        worklist: List[Tuple[ExecutionState, str, str]],
+        frontier: ExplorationStrategy,
         result: ExecutionResult,
     ) -> None:
         element = self.network.element(element_name)
@@ -154,14 +189,14 @@ class SymbolicExecutor:
                     if index == len(outcome.forwards) - 1
                     else outcome.state.clone()
                 )
-                self._emit(branch_state, element, out_port, worklist, result)
+                self._emit(branch_state, element, out_port, frontier, result)
 
     def _emit(
         self,
         state: ExecutionState,
         element: NetworkElement,
         out_port: str,
-        worklist: List[Tuple[ExecutionState, str, str]],
+        frontier: ExplorationStrategy,
         result: ExecutionResult,
     ) -> None:
         """Run the output-port program and follow the outgoing link."""
@@ -182,7 +217,7 @@ class SymbolicExecutor:
                 outcome.state.stop_reason = f"delivered at {out_id} (no outgoing link)"
                 self._record(result, outcome.state, out_id)
             else:
-                worklist.append(
+                frontier.push(
                     (outcome.state, destination.element, destination.port)
                 )
 
@@ -193,8 +228,20 @@ class SymbolicExecutor:
         snapshots = state.snapshots_for(port_key)
         if not snapshots:
             return False
-        new_formula = sa.conjoin(state.constraints)
+        constraints = list(state.constraints)
+        new_formula = None
         for snapshot in snapshots:
+            # Structural fast path.  Constraints are append-only along a
+            # path, so the snapshot conjunction is a prefix of the current
+            # one: new = old ∧ suffix.  If every suffix conjunct already
+            # appears (structurally) in the old set, old implies new, hence
+            # old ∧ ¬new is unsat — a loop — with no solver work.  The
+            # common case (pure forwarding loops) has an empty suffix.
+            suffix = constraints[snapshot.constraint_count:]
+            if all(snapshot.contains(formula) for formula in suffix):
+                return True
+            if new_formula is None:
+                new_formula = sa.conjoin(constraints)
             old_formula = sa.conjoin(list(snapshot.constraints))
             witness = self.solver.check(
                 sa.And(old_formula, sa.Not(new_formula))
@@ -210,13 +257,18 @@ class SymbolicExecutor:
         port: Optional[PortId],
     ) -> None:
         """Append a terminated state to the result, honouring record settings."""
-        if state.status == PathStatus.FAILED:
-            if not self.settings.record_failed_paths:
-                return
-            if (
-                not self.settings.record_infeasible_branches
-                and state.stop_reason.startswith("infeasible")
+        # The context only serves feasibility checks on live paths; drop it
+        # so recorded results don't retain the solved-form duplicates of
+        # every path's constraints.
+        state.solver_context = None
+        if state.status == PathStatus.INFEASIBLE:
+            if not (
+                self.settings.record_infeasible_branches
+                and self.settings.record_failed_paths
             ):
+                return
+        elif state.status == PathStatus.FAILED:
+            if not self.settings.record_failed_paths:
                 return
         result.add(
             PathRecord(
@@ -320,10 +372,9 @@ class SymbolicExecutor:
 
         if isinstance(instruction, si.Constrain):
             formula = self._condition(instruction.condition, state)
-            state.add_constraint(formula)
+            self._assume(state, formula)
             if self.settings.check_constraints_eagerly:
-                verdict = self.solver.check(state.constraints)
-                if verdict.is_unsat:
+                if self._check_state(state).is_unsat:
                     state.fail(
                         f"constraint unsatisfiable: {self._describe(instruction)}"
                     )
@@ -348,8 +399,15 @@ class SymbolicExecutor:
             return [outcome]
 
         if isinstance(instruction, si.Fork):
-            results: List[_Outcome] = []
             ports = [self._resolve_port(p, element) for p in instruction.ports]
+            if not ports:
+                # A Fork with no output ports must not silently vanish the
+                # state: terminate it as an explicit drop.
+                state.status = PathStatus.DROPPED
+                state.stop_reason = "Fork with no output ports"
+                outcome.done = True
+                return [outcome]
+            results: List[_Outcome] = []
             for index, port in enumerate(ports):
                 branch_state = state if index == len(ports) - 1 else state.clone()
                 results.append(_Outcome(branch_state, forwards=[port], done=True))
@@ -368,30 +426,50 @@ class SymbolicExecutor:
         if isinstance(condition, si.Constrain):
             condition = condition.condition
         formula = self._condition(condition, state)
+        negated = sa.negate(formula)
 
-        else_state = state.clone()
+        # Probe both branches *before* cloning so an infeasible side costs a
+        # push/check/pop instead of a full state copy.
+        then_feasible = self._branch_feasible(state, formula)
+        else_feasible = self._branch_feasible(state, negated)
+
+        record_infeasible = self.settings.record_infeasible_branches
+        need_then = then_feasible or record_infeasible
+        need_else = else_feasible or record_infeasible
+        if not need_then and not need_else:
+            # Both branches proved unsatisfiable (possible when an earlier
+            # eager check returned "unknown"): terminate the path instead of
+            # silently vanishing it — same defect class as the empty Fork.
+            state.fail("constraint unsatisfiable: both If branches infeasible")
+            return [_Outcome(state, done=True)]
+        then_state: Optional[ExecutionState] = state if need_then else None
+        else_state: Optional[ExecutionState] = None
+        if need_else:
+            else_state = state.clone() if need_then else state
+
         results: List[_Outcome] = []
-
-        state.add_constraint(formula)
-        then_feasible = self._feasible(state)
-        if then_feasible:
-            results.extend(
-                self._execute(instruction.then_branch, _Outcome(state), element)
-            )
-        elif self.settings.record_infeasible_branches:
-            state.fail("infeasible If branch (then)")
-            results.append(_Outcome(state, done=True))
-
-        else_state.add_constraint(sa.negate(formula))
-        else_feasible = self._feasible(else_state)
-        if else_feasible:
-            results.extend(
-                self._execute(instruction.else_branch, _Outcome(else_state), element)
-            )
-        elif self.settings.record_infeasible_branches:
-            else_state.fail("infeasible If branch (else)")
-            results.append(_Outcome(else_state, done=True))
-
+        if then_state is not None:
+            self._assume(then_state, formula)
+            if then_feasible:
+                results.extend(
+                    self._execute(
+                        instruction.then_branch, _Outcome(then_state), element
+                    )
+                )
+            else:
+                then_state.mark_infeasible("infeasible If branch (then)")
+                results.append(_Outcome(then_state, done=True))
+        if else_state is not None:
+            self._assume(else_state, negated)
+            if else_feasible:
+                results.extend(
+                    self._execute(
+                        instruction.else_branch, _Outcome(else_state), element
+                    )
+                )
+            else:
+                else_state.mark_infeasible("infeasible If branch (else)")
+                results.append(_Outcome(else_state, done=True))
         return results
 
     def _execute_for(
@@ -421,10 +499,39 @@ class SymbolicExecutor:
             pending = next_pending
         return pending
 
-    def _feasible(self, state: ExecutionState) -> bool:
+    # ------------------------------------------------------------- constraints
+
+    def _assume(self, state: ExecutionState, formula: Formula) -> None:
+        """Permanently add ``formula`` to the path, keeping the state's
+        incremental solver context (if any) in sync."""
+        state.add_constraint(formula)
+        if state.solver_context is not None:
+            state.solver_context.assume(formula)
+
+    def _check_state(self, state: ExecutionState):
+        """Satisfiability of the state's accumulated constraints."""
+        if state.solver_context is not None:
+            return state.solver_context.check()
+        return self.solver.check(list(state.constraints))
+
+    def _branch_feasible(self, state: ExecutionState, formula: Formula) -> bool:
+        """Would adding ``formula`` keep the path feasible?  Uses a
+        speculative push/assume/check/pop scope when incremental solving is
+        on; falls back to a from-scratch solve of the extended conjunction."""
         if not self.settings.check_constraints_eagerly:
             return True
-        return not self.solver.check(state.constraints).is_unsat
+        context = state.solver_context
+        if context is not None:
+            context.push()
+            try:
+                context.assume(formula)
+                verdict = context.check()
+            finally:
+                context.pop()
+            return not verdict.is_unsat
+        query = list(state.constraints)
+        query.append(formula)
+        return not self.solver.check(query).is_unsat
 
     # -------------------------------------------------------------- evaluation
 

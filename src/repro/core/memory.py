@@ -39,11 +39,70 @@ class Slot:
         return Slot(self.size, list(self.values))
 
 
-class HeaderMemory:
-    """Bit-addressed header variables with allocation stacks."""
+class _CowSlotStore:
+    """A dict of per-key slot stacks with copy-on-write cloning.
+
+    ``clone()`` copies only the key→stack dict (pointer copies); a stack is
+    duplicated the first time either side mutates its key.  Forking a path
+    is therefore O(number of keys) instead of O(total assignment history).
+    Subclasses validate accesses and raise their own error messages, then
+    mutate through ``_push_slot`` / ``_pop_slot`` / ``_assign_top``.
+    """
 
     def __init__(self) -> None:
-        self._slots: Dict[int, List[Slot]] = {}
+        self._slots: Dict = {}
+        # None: this store was never cloned and owns every stack.  Otherwise:
+        # the set of keys whose stacks are private to this instance.
+        self._owned: Optional[set] = None
+
+    def _own(self, key) -> Optional[List[Slot]]:
+        """Return a privately-owned (mutable) stack for ``key``."""
+        stack = self._slots.get(key)
+        if stack is None:
+            return None
+        if self._owned is not None and key not in self._owned:
+            stack = [slot.clone() for slot in stack]
+            self._slots[key] = stack
+            self._owned.add(key)
+        return stack
+
+    def _push_slot(self, key, slot: Slot) -> None:
+        stack = self._own(key)
+        if stack is None:
+            stack = []
+            self._slots[key] = stack
+            if self._owned is not None:
+                self._owned.add(key)
+        stack.append(slot)
+
+    def _pop_slot(self, key) -> None:
+        """Pop the top slot of an existing stack (caller has validated)."""
+        stack = self._own(key)
+        assert stack is not None
+        stack.pop()
+        if not stack:
+            del self._slots[key]
+            if self._owned is not None:
+                self._owned.discard(key)
+
+    def _assign_top(self, key, term: Term) -> None:
+        """Assign to the top slot of an existing stack (caller has validated)."""
+        stack = self._own(key)
+        assert stack is not None
+        stack[-1].assign(term)
+
+    def clone(self):
+        copy = type(self).__new__(type(self))
+        copy._slots = dict(self._slots)
+        copy._owned = set()
+        # The parent now shares every stack with the clone, so it no longer
+        # owns anything either.
+        self._owned = set()
+        return copy
+
+
+class HeaderMemory(_CowSlotStore):
+    """Bit-addressed header variables with allocation stacks."""
 
     # -- allocation -----------------------------------------------------------
 
@@ -52,7 +111,7 @@ class HeaderMemory:
             raise MemorySafetyError(
                 f"header allocation at {address} requires a positive size"
             )
-        self._slots.setdefault(address, []).append(Slot(size))
+        self._push_slot(address, Slot(size))
 
     def deallocate(self, address: int, size: Optional[int] = None) -> None:
         stack = self._slots.get(address)
@@ -66,9 +125,7 @@ class HeaderMemory:
                 f"deallocation size {size} does not match allocated size "
                 f"{top.size} at address {address}"
             )
-        stack.pop()
-        if not stack:
-            del self._slots[address]
+        self._pop_slot(address)
 
     # -- access ---------------------------------------------------------------
 
@@ -98,8 +155,8 @@ class HeaderMemory:
         return slot.current
 
     def write(self, address: int, term: Term, width: Optional[int] = None) -> None:
-        slot = self._top(address, width)
-        slot.assign(term)
+        self._top(address, width)  # validates allocation and alignment
+        self._assign_top(address, term)
 
     def size_of(self, address: int) -> int:
         slot = self._top(address, None)
@@ -130,23 +187,11 @@ class HeaderMemory:
     def addresses(self) -> List[int]:
         return sorted(self._slots)
 
-    def clone(self) -> "HeaderMemory":
-        copy = HeaderMemory()
-        copy._slots = {
-            addr: [slot.clone() for slot in stack]
-            for addr, stack in self._slots.items()
-        }
-        return copy
-
-
 MetaKey = Union[str, Tuple[str, str]]
 
 
-class MetadataStore:
+class MetadataStore(_CowSlotStore):
     """String-keyed metadata map with global / element-local scoping."""
-
-    def __init__(self) -> None:
-        self._slots: Dict[MetaKey, List[Slot]] = {}
 
     @staticmethod
     def scoped_key(name: str, scope: Optional[str]) -> MetaKey:
@@ -155,7 +200,7 @@ class MetadataStore:
     # -- allocation -----------------------------------------------------------
 
     def allocate(self, key: MetaKey, size: Optional[int] = None) -> None:
-        self._slots.setdefault(key, []).append(Slot(size))
+        self._push_slot(key, Slot(size))
 
     def deallocate(self, key: MetaKey, size: Optional[int] = None) -> None:
         stack = self._slots.get(key)
@@ -167,9 +212,7 @@ class MetadataStore:
                 f"deallocation size {size} does not match allocated size "
                 f"{top.size} for metadata {key!r}"
             )
-        stack.pop()
-        if not stack:
-            del self._slots[key]
+        self._pop_slot(key)
 
     # -- access ---------------------------------------------------------------
 
@@ -200,7 +243,8 @@ class MetadataStore:
         return slot.current
 
     def write(self, key: MetaKey, term: Term) -> None:
-        self._top(key).assign(term)
+        self._top(key)  # validates allocation
+        self._assign_top(key, term)
 
     def size_of(self, key: MetaKey) -> Optional[int]:
         return self._top(key).size
@@ -221,11 +265,3 @@ class MetadataStore:
             else:
                 names.add(key)
         return sorted(names)
-
-    def clone(self) -> "MetadataStore":
-        copy = MetadataStore()
-        copy._slots = {
-            key: [slot.clone() for slot in stack]
-            for key, stack in self._slots.items()
-        }
-        return copy

@@ -26,6 +26,10 @@ class PathStatus(PathStatusValues):
     * ``dropped`` — an input-port program finished without forwarding;
     * ``failed`` — ``Fail`` was executed, a constraint was unsatisfiable, or
       a memory-safety violation occurred;
+    * ``infeasible`` — an ``If`` branch whose constraints the solver proved
+      unsatisfiable (recorded only when both
+      ``ExecutionSettings.record_infeasible_branches`` and
+      ``record_failed_paths`` are set);
     * ``loop`` — the loop-detection algorithm proved the packet revisits a
       port with a subsuming state;
     * ``alive`` — only seen transiently while the engine is still running.
@@ -91,6 +95,12 @@ class ExecutionResult:
     elapsed_seconds: float = 0.0
     solver_calls: int = 0
     solver_time_seconds: float = 0.0
+    solver_fast_paths: int = 0
+    solver_cache_hits: int = 0
+    solver_cache_misses: int = 0
+    #: True when ``max_paths`` stopped exploration with frontier states
+    #: still pending — the path list is a prefix, not the full set.
+    truncated: bool = False
 
     def add(self, record: PathRecord) -> None:
         self.paths.append(record)
@@ -114,6 +124,9 @@ class ExecutionResult:
 
     def loops(self) -> List[PathRecord]:
         return [p for p in self.paths if p.status == PathStatus.LOOP]
+
+    def infeasible(self) -> List[PathRecord]:
+        return [p for p in self.paths if p.status == PathStatus.INFEASIBLE]
 
     def reaching(self, element: str, port: Optional[str] = None) -> List[PathRecord]:
         """Delivered paths that terminated at the given element/port."""
@@ -143,6 +156,10 @@ class ExecutionResult:
             "elapsed_seconds": self.elapsed_seconds,
             "solver_calls": self.solver_calls,
             "solver_time_seconds": self.solver_time_seconds,
+            "solver_fast_paths": self.solver_fast_paths,
+            "solver_cache_hits": self.solver_cache_hits,
+            "solver_cache_misses": self.solver_cache_misses,
+            "truncated": self.truncated,
             "path_count": len(self.paths),
             "paths": [p.to_dict() for p in self.paths],
         }

@@ -5,13 +5,18 @@ tag table, the accumulated path constraints and bookkeeping (visited ports,
 executed instructions, per-port snapshots for loop detection).  Instructions
 never share mutable state between paths — ``clone`` produces an independent
 copy whenever the engine forks.
+
+Cloning is copy-on-write throughout: header/metadata stores share slot
+stacks with the parent until mutated (see :mod:`repro.core.memory`), the
+port/instruction traces are :class:`AppendLog` chains that share their
+prefix, and port snapshots are immutable tuples shared by reference.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.errors import MemorySafetyError
 from repro.core.memory import HeaderMemory, MetadataStore, MetaKey
@@ -28,14 +33,85 @@ class PathStatusValues:
     DELIVERED = "delivered"
     DROPPED = "dropped"
     LOOP = "loop"
+    INFEASIBLE = "infeasible"
+
+
+class AppendLog:
+    """An append-only sequence with O(1) copy-on-write clones.
+
+    Each log is a chain: an immutable view of ``_upto`` items of a parent
+    log plus a private tail.  ``clone()`` freezes the current contents as the
+    shared prefix of a new log; the original keeps appending to its own tail
+    without affecting any clone (tails are append-only, and clones record
+    how far into the parent's tail they may look).
+    """
+
+    __slots__ = ("_parent", "_upto", "_base_len", "_items")
+
+    def __init__(
+        self, parent: Optional["AppendLog"] = None, upto: int = 0
+    ) -> None:
+        self._parent = parent
+        self._upto = upto
+        self._base_len = (parent._base_len + upto) if parent is not None else 0
+        self._items: list = []
+
+    def append(self, item) -> None:
+        self._items.append(item)
+
+    def clone(self) -> "AppendLog":
+        return AppendLog(self, len(self._items))
+
+    def __len__(self) -> int:
+        return self._base_len + len(self._items)
+
+    def __iter__(self) -> Iterator:
+        segments = []
+        node: Optional[AppendLog] = self
+        upto = len(self._items)
+        while node is not None:
+            segments.append((node._items, upto))
+            upto = node._upto
+            node = node._parent
+        for items, limit in reversed(segments):
+            for index in range(limit):
+                yield items[index]
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def to_list(self) -> list:
+        return list(self)
+
+    def __repr__(self) -> str:
+        return f"AppendLog({list(self)!r})"
 
 
 @dataclass
 class PortSnapshot:
-    """Constraints recorded when the path previously visited a port."""
+    """Constraints recorded when the path previously visited a port.
+
+    ``constraints`` is the full conjunction at snapshot time.  Because path
+    constraints are append-only along one path, it is also a *prefix* of the
+    path's later constraint lists; ``len(constraints)`` therefore tells the
+    loop detector where the incremental suffix of new constraints starts.
+    """
 
     port: str
     constraints: Tuple[Formula, ...]
+    _constraint_set: Optional[frozenset] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def constraint_count(self) -> int:
+        return len(self.constraints)
+
+    def contains(self, formula: Formula) -> bool:
+        """Structural membership of ``formula`` in the snapshot conjunction."""
+        if self._constraint_set is None:
+            self._constraint_set = frozenset(self.constraints)
+        return formula in self._constraint_set
 
 
 class ExecutionState:
@@ -47,41 +123,54 @@ class ExecutionState:
         self.metadata = MetadataStore()
         self.tags: Dict[str, int] = {}
         self.constraints: List[Formula] = []
-        self.port_trace: List[str] = []
-        self.instruction_trace: List[str] = []
-        self.port_snapshots: Dict[str, List[PortSnapshot]] = {}
+        self.port_trace: AppendLog = AppendLog()
+        self.instruction_trace: AppendLog = AppendLog()
+        self.port_snapshots: Dict[str, Tuple[PortSnapshot, ...]] = {}
         self.status: str = PathStatusValues.ALIVE
         self.stop_reason: str = ""
         self.current_scope: Optional[str] = None
         self.path_id: int = next(_path_counter)
         self.parent_id: Optional[int] = None
         self.hop_count: int = 0
+        # Wired up by the engine when incremental solving is enabled; holds a
+        # repro.solver.incremental.SolverContext mirroring self.constraints.
+        self.solver_context = None
 
     # -- lifecycle -------------------------------------------------------------
 
     def clone(self) -> "ExecutionState":
-        """Create an independent copy (used by If / Fork)."""
+        """Create an independent copy (used by If / Fork).
+
+        Copy-on-write: memory stores, traces, snapshots and the solver
+        context all share structure with the parent until one side mutates.
+        """
         copy = ExecutionState.__new__(ExecutionState)
         copy.symbols = self.symbols  # shared on purpose: ids must stay unique
         copy.header = self.header.clone()
         copy.metadata = self.metadata.clone()
         copy.tags = dict(self.tags)
         copy.constraints = list(self.constraints)
-        copy.port_trace = list(self.port_trace)
-        copy.instruction_trace = list(self.instruction_trace)
-        copy.port_snapshots = {
-            port: list(snaps) for port, snaps in self.port_snapshots.items()
-        }
+        copy.port_trace = self.port_trace.clone()
+        copy.instruction_trace = self.instruction_trace.clone()
+        copy.port_snapshots = dict(self.port_snapshots)
         copy.status = self.status
         copy.stop_reason = self.stop_reason
         copy.current_scope = self.current_scope
         copy.path_id = next(_path_counter)
         copy.parent_id = self.path_id
         copy.hop_count = self.hop_count
+        copy.solver_context = (
+            self.solver_context.clone() if self.solver_context is not None else None
+        )
         return copy
 
     def fail(self, reason: str) -> None:
         self.status = PathStatusValues.FAILED
+        self.stop_reason = reason
+
+    def mark_infeasible(self, reason: str) -> None:
+        """Terminate the path as a provably-infeasible branch."""
+        self.status = PathStatusValues.INFEASIBLE
         self.stop_reason = reason
 
     @property
@@ -223,10 +312,13 @@ class ExecutionState:
 
     def snapshot_port(self, port_id: str) -> None:
         snapshot = PortSnapshot(port_id, tuple(self.constraints))
-        self.port_snapshots.setdefault(port_id, []).append(snapshot)
+        # Snapshot tuples are immutable and rebound on append, so clones can
+        # share the dict values by reference.
+        existing = self.port_snapshots.get(port_id, ())
+        self.port_snapshots[port_id] = existing + (snapshot,)
 
     def snapshots_for(self, port_id: str) -> List[PortSnapshot]:
-        return self.port_snapshots.get(port_id, [])
+        return list(self.port_snapshots.get(port_id, ()))
 
     # -- reporting ----------------------------------------------------------------
 

@@ -1,0 +1,149 @@
+"""Pluggable exploration strategies for the symbolic execution worklist.
+
+The engine's frontier used to be a hard-coded LIFO list.  A strategy object
+now owns the frontier, deciding which pending ``(state, element, port)``
+work item to execute next:
+
+* ``dfs`` — depth-first (LIFO), the historical default: follows one packet
+  to a terminal before starting the next, keeping the frontier small;
+* ``bfs`` — breadth-first (FIFO): explores hop-by-hop, useful for finding
+  the shortest path to a property violation first;
+* ``coverage`` — coverage-ordered: prefers the frontier item whose next
+  input port has been entered least often so far, spreading exploration
+  across the topology before deepening any one region (useful with a
+  ``max_paths`` budget on very wide networks).
+
+The terminal *set* of paths is strategy-independent (loop detection and
+feasibility are per-path properties); only the order of discovery — and
+therefore which paths survive a ``max_paths`` truncation — changes.
+
+New strategies: subclass :class:`ExplorationStrategy` and register the class
+in :data:`STRATEGIES`, or pass a zero-argument factory callable as
+``ExecutionSettings.strategy``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, List, Tuple, Union
+
+# (state, element name, input port) — typed loosely to avoid importing the
+# engine's state class here.
+WorkItem = Tuple[object, str, str]
+
+
+class ExplorationStrategy:
+    """Order in which pending execution states are expanded."""
+
+    name = "abstract"
+
+    def push(self, item: WorkItem) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> WorkItem:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class DepthFirstStrategy(ExplorationStrategy):
+    """LIFO frontier — follow one packet to the end before backtracking."""
+
+    name = "dfs"
+
+    def __init__(self) -> None:
+        self._stack: List[WorkItem] = []
+
+    def push(self, item: WorkItem) -> None:
+        self._stack.append(item)
+
+    def pop(self) -> WorkItem:
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class BreadthFirstStrategy(ExplorationStrategy):
+    """FIFO frontier — expand all states at hop N before any at hop N+1."""
+
+    name = "bfs"
+
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+
+    def push(self, item: WorkItem) -> None:
+        self._queue.append(item)
+
+    def pop(self) -> WorkItem:
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class CoverageOrderedStrategy(ExplorationStrategy):
+    """Prefer work items entering the least-visited input port.
+
+    Visit counts are taken at push time (a cheap, deterministic
+    approximation: re-prioritising queued items on every pop would cost a
+    heap rebuild); ties break FIFO via a monotone sequence number.
+    """
+
+    name = "coverage"
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, WorkItem]] = []
+        self._visits: Dict[Tuple[str, str], int] = {}
+        self._sequence = 0
+
+    def push(self, item: WorkItem) -> None:
+        key = (item[1], item[2])
+        priority = self._visits.get(key, 0)
+        heapq.heappush(self._heap, (priority, self._sequence, item))
+        self._sequence += 1
+
+    def pop(self) -> WorkItem:
+        _, _, item = heapq.heappop(self._heap)
+        key = (item[1], item[2])
+        self._visits[key] = self._visits.get(key, 0) + 1
+        return item
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+STRATEGIES: Dict[str, Callable[[], ExplorationStrategy]] = {
+    DepthFirstStrategy.name: DepthFirstStrategy,
+    BreadthFirstStrategy.name: BreadthFirstStrategy,
+    CoverageOrderedStrategy.name: CoverageOrderedStrategy,
+}
+
+
+def make_strategy(
+    strategy: Union[str, Callable[[], ExplorationStrategy]]
+) -> ExplorationStrategy:
+    """Build a fresh frontier from a registered name or a factory callable."""
+    if isinstance(strategy, str):
+        try:
+            factory = STRATEGIES[strategy]
+        except KeyError:
+            known = ", ".join(sorted(STRATEGIES))
+            raise ValueError(
+                f"unknown exploration strategy {strategy!r}; known: {known}"
+            ) from None
+        return factory()
+    if callable(strategy):
+        frontier = strategy()
+        if not isinstance(frontier, ExplorationStrategy):
+            raise TypeError(
+                "strategy factory must produce an ExplorationStrategy, "
+                f"got {frontier!r}"
+            )
+        return frontier
+    raise TypeError(f"invalid exploration strategy {strategy!r}")

@@ -47,6 +47,7 @@ from repro.solver.ast import (
     conjoin,
     disjoin,
 )
+from repro.solver.incremental import IncrementalSolver, SolverContext
 from repro.solver.intervals import Interval, IntervalSet
 from repro.solver.result import SolverResult, SolverStats
 from repro.solver.solver import Solver
@@ -62,6 +63,7 @@ __all__ = [
     "Formula",
     "Ge",
     "Gt",
+    "IncrementalSolver",
     "Interval",
     "IntervalSet",
     "Le",
@@ -71,6 +73,7 @@ __all__ = [
     "Not",
     "Or",
     "Solver",
+    "SolverContext",
     "SolverResult",
     "SolverStats",
     "Sub",

@@ -1,0 +1,308 @@
+"""Incremental satisfiability: push/pop assertion scopes over a base solver.
+
+The symbolic execution engine accumulates path constraints one conjunct at a
+time, and at every branch point it asks "is the conjunction still
+satisfiable?".  The plain :class:`repro.solver.solver.Solver` answers that by
+re-normalising and re-propagating the *entire* conjunction, which makes the
+per-branch cost grow linearly with path length (quadratic over a whole path).
+
+:class:`SolverContext` keeps the committed prefix in solved form instead:
+
+* every asserted formula is NNF-normalised once, and its conjuncts are
+  classified exactly the way the base solver would classify them;
+* conjuncts that constrain a single variable against constants (ordinary
+  comparisons, ``Member`` interval sets, single-variable disjunctions) are
+  absorbed immediately into a running per-variable domain map — asserting a
+  new constraint only re-propagates its own atoms;
+* everything else (difference atoms, mixed disjunctions, unsupported atoms)
+  is kept in a *residual* list.
+
+``check()`` then has three tiers, cheapest first:
+
+1. if domain propagation already emptied a variable's domain the context is
+   known unsat — no solver work at all (counted as a *fast path*);
+2. if the residual is empty, the constraints are exactly the per-variable
+   domains, which are non-empty by construction — satisfiable, again without
+   a solver call (also a fast path);
+3. otherwise the full conjunction is handed to the base solver, behind a
+   memoization cache keyed on the canonicalized (order- and
+   duplicate-insensitive) set of conjuncts, with hit/miss counters recorded
+   in :class:`repro.solver.result.SolverStats`.
+
+``push()``/``pop()`` bracket speculative assertions (the engine probes each
+``If`` branch with ``push(); assume(formula); check(); pop()``) using an undo
+log, so popping a scope is O(size of the scope), not O(path length).
+
+Verdict parity: tiers 1 and 2 reproduce exactly the answers the base
+solver's own domain propagation would give, and tier 3 *is* the base solver,
+so a context never disagrees with ``Solver.check`` on the same conjunction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.solver.ast import (
+    And,
+    Atom,
+    BoolFalse,
+    BoolTrue,
+    Formula,
+    Member,
+    Or,
+    Var,
+    linearize,
+    to_nnf,
+)
+from repro.solver.intervals import IntervalSet
+from repro.solver.result import SolverResult, SolverStats
+from repro.solver.solver import _ATOM_TYPES, Solver
+from repro.solver.theory import (
+    UnsupportedAtomError,
+    _const_holds,
+    classify_atom,
+    domain_for,
+)
+
+_MISSING = object()  # undo-log sentinel: variable had no narrowed domain yet
+
+
+class _Frame:
+    """Undo information for one ``push()`` scope."""
+
+    __slots__ = ("saved_domains", "conjunct_len", "residual_len", "unsat")
+
+    def __init__(self, conjunct_len: int, residual_len: int, unsat: bool) -> None:
+        self.saved_domains: Dict[Var, object] = {}
+        self.conjunct_len = conjunct_len
+        self.residual_len = residual_len
+        self.unsat = unsat
+
+
+class SolverContext:
+    """One path's incremental assertion stack (see module docstring)."""
+
+    __slots__ = ("_owner", "_domains", "_conjuncts", "_residual", "_unsat", "_frames")
+
+    def __init__(self, owner: "IncrementalSolver") -> None:
+        self._owner = owner
+        self._domains: Dict[Var, IntervalSet] = {}
+        self._conjuncts: List[Formula] = []
+        self._residual: List[Formula] = []
+        self._unsat = False
+        self._frames: List[_Frame] = []
+
+    @property
+    def owner(self) -> "IncrementalSolver":
+        return self._owner
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def clone(self) -> "SolverContext":
+        """Copy for a forked path.  Formulas and interval sets are immutable,
+        so only the container objects are duplicated."""
+        if self._frames:
+            raise RuntimeError("cannot clone a context with open push() scopes")
+        copy = SolverContext(self._owner)
+        copy._domains = dict(self._domains)
+        copy._conjuncts = list(self._conjuncts)
+        copy._residual = list(self._residual)
+        copy._unsat = self._unsat
+        return copy
+
+    # -- scopes ---------------------------------------------------------------
+
+    def push(self) -> None:
+        """Open a speculative scope; ``pop()`` undoes everything asserted in it."""
+        self._frames.append(
+            _Frame(len(self._conjuncts), len(self._residual), self._unsat)
+        )
+
+    def pop(self) -> None:
+        """Discard the most recent ``push()`` scope."""
+        if not self._frames:
+            raise RuntimeError("pop() without a matching push()")
+        frame = self._frames.pop()
+        del self._conjuncts[frame.conjunct_len:]
+        del self._residual[frame.residual_len:]
+        for var, previous in frame.saved_domains.items():
+            if previous is _MISSING:
+                del self._domains[var]
+            else:
+                self._domains[var] = previous  # type: ignore[assignment]
+        self._unsat = frame.unsat
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    # -- assertion ------------------------------------------------------------
+
+    def assume(self, formula: Formula) -> None:
+        """Assert ``formula``, propagating only its own atoms."""
+        stack = [to_nnf(formula)]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, BoolTrue):
+                continue
+            if isinstance(item, And):
+                stack.extend(item.operands)
+                continue
+            self._conjuncts.append(item)
+            if self._unsat:
+                continue  # keep recording conjuncts, but no propagation needed
+            if isinstance(item, BoolFalse):
+                self._mark_unsat()
+            elif isinstance(item, _ATOM_TYPES):
+                self._assume_atom(item)
+            elif isinstance(item, Member):
+                self._assume_member(item)
+            elif isinstance(item, Or):
+                self._assume_disjunction(item)
+            else:
+                # to_nnf eliminates Not entirely, so anything else here is
+                # not a formula node at all.
+                raise TypeError(f"unexpected formula node: {item!r}")
+
+    def _assume_atom(self, atom: Atom) -> None:
+        try:
+            info = classify_atom(atom)
+        except UnsupportedAtomError:
+            self._residual.append(atom)
+            return
+        if info.kind == "const":
+            if not _const_holds(info.op, info.constant):
+                self._mark_unsat()
+            return
+        if info.kind == "domain":
+            assert info.var is not None
+            self._narrow(
+                info.var, domain_for(info.op, info.constant, info.var.width)
+            )
+            return
+        self._residual.append(atom)  # difference atom
+
+    def _assume_member(self, member: Member) -> None:
+        linear = linearize(member.term)
+        if linear.is_constant():
+            if not Solver._constant_member_holds(member, linear.constant):
+                self._mark_unsat()
+            return
+        resolved = Solver._member_domain(member)
+        if resolved is None:
+            self._residual.append(member)
+            return
+        var, allowed = resolved
+        self._narrow(var, allowed)
+
+    def _assume_disjunction(self, disjunction: Or) -> None:
+        domain = Solver._single_variable_domain(disjunction)
+        if domain is None:
+            self._residual.append(disjunction)
+            return
+        var, allowed = domain
+        self._narrow(var, allowed)
+
+    def _narrow(self, var: Var, allowed: IntervalSet) -> None:
+        current = self._domains.get(var)
+        if self._frames:
+            frame = self._frames[-1]
+            if var not in frame.saved_domains:
+                frame.saved_domains[var] = (
+                    current if current is not None else _MISSING
+                )
+        if current is None:
+            current = IntervalSet.full(var.width)
+        narrowed = current.intersection(allowed)
+        self._domains[var] = narrowed
+        if narrowed.is_empty():
+            self._mark_unsat()
+
+    def _mark_unsat(self) -> None:
+        self._unsat = True
+
+    # -- queries --------------------------------------------------------------
+
+    def check(self, want_model: bool = False) -> SolverResult:
+        """Satisfiability of everything asserted so far."""
+        stats = self._owner.stats
+        if self._unsat:
+            stats.record_fast_path()
+            return SolverResult(verdict="unsat")
+        if not want_model and not self._residual:
+            # Pure per-variable domains, all non-empty: trivially satisfiable.
+            stats.record_fast_path()
+            return SolverResult(verdict="sat")
+        if want_model:
+            return self._owner.base.check(list(self._conjuncts), want_model=True)
+        return self._owner.check_cached(self._conjuncts)
+
+    def constraint_count(self) -> int:
+        return len(self._conjuncts)
+
+
+class IncrementalSolver:
+    """Factory for :class:`SolverContext` plus a shared memoization cache.
+
+    Wraps a base :class:`Solver`; all statistics (including cache and
+    fast-path counters) accumulate in ``base.stats`` so existing
+    instrumentation keeps working.
+    """
+
+    def __init__(
+        self,
+        base: Optional[Solver] = None,
+        max_cache_entries: int = 10_000,
+    ) -> None:
+        self.base = base if base is not None else Solver()
+        # LRU: keys hold references to full conjunct sets (O(path length)
+        # each), so the cache is bounded and evicts least-recently-used
+        # entries rather than silently ceasing to cache.
+        self._cache: "OrderedDict[frozenset, str]" = OrderedDict()
+        self._max_cache_entries = max_cache_entries
+        # Per-instance counters (SolverStats aggregates across every
+        # IncrementalSolver sharing the base solver).
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def stats(self) -> SolverStats:
+        return self.base.stats
+
+    def context(self) -> SolverContext:
+        return SolverContext(self)
+
+    # -- memoized full checks --------------------------------------------------
+
+    @staticmethod
+    def canonical_key(conjuncts: List[Formula]) -> frozenset:
+        """Order- and duplicate-insensitive key for a conjunction.  Every
+        formula node is a frozen dataclass (and ``IntervalSet`` is hashable),
+        so the conjunct set itself is the canonical form."""
+        return frozenset(conjuncts)
+
+    def check_cached(self, conjuncts: List[Formula]) -> SolverResult:
+        key = self.canonical_key(conjuncts)
+        verdict = self._cache.get(key)
+        if verdict is not None:
+            self._cache.move_to_end(key)
+            self._hits += 1
+            self.stats.record_cache_hit()
+            return SolverResult(verdict=verdict)
+        self._misses += 1
+        self.stats.record_cache_miss()
+        result = self.base.check(list(conjuncts))
+        self._cache[key] = result.verdict
+        if len(self._cache) > self._max_cache_entries:
+            self._cache.popitem(last=False)
+        return result
+
+    def cache_info(self) -> Tuple[int, int, int]:
+        """``(hits, misses, size)`` of *this* solver's memoization cache."""
+        return (self._hits, self._misses, len(self._cache))
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0

@@ -18,6 +18,13 @@ class SolverStats:
     time_seconds: float = 0.0
     atoms_processed: int = 0
     case_splits: int = 0
+    # Incremental-solver instrumentation: queries answered without a full
+    # solve, either because domain propagation alone decided them
+    # (``fast_paths``) or because a canonically-equal formula was memoized
+    # (``cache_hits``).  ``cache_misses`` counts memoized full solves.
+    fast_paths: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def record(self, verdict: str, elapsed: float, atoms: int, splits: int) -> None:
         self.calls += 1
@@ -31,6 +38,15 @@ class SolverStats:
         else:
             self.unknown += 1
 
+    def record_fast_path(self) -> None:
+        self.fast_paths += 1
+
+    def record_cache_hit(self) -> None:
+        self.cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        self.cache_misses += 1
+
     def merge(self, other: "SolverStats") -> None:
         self.calls += other.calls
         self.sat += other.sat
@@ -39,6 +55,9 @@ class SolverStats:
         self.time_seconds += other.time_seconds
         self.atoms_processed += other.atoms_processed
         self.case_splits += other.case_splits
+        self.fast_paths += other.fast_paths
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
 
 
 @dataclass

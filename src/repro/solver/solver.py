@@ -42,6 +42,9 @@ from repro.solver.theory import (
 )
 
 _ATOM_TYPES = (Eq, Ne, Lt, Le, Gt, Ge)
+_FORMULA_NODES = (
+    Eq, Ne, Lt, Le, Gt, Ge, Member, And, Or, Not, BoolTrue, BoolFalse,
+)
 
 
 class Solver:
@@ -111,9 +114,11 @@ class Solver:
 
     @staticmethod
     def _as_formula(constraints: Union[Formula, Sequence[Formula]]) -> Formula:
-        if isinstance(constraints, (list, tuple)):
-            return conjoin(constraints)
-        return constraints
+        if isinstance(constraints, _FORMULA_NODES):
+            return constraints
+        # Any other iterable (list, tuple, generator, AppendLog, ...) is a
+        # conjunction of formulas.
+        return conjoin(constraints)
 
     def _check_formula(
         self, formula: Formula, want_model: bool, splits: List[int]
@@ -139,6 +144,14 @@ class Solver:
         atoms: List[Atom] = []
         disjunctions: List[Or] = []
         domains: Dict[Var, IntervalSet] = dict(extra_domains)
+        # Member atoms outside the single-variable fragment cannot narrow a
+        # domain.  They are conjuncts, so dropping them only *relaxes* the
+        # problem: an "unsat" verdict on the rest is still sound, while a
+        # "sat" must degrade to "unknown" at the end.  (Mirrors how the
+        # theory solver treats unsupported comparison atoms — and keeps
+        # verdicts aligned with the incremental SolverContext, which also
+        # keeps propagating the remaining conjuncts.)
+        unsupported_member = False
 
         stack = list(conjuncts)
         while stack:
@@ -158,15 +171,14 @@ class Solver:
                 continue
             if isinstance(item, Member):
                 linear = linearize(item.term)
-                values: IntervalSet = item.values  # type: ignore[assignment]
                 if linear.is_constant():
-                    holds = (linear.constant in values) != item.negated
-                    if not holds:
+                    if not self._constant_member_holds(item, linear.constant):
                         return "unsat", None
                     continue
                 resolved = self._member_domain(item)
                 if resolved is None:
-                    return "unknown", None
+                    unsupported_member = True
+                    continue
                 var, allowed = resolved
                 current = domains.get(var, IntervalSet.full(var.width))
                 narrowed = current.intersection(allowed)
@@ -189,7 +201,10 @@ class Solver:
             raise TypeError(f"unexpected formula node: {item!r}")
 
         if not disjunctions:
-            return self._theory.check(atoms, domains, want_model)
+            verdict, model = self._theory.check(atoms, domains, want_model)
+            if unsupported_member and verdict == "sat":
+                return "unknown", None
+            return verdict, model
 
         # Quick feasibility check of the non-disjunctive part before splitting.
         base_verdict, _ = self._theory.check(atoms, domains, want_model=False)
@@ -212,10 +227,21 @@ class Solver:
                 branch_conjuncts, domains, want_model, splits
             )
             if verdict == "sat":
+                if unsupported_member:
+                    return "unknown", None
                 return "sat", model
             if verdict == "unknown":
                 saw_unknown = True
+        # All branches unsat: sound even with a dropped unsupported Member,
+        # since dropping a conjunct only relaxes the problem.
         return ("unknown", None) if saw_unknown else ("unsat", None)
+
+    @staticmethod
+    def _constant_member_holds(atom: Member, constant: int) -> bool:
+        """Decide a Member atom whose term linearized to a constant.  Shared
+        with the incremental solver so the two tiers cannot diverge."""
+        values: IntervalSet = atom.values  # type: ignore[assignment]
+        return (constant in values) != atom.negated
 
     @staticmethod
     def _member_domain(atom: Member) -> Optional[Tuple[Var, IntervalSet]]:

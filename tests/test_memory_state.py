@@ -204,3 +204,109 @@ class TestExecutionState:
         self.state.snapshot_port("a:in0")
         assert len(self.state.snapshots_for("a:in0")) == 2
         assert self.state.snapshots_for("b:in0") == []
+
+
+class TestCopyOnWrite:
+    """Clones share structure until one side mutates; both directions of
+    mutation must stay isolated."""
+
+    def test_header_parent_mutation_does_not_leak_into_clone(self):
+        memory = HeaderMemory()
+        memory.allocate(96, 32)
+        memory.write(96, Const(1), 32)
+        copy = memory.clone()
+        memory.write(96, Const(2), 32)
+        assert copy.read(96, 32) == Const(1)
+        assert memory.read(96, 32) == Const(2)
+
+    def test_header_clone_mutation_does_not_leak_into_parent(self):
+        memory = HeaderMemory()
+        memory.allocate(96, 32)
+        memory.write(96, Const(1), 32)
+        copy = memory.clone()
+        copy.write(96, Const(3), 32)
+        copy.allocate(200, 8)
+        assert memory.read(96, 32) == Const(1)
+        assert not memory.is_allocated(200)
+        assert copy.history(96) == [Const(1), Const(3)]
+        assert memory.history(96) == [Const(1)]
+
+    def test_header_deallocate_after_clone_is_isolated(self):
+        memory = HeaderMemory()
+        memory.allocate(96, 32)
+        memory.allocate(96, 16)  # stacked allocation
+        copy = memory.clone()
+        copy.deallocate(96, 16)
+        assert memory.depth(96) == 2
+        assert copy.depth(96) == 1
+
+    def test_clone_of_clone_stays_isolated(self):
+        memory = HeaderMemory()
+        memory.allocate(96, 32)
+        memory.write(96, Const(1), 32)
+        child = memory.clone()
+        grandchild = child.clone()
+        child.write(96, Const(2), 32)
+        grandchild.write(96, Const(3), 32)
+        assert memory.read(96, 32) == Const(1)
+        assert child.read(96, 32) == Const(2)
+        assert grandchild.read(96, 32) == Const(3)
+
+    def test_metadata_cow_isolation(self):
+        store = MetadataStore()
+        store.allocate("seen")
+        store.write("seen", Const(1))
+        copy = store.clone()
+        copy.write("seen", Const(2))
+        store.allocate("other")
+        assert store.read("seen") == Const(1)
+        assert copy.read("seen") == Const(2)
+        assert not copy.is_allocated("other")
+        copy.deallocate("seen")
+        assert store.is_allocated("seen")
+
+
+class TestAppendLog:
+    def test_append_iter_len(self):
+        from repro.core.state import AppendLog
+
+        log = AppendLog()
+        assert not log
+        log.append("a")
+        log.append("b")
+        assert len(log) == 2
+        assert list(log) == ["a", "b"]
+
+    def test_clone_shares_prefix_and_isolates_tails(self):
+        from repro.core.state import AppendLog
+
+        log = AppendLog()
+        log.append("a")
+        copy = log.clone()
+        log.append("parent-only")
+        copy.append("copy-only")
+        assert list(log) == ["a", "parent-only"]
+        assert list(copy) == ["a", "copy-only"]
+        grandchild = copy.clone()
+        copy.append("later")
+        assert list(grandchild) == ["a", "copy-only"]
+        assert len(grandchild) == 2
+
+    def test_state_traces_are_cow(self):
+        state = ExecutionState()
+        state.record_port("a:in0")
+        state.record_instruction("Assign(x)")
+        copy = state.clone()
+        state.record_port("b:in0")
+        copy.record_port("c:in0")
+        assert list(state.port_trace) == ["a:in0", "b:in0"]
+        assert list(copy.port_trace) == ["a:in0", "c:in0"]
+        assert list(copy.instruction_trace) == ["Assign(x)"]
+
+    def test_port_snapshots_are_cow(self):
+        state = ExecutionState()
+        state.snapshot_port("a:in0")
+        copy = state.clone()
+        copy.snapshot_port("a:in0")
+        assert len(state.snapshots_for("a:in0")) == 1
+        assert len(copy.snapshots_for("a:in0")) == 2

@@ -1,0 +1,152 @@
+"""Tests for pluggable exploration strategies and max_paths truncation."""
+
+import pytest
+
+from repro import ExecutionSettings, Network, NetworkElement, SymbolicExecutor, models
+from repro.core.strategy import (
+    BreadthFirstStrategy,
+    CoverageOrderedStrategy,
+    DepthFirstStrategy,
+    STRATEGIES,
+    make_strategy,
+)
+from repro.sefl import Eq, Fork, Forward, If, InstructionBlock, TcpDst
+
+
+def build_fork_heavy_network(depth=3, fanout=2):
+    """A tree of fork elements: every level duplicates the packet to
+    ``fanout`` children, and the leaves also branch on a symbolic If —
+    2 * fanout**depth terminal paths."""
+    network = Network()
+
+    def add_level(name, level):
+        if level == depth:
+            leaf = NetworkElement(name, ["in0"], ["out0", "out1"])
+            leaf.set_input_program(
+                "in0", If(Eq(TcpDst, 80), Forward("out0"), Forward("out1"))
+            )
+            network.add_element(leaf)
+            return
+        outputs = [f"out{i}" for i in range(fanout)]
+        node = NetworkElement(name, ["in0"], outputs)
+        node.set_input_program("in0", Fork(*outputs))
+        network.add_element(node)
+        for index in range(fanout):
+            child = f"{name}_{index}"
+            add_level(child, level + 1)
+            network.add_link((name, f"out{index}"), (child, "in0"))
+
+    add_level("root", 0)
+    return network
+
+
+def path_set(result):
+    """Order-insensitive fingerprint of the explored paths."""
+    return sorted(
+        (record.status, str(record.last_port), tuple(record.state.port_trace))
+        for record in result.paths
+    )
+
+
+def run_with_strategy(network, strategy, **kwargs):
+    settings = ExecutionSettings(strategy=strategy, **kwargs)
+    executor = SymbolicExecutor(network, settings=settings)
+    return executor.inject(models.symbolic_tcp_packet(), "root", "in0")
+
+
+class TestStrategyEquivalence:
+    def test_all_strategies_explore_identical_path_sets(self):
+        network = build_fork_heavy_network(depth=3, fanout=2)
+        results = {
+            name: run_with_strategy(network, name) for name in sorted(STRATEGIES)
+        }
+        reference = path_set(results["dfs"])
+        assert len(reference) == 2 * 2**3  # 8 leaves x 2 If branches
+        for name, result in results.items():
+            assert path_set(result) == reference, name
+            assert not result.truncated
+
+    def test_dfs_and_bfs_orders_differ(self):
+        """Sanity check that the strategies are actually different: BFS
+        finishes all shallow work before deep work, so the discovery order
+        of terminal paths differs from DFS on a deep tree."""
+        network = build_fork_heavy_network(depth=3, fanout=2)
+        dfs = run_with_strategy(network, "dfs")
+        bfs = run_with_strategy(network, "bfs")
+        dfs_order = [tuple(p.state.port_trace) for p in dfs.paths]
+        bfs_order = [tuple(p.state.port_trace) for p in bfs.paths]
+        assert dfs_order != bfs_order
+        assert sorted(dfs_order) == sorted(bfs_order)
+
+    def test_incremental_and_legacy_solvers_agree(self):
+        network = build_fork_heavy_network(depth=2, fanout=3)
+        fast = run_with_strategy(network, "dfs", use_incremental_solver=True)
+        slow = run_with_strategy(network, "dfs", use_incremental_solver=False)
+        assert path_set(fast) == path_set(slow)
+
+
+class TestStrategyObjects:
+    def test_make_strategy_by_name(self):
+        assert isinstance(make_strategy("dfs"), DepthFirstStrategy)
+        assert isinstance(make_strategy("bfs"), BreadthFirstStrategy)
+        assert isinstance(make_strategy("coverage"), CoverageOrderedStrategy)
+
+    def test_make_strategy_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown exploration strategy"):
+            make_strategy("random-walk")
+
+    def test_make_strategy_from_factory(self):
+        frontier = make_strategy(BreadthFirstStrategy)
+        assert isinstance(frontier, BreadthFirstStrategy)
+
+    def test_dfs_is_lifo_bfs_is_fifo(self):
+        items = [(object(), "a", "in0"), (object(), "b", "in0")]
+        dfs = make_strategy("dfs")
+        bfs = make_strategy("bfs")
+        for item in items:
+            dfs.push(item)
+            bfs.push(item)
+        assert dfs.pop() is items[1]
+        assert bfs.pop() is items[0]
+
+    def test_coverage_prefers_least_visited_port(self):
+        frontier = make_strategy("coverage")
+        hot = (object(), "hot", "in0")
+        cold = (object(), "cold", "in0")
+        frontier.push(hot)
+        assert frontier.pop() is hot  # visits[hot] -> 1
+        frontier.push(hot)
+        frontier.push(cold)
+        assert frontier.pop() is cold  # never visited, beats hot
+        assert frontier.pop() is hot
+        assert len(frontier) == 0
+
+
+class TestTruncation:
+    def build_fan(self):
+        network = Network()
+        fan = NetworkElement("root", ["in0"], ["out0", "out1", "out2"])
+        fan.set_input_program("in0", Fork("out0", "out1", "out2"))
+        network.add_element(fan)
+        for index in range(3):
+            sink = NetworkElement(f"sink{index}", ["in0"], ["out0"])
+            sink.set_input_program("in0", Forward("out0"))
+            network.add_element(sink)
+            network.add_link(("root", f"out{index}"), (f"sink{index}", "in0"))
+        return network
+
+    def test_truncated_flag_set_when_budget_hits(self):
+        result = run_with_strategy(self.build_fan(), "dfs", max_paths=1)
+        assert result.truncated
+        assert 1 <= len(result.paths) < 3
+
+    def test_truncated_flag_clear_on_full_exploration(self):
+        result = run_with_strategy(self.build_fan(), "dfs")
+        assert not result.truncated
+        assert len(result.delivered()) == 3
+
+    def test_truncated_is_reported_in_json(self):
+        import json
+
+        result = run_with_strategy(self.build_fan(), "dfs", max_paths=1)
+        assert json.loads(result.to_json())["truncated"] is True
