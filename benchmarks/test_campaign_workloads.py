@@ -1,0 +1,85 @@
+"""Campaign benchmarks: network-wide analyses over the evaluation workloads.
+
+The paper's per-port analyses (Tables 2/3, §8.5) answer one question at a
+time; the campaign layer sweeps every interesting injection port of the
+department, Split-TCP and Stanford-like workloads, checks that a process
+pool changes nothing but the wall clock, and reports the aggregated solver
+roll-ups.
+"""
+
+import pytest
+
+from repro.core.campaign import NetworkSource, VerificationCampaign
+
+from conftest import scaled
+
+DEPARTMENT_OPTIONS = dict(
+    access_switches=scaled(4, 15),
+    hosts_per_switch=scaled(2, 8),
+    mac_entries=scaled(300, 6000),
+    extra_routes=scaled(20, 400),
+)
+STANFORD_OPTIONS = dict(
+    zones=scaled(4, 16),
+    internal_prefixes_per_zone=scaled(30, 200),
+)
+
+
+def _run(source, workers):
+    return VerificationCampaign(source).run(workers=workers)
+
+
+def _report_row(bench_report, label, result):
+    stats = result.stats
+    bench_report.append(
+        f"Campaign | {label}: {stats.jobs} jobs, {stats.paths} paths, "
+        f"{result.reachability.pair_count()} reachable pairs, "
+        f"loop_free={result.loop_report.loop_free}, "
+        f"solver calls={stats.solver_calls} "
+        f"(fast={stats.solver_fast_paths}, hits={stats.solver_cache_hits}), "
+        f"wall {stats.wall_clock_seconds:.2f}s ({result.execution_mode})"
+    )
+
+
+def test_department_campaign_parallel_equals_sequential(benchmark, bench_report):
+    source = NetworkSource.from_workload("department", **DEPARTMENT_OPTIONS)
+    sequential = _run(source, workers=1)
+    parallel = benchmark.pedantic(_run, args=(source, 2), rounds=1, iterations=1)
+    _report_row(bench_report, "department seq", sequential)
+    _report_row(bench_report, "department x2 ", parallel)
+    assert sequential.reachability == parallel.reachability
+    assert (
+        sequential.invariant_report.fingerprint()
+        == parallel.invariant_report.fingerprint()
+    )
+    # §8.5's finding, network-wide: the management plane is reachable both
+    # from the Internet and from the cluster.
+    for vantage in ("m1:in-internet", "cluster:in-node"):
+        assert sequential.reachability.reachable(
+            vantage, "switch-management:reached"
+        )
+
+
+def test_stanford_campaign_all_pairs(benchmark, bench_report):
+    source = NetworkSource.from_workload("stanford", **STANFORD_OPTIONS)
+    result = benchmark.pedantic(_run, args=(source, 2), rounds=1, iterations=1)
+    _report_row(bench_report, "stanford all-pairs", result)
+    zones = STANFORD_OPTIONS["zones"]
+    # Every zone reaches every other zone's hosts port: a full off-diagonal
+    # reachability matrix.
+    for src in range(zones):
+        for dst in range(zones):
+            if src == dst:
+                continue
+            assert result.reachability.reachable(
+                f"zr{src}:in-hosts", f"zr{dst}:hosts"
+            ), (src, dst)
+    assert result.loop_report.loop_free
+
+
+def test_enterprise_campaign_round_trip(bench_report):
+    source = NetworkSource.from_workload("enterprise", mirror_at_exit=True)
+    result = _run(source, workers=1)
+    _report_row(bench_report, "enterprise mirror", result)
+    # With the exit mirror, client traffic must come back to the client.
+    assert result.reachability.reachable("AP:in0", "R1:to-client")

@@ -9,6 +9,8 @@ the tool is the list of explored paths in json format."
 Usage::
 
     python -m repro.cli reachability NETWORK_DIR ELEMENT PORT [options]
+    python -m repro.cli campaign NETWORK_DIR [--workers N] [--query ...]
+    python -m repro.cli campaign --workload department [--workers N]
     python -m repro.cli show NETWORK_DIR
 
 ``NETWORK_DIR`` must contain ``topology.txt`` plus the per-device snapshot
@@ -17,6 +19,12 @@ The injected packet is a fully symbolic TCP packet unless ``--packet`` picks
 another template, and individual header fields can be pinned with
 ``--field NAME=VALUE`` (IP addresses and MAC addresses are accepted in their
 usual textual forms).
+
+``campaign`` runs the network-wide workflow: one symbolic execution per
+injection port (every free input port unless ``--inject`` narrows it),
+optionally on a process pool, aggregated into a reachability matrix, a loop
+report and invariant checks.  ``--workload`` swaps the directory for one of
+the built-in synthetic workloads (department / enterprise / stanford).
 """
 
 from __future__ import annotations
@@ -24,21 +32,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.campaign import (
+    CAMPAIGN_QUERIES,
+    DEFAULT_INVARIANT_FIELDS,
+    NetworkSource,
+    PACKET_TEMPLATES,
+    VerificationCampaign,
+)
 from repro.core.engine import ExecutionSettings, SymbolicExecutor
 from repro.core.strategy import STRATEGIES
-from repro.models import host as host_models
+from repro.network.topology import Network
 from repro.parsers.topology_file import load_network_directory
 from repro.sefl.fields import HeaderField, standard_fields
 from repro.sefl.util import ip_to_number, mac_to_number
-
-PACKET_TEMPLATES = {
-    "tcp": host_models.symbolic_tcp_packet,
-    "udp": host_models.symbolic_udp_packet,
-    "ip": host_models.symbolic_ip_packet,
-    "icmp": host_models.symbolic_icmp_packet,
-}
+from repro.workloads import CAMPAIGN_WORKLOADS
 
 
 def _parse_field_value(field: HeaderField, text: str) -> int:
@@ -66,6 +75,37 @@ def _parse_overrides(pairs: Sequence[str]) -> Dict[HeaderField, int]:
         field = fields[name]
         overrides[field] = _parse_field_value(field, raw)
     return overrides
+
+
+def _warn_validation_problems(network: Network) -> List[str]:
+    """Surface Network.validate() findings (dangling links etc.) on stderr
+    before execution starts; the analysis still runs."""
+    problems = network.validate()
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    return problems
+
+
+def _parse_workload_option(pair: str) -> Tuple[str, object]:
+    key, _, raw = pair.partition("=")
+    if not raw:
+        raise SystemExit(f"--workload-option expects KEY=VALUE, got {pair!r}")
+    value: object
+    if raw.lower() in ("true", "false"):
+        value = raw.lower() == "true"
+    else:
+        try:
+            value = int(raw)
+        except ValueError:
+            value = raw
+    return key, value
+
+
+def _parse_injection(text: str) -> Tuple[str, str]:
+    element, sep, port = text.partition(":")
+    if not sep or not element or not port:
+        raise SystemExit(f"--inject expects ELEMENT:PORT, got {text!r}")
+    return element, port
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -115,6 +155,63 @@ def _build_parser() -> argparse.ArgumentParser:
     reach.add_argument(
         "--output", "-o", default=None, help="write the JSON report to a file"
     )
+
+    camp = sub.add_parser(
+        "campaign",
+        help="network-wide verification: run one symbolic execution per "
+        "injection port (optionally in parallel) and aggregate the results",
+    )
+    camp.add_argument(
+        "directory", nargs="?", default=None,
+        help="network directory (omit when using --workload)",
+    )
+    camp.add_argument(
+        "--workload", choices=sorted(CAMPAIGN_WORKLOADS),
+        help="analyze a registered synthetic workload instead of a directory",
+    )
+    camp.add_argument(
+        "--workload-option", action="append", default=[], metavar="KEY=VALUE",
+        help="builder option for --workload, e.g. access_switches=4 (repeatable)",
+    )
+    camp.add_argument(
+        "--inject", action="append", default=[], metavar="ELEMENT:PORT",
+        help="injection point (repeatable; default: the workload's registered "
+        "entry points, or every input port with no incoming link)",
+    )
+    camp.add_argument(
+        "--workers", type=int, default=1,
+        help="run jobs on a process pool of this size (default: in-process)",
+    )
+    camp.add_argument(
+        "--query", action="append", default=[], dest="queries",
+        choices=sorted(CAMPAIGN_QUERIES) + ["all"],
+        help="query to aggregate (repeatable; default: all)",
+    )
+    camp.add_argument(
+        "--packet", choices=sorted(PACKET_TEMPLATES), default="tcp",
+        help="packet template to inject (default: tcp)",
+    )
+    camp.add_argument(
+        "--field", action="append", default=[], metavar="NAME=VALUE",
+        help="pin a header field to a concrete value (repeatable)",
+    )
+    camp.add_argument(
+        "--invariant-field", action="append", default=[], metavar="NAME",
+        help="header field checked by the invariants query (repeatable; "
+        f"default: {', '.join(DEFAULT_INVARIANT_FIELDS)})",
+    )
+    camp.add_argument("--max-hops", type=int, default=defaults.max_hops)
+    camp.add_argument("--max-paths", type=int, default=defaults.max_paths)
+    camp.add_argument(
+        "--strategy", choices=sorted(STRATEGIES), default=defaults.strategy,
+    )
+    camp.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable the incremental solver in every job",
+    )
+    camp.add_argument(
+        "--output", "-o", default=None, help="write the JSON report to a file"
+    )
     return parser
 
 
@@ -141,6 +238,7 @@ def _command_show(directory: str) -> int:
 
 def _command_reachability(args: argparse.Namespace) -> int:
     network = load_network_directory(args.directory)
+    _warn_validation_problems(network)
     overrides = _parse_overrides(args.field)
     packet_program = PACKET_TEMPLATES[args.packet](overrides or None)
     settings = ExecutionSettings(
@@ -170,12 +268,66 @@ def _command_reachability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_campaign(args: argparse.Namespace) -> int:
+    if bool(args.directory) == bool(args.workload):
+        raise SystemExit("campaign needs a network directory or --workload (not both)")
+    if args.workload:
+        options = dict(_parse_workload_option(pair) for pair in args.workload_option)
+        source = NetworkSource.from_workload(args.workload, **options)
+    else:
+        source = NetworkSource.from_directory(args.directory)
+
+    queries = tuple(args.queries) if args.queries else CAMPAIGN_QUERIES
+    if "all" in queries:
+        queries = CAMPAIGN_QUERIES
+    overrides = _parse_overrides(args.field)
+    campaign = VerificationCampaign(
+        source,
+        packet=args.packet,
+        field_values={field.name: value for field, value in overrides.items()},
+        queries=queries,
+        invariant_fields=tuple(args.invariant_field) or DEFAULT_INVARIANT_FIELDS,
+        max_hops=args.max_hops,
+        max_paths=args.max_paths,
+        strategy=args.strategy,
+        use_incremental_solver=not args.no_incremental,
+    )
+    # campaign.run() reuses this campaign-cached validation for the report.
+    for problem in campaign.validate():
+        print(f"warning: {problem}", file=sys.stderr)
+    if args.inject:
+        campaign.add_injections(_parse_injection(text) for text in args.inject)
+
+    result = campaign.run(workers=args.workers)
+    report = result.to_json()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        pairs = (
+            f"{result.reachability.pair_count()} reachable pairs, "
+            if "reachability" in result.queries
+            else ""
+        )
+        print(
+            f"wrote campaign report to {args.output} "
+            f"({result.stats.jobs} jobs, {result.stats.paths} paths, "
+            f"{pairs}{result.execution_mode})"
+        )
+    else:
+        print(report)
+    for source_key, error in result.job_errors:
+        print(f"error: job {source_key} failed: {error}", file=sys.stderr)
+    return 1 if result.job_errors else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "show":
         return _command_show(args.directory)
     if args.command == "reachability":
         return _command_reachability(args)
+    if args.command == "campaign":
+        return _command_campaign(args)
     raise SystemExit(2)
 
 

@@ -10,9 +10,23 @@ Public entry points:
   :class:`repro.network.Network`;
 * :class:`repro.core.state.ExecutionState` — the per-path symbolic state;
 * :mod:`repro.core.verification` — reachability, loop detection, invariance,
-  header visibility and memory-safety analyses built on the engine.
+  header visibility and memory-safety analyses built on the engine;
+* :class:`repro.core.campaign.VerificationCampaign` — network-wide campaigns
+  fanning one network out across many injection ports (optionally on a
+  process pool) and aggregating the :mod:`repro.core.queries` objects.
 """
 
+from repro.core.campaign import (
+    CAMPAIGN_QUERIES,
+    CampaignJob,
+    CampaignResult,
+    JobReport,
+    NetworkSource,
+    VerificationCampaign,
+    clear_runtime_cache,
+    execute_job,
+    free_input_ports,
+)
 from repro.core.engine import ExecutionSettings, SymbolicExecutor
 from repro.core.errors import (
     MemorySafetyError,
@@ -20,6 +34,13 @@ from repro.core.errors import (
     SymNetError,
 )
 from repro.core.paths import ExecutionResult, PathRecord, PathStatus
+from repro.core.queries import (
+    CampaignStats,
+    InvariantReport,
+    LoopFinding,
+    LoopReport,
+    ReachabilityMatrix,
+)
 from repro.core.state import ExecutionState
 from repro.core.strategy import (
     BreadthFirstStrategy,
@@ -34,20 +55,34 @@ from repro.core import verification
 
 __all__ = [
     "BreadthFirstStrategy",
+    "CAMPAIGN_QUERIES",
+    "CampaignJob",
+    "CampaignResult",
+    "CampaignStats",
     "CoverageOrderedStrategy",
     "DepthFirstStrategy",
     "ExecutionResult",
     "ExecutionSettings",
     "ExecutionState",
     "ExplorationStrategy",
+    "InvariantReport",
+    "JobReport",
+    "LoopFinding",
+    "LoopReport",
     "MemorySafetyError",
     "ModelError",
+    "NetworkSource",
     "PathRecord",
     "PathStatus",
+    "ReachabilityMatrix",
     "STRATEGIES",
     "SymNetError",
     "SymbolFactory",
     "SymbolicExecutor",
+    "VerificationCampaign",
+    "clear_runtime_cache",
+    "execute_job",
+    "free_input_ports",
     "make_strategy",
     "verification",
 ]

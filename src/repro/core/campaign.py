@@ -1,0 +1,674 @@
+"""Verification campaigns: fan one network out across many injection ports.
+
+The engine answers questions about one injection port at a time; the claims
+that matter operationally are network-wide.  A :class:`VerificationCampaign`
+takes a network *source*, a set of injection points and packet templates,
+runs one :class:`~repro.core.engine.SymbolicExecutor` job per injection
+point — concurrently on a process pool when asked — and aggregates the
+per-job reports into the query objects of :mod:`repro.core.queries`.
+
+Process-pool execution never ships a :class:`~repro.network.topology.Network`
+across the process boundary: SEFL programs contain closures (``For`` bodies)
+that do not pickle.  Instead each job carries a :class:`NetworkSource` — a
+picklable *recipe* ("load this directory", "build this workload with these
+options") — and each worker process rebuilds the network once, caches it,
+and reuses it (plus its solver memo cache) for every job it receives.
+Networks built in-process (``NetworkSource.from_network``) cannot be
+shipped, so those campaigns transparently fall back to in-process execution.
+
+The aggregation is order-independent, so a campaign run on ``--workers N``
+produces bit-identical query results to a sequential run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.engine import ExecutionSettings, SymbolicExecutor
+from repro.core.errors import MemorySafetyError
+from repro.core.paths import ExecutionResult, PathStatus
+from repro.core.queries import (
+    CampaignStats,
+    InvariantReport,
+    LoopFinding,
+    LoopReport,
+    ReachabilityMatrix,
+    port_key,
+)
+from repro.core.verification import field_invariant
+from repro.models import host as host_models
+from repro.network.topology import Network
+from repro.sefl.fields import standard_fields
+from repro.solver.solver import Solver
+
+#: Packet templates a campaign (and the CLI) can inject, by name.
+PACKET_TEMPLATES = {
+    "tcp": host_models.symbolic_tcp_packet,
+    "udp": host_models.symbolic_udp_packet,
+    "ip": host_models.symbolic_ip_packet,
+    "icmp": host_models.symbolic_icmp_packet,
+}
+
+QUERY_REACHABILITY = "reachability"
+QUERY_LOOPS = "loops"
+QUERY_INVARIANTS = "invariants"
+#: Query names the campaign understands; see queries.py for how to add one.
+CAMPAIGN_QUERIES = (QUERY_REACHABILITY, QUERY_LOOPS, QUERY_INVARIANTS)
+
+#: Header fields whose invariance the ``invariants`` query checks by default.
+DEFAULT_INVARIANT_FIELDS = ("IpSrc", "IpDst")
+
+
+# ---------------------------------------------------------------------------
+# Network sources
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NetworkSource:
+    """A picklable recipe for (re)building a network in a worker process.
+
+    ``kind`` is one of ``"directory"`` (a §7.1 snapshot directory),
+    ``"workload"`` (a registered synthetic workload builder) or ``"object"``
+    (an in-process :class:`Network`, which forces in-process execution).
+
+    ``fingerprint`` pins directory sources to the state of every file in the
+    directory (topology *and* device snapshots) at source-creation time, so
+    the per-process runtime cache does not serve a stale network after any
+    of them is edited between campaigns.
+    """
+
+    kind: str
+    directory: Optional[str] = None
+    workload: Optional[str] = None
+    options: Tuple[Tuple[str, object], ...] = ()
+    fingerprint: Tuple = ()
+    network: Optional[Network] = field(default=None, compare=False, repr=False)
+
+    @classmethod
+    def from_directory(cls, directory: str) -> "NetworkSource":
+        directory = os.path.abspath(directory)
+        entries = []
+        try:
+            for entry in os.scandir(directory):
+                if entry.is_file():
+                    stat = entry.stat()
+                    entries.append((entry.name, stat.st_mtime_ns, stat.st_size))
+        except OSError:
+            pass
+        return cls(
+            kind="directory",
+            directory=directory,
+            fingerprint=tuple(sorted(entries)),
+        )
+
+    @classmethod
+    def from_workload(cls, name: str, **options: object) -> "NetworkSource":
+        return cls(
+            kind="workload",
+            workload=name,
+            options=tuple(sorted(options.items())),
+        )
+
+    @classmethod
+    def from_network(cls, network: Network) -> "NetworkSource":
+        return cls(kind="object", network=network)
+
+    @property
+    def picklable(self) -> bool:
+        return self.kind != "object"
+
+    def cache_key(self) -> Tuple:
+        if self.kind == "object":
+            return ("object", id(self.network))
+        return (
+            self.kind,
+            self.directory,
+            self.workload,
+            self.options,
+            self.fingerprint,
+        )
+
+    def describe(self) -> str:
+        if self.kind == "directory":
+            return self.directory or "<directory>"
+        if self.kind == "workload":
+            opts = ", ".join(f"{k}={v}" for k, v in self.options)
+            return f"workload:{self.workload}({opts})"
+        return f"network:{self.network.name if self.network else '?'}"
+
+    def build_full(self) -> Tuple[Network, Optional[List[Tuple[str, str]]]]:
+        """Build the network plus the source's registered injection ports
+        (``None`` when the source kind does not define any)."""
+        if self.kind == "directory":
+            from repro.parsers.topology_file import load_network_directory
+
+            return load_network_directory(self.directory), None
+        if self.kind == "workload":
+            from repro.workloads import build_campaign_network
+
+            return build_campaign_network(self.workload, **dict(self.options))
+        if self.kind == "object":
+            if self.network is None:
+                raise ValueError("object network source lost its network")
+            return self.network, None
+        raise ValueError(f"unknown network source kind {self.kind!r}")
+
+    def build(self) -> Network:
+        return self.build_full()[0]
+
+
+def free_input_ports(network: Network) -> List[Tuple[str, str]]:
+    """Input ports with no incoming link — the natural injection points.
+
+    Links whose *source* element does not exist (dangling links kept by the
+    permissive topology parser) carry no traffic, so they do not count as
+    wiring: their destination ports stay injectable.
+    """
+    wired = {
+        (link.destination.element, link.destination.port)
+        for link in network.links
+        if network.has_element(link.source.element)
+    }
+    return [
+        (element.name, port)
+        for element in network
+        for port in element.input_ports
+        if (element.name, port) not in wired
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Jobs and per-job reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One unit of campaign work: inject one packet template at one port.
+
+    Everything in here must pickle: the network is referenced by recipe, the
+    packet by template name, header overrides by field *name*, the strategy
+    by registry name.
+    """
+
+    source: NetworkSource
+    element: str
+    port: str
+    packet: str = "tcp"
+    field_values: Tuple[Tuple[str, int], ...] = ()
+    queries: Tuple[str, ...] = CAMPAIGN_QUERIES
+    invariant_fields: Tuple[str, ...] = DEFAULT_INVARIANT_FIELDS
+    max_hops: int = 128
+    max_paths: int = 1_000_000
+    strategy: str = "dfs"
+    use_incremental_solver: bool = True
+
+    @property
+    def source_key(self) -> str:
+        return port_key(self.element, self.port)
+
+
+@dataclass
+class JobReport:
+    """Picklable digest of one job's :class:`ExecutionResult`.
+
+    Only plain data crosses the process boundary — no states, no solver
+    terms.  Queries that need solver work (invariants) run *in the worker*,
+    where the states still exist.
+    """
+
+    element: str
+    port: str
+    packet: str
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    delivered_to: Dict[str, int] = field(default_factory=dict)
+    loops: List[Dict[str, object]] = field(default_factory=list)
+    drop_reasons: Dict[str, int] = field(default_factory=dict)
+    invariants: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    truncated: bool = False
+    error: Optional[str] = None
+    worker_pid: int = 0
+    elapsed_seconds: float = 0.0
+    solver_calls: int = 0
+    solver_time_seconds: float = 0.0
+    solver_fast_paths: int = 0
+    solver_cache_hits: int = 0
+    solver_cache_misses: int = 0
+
+    @property
+    def source_key(self) -> str:
+        return port_key(self.element, self.port)
+
+    @property
+    def path_count(self) -> int:
+        return sum(self.status_counts.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "injected_at": self.source_key,
+            "packet": self.packet,
+            "status_counts": dict(sorted(self.status_counts.items())),
+            "delivered_to": dict(sorted(self.delivered_to.items())),
+            "loops": list(self.loops),
+            "drop_reasons": dict(sorted(self.drop_reasons.items())),
+            "invariants": {k: dict(v) for k, v in sorted(self.invariants.items())},
+            "truncated": self.truncated,
+            "error": self.error,
+            "worker_pid": self.worker_pid,
+            "stats": {
+                "elapsed_seconds": self.elapsed_seconds,
+                "solver_calls": self.solver_calls,
+                "solver_time_seconds": self.solver_time_seconds,
+                "solver_fast_paths": self.solver_fast_paths,
+                "solver_cache_hits": self.solver_cache_hits,
+                "solver_cache_misses": self.solver_cache_misses,
+            },
+        }
+
+
+# Per-process runtime cache: one (network, solver) pair per network source,
+# so a worker receiving many jobs builds the network once and keeps the
+# solver memo cache warm across jobs.  Bounded LRU: long-lived processes
+# running campaigns over many networks must not retain them all.
+_RUNTIME_CACHE: "Dict[Tuple, Tuple[Network, Solver]]" = {}
+_RUNTIME_CACHE_LIMIT = 8
+
+
+def clear_runtime_cache() -> None:
+    """Drop every cached (network, solver) pair in this process."""
+    _RUNTIME_CACHE.clear()
+
+
+def _cache_runtime(key: Tuple, runtime: Tuple[Network, Solver]) -> None:
+    _RUNTIME_CACHE[key] = runtime
+    while len(_RUNTIME_CACHE) > _RUNTIME_CACHE_LIMIT:
+        _RUNTIME_CACHE.pop(next(iter(_RUNTIME_CACHE)))
+
+
+def _runtime_for(source: NetworkSource) -> Tuple[Network, Solver]:
+    key = source.cache_key()
+    runtime = _RUNTIME_CACHE.pop(key, None)
+    if runtime is None:
+        runtime = (source.build(), Solver())
+    _cache_runtime(key, runtime)  # (re)insert at the end: LRU recency
+    return runtime
+
+
+def _seed_runtime(source: NetworkSource, network: Network) -> None:
+    """Pre-populate the cache with an already-built network (in-process
+    sequential runs and "object" sources)."""
+    if source.cache_key() not in _RUNTIME_CACHE:
+        _cache_runtime(source.cache_key(), (network, Solver()))
+
+
+def _packet_program(job: CampaignJob):
+    try:
+        template = PACKET_TEMPLATES[job.packet]
+    except KeyError:
+        known = ", ".join(sorted(PACKET_TEMPLATES))
+        raise ValueError(f"unknown packet template {job.packet!r}; known: {known}")
+    if not job.field_values:
+        return template()
+    fields = standard_fields()
+    overrides = {fields[name]: value for name, value in job.field_values}
+    return template(overrides)
+
+
+def _check_invariants(
+    result: ExecutionResult, job: CampaignJob, solver: Solver
+) -> Dict[str, Dict[str, int]]:
+    """Field invariance on every delivered path, computed where the states
+    live (worker side)."""
+    fields = standard_fields()
+    report: Dict[str, Dict[str, int]] = {}
+    for name in job.invariant_fields:
+        variable = fields.get(name, name)
+        checked = held = skipped = 0
+        for path in result.delivered():
+            try:
+                holds = field_invariant(path, variable, solver)
+            except MemorySafetyError:
+                # The template did not allocate this field (e.g. TcpDst on
+                # an ICMP packet): skipped, not a verdict.  Anything else
+                # propagates — a broken query must not masquerade as an
+                # inapplicable field (it becomes the job's error).
+                skipped += 1
+                continue
+            checked += 1
+            held += 1 if holds else 0
+        report[name] = {"checked": checked, "held": held, "skipped": skipped}
+    return report
+
+
+def execute_job(job: CampaignJob) -> JobReport:
+    """Run one campaign job in this process and digest the result.
+
+    This is the process-pool entry point; it must stay a module-level
+    function so it pickles by reference.
+    """
+    report = JobReport(
+        element=job.element, port=job.port, packet=job.packet, worker_pid=os.getpid()
+    )
+    try:
+        network, solver = _runtime_for(job.source)
+        settings = ExecutionSettings(
+            max_hops=job.max_hops,
+            max_paths=job.max_paths,
+            strategy=job.strategy,
+            use_incremental_solver=job.use_incremental_solver,
+        )
+        executor = SymbolicExecutor(network, solver=solver, settings=settings)
+        result = executor.inject(_packet_program(job), job.element, job.port)
+    except Exception as exc:  # surface, never kill the whole campaign
+        report.error = f"{type(exc).__name__}: {exc}"
+        return report
+
+    report.status_counts = result.summary_counts()
+    report.truncated = result.truncated
+    report.elapsed_seconds = result.elapsed_seconds
+    report.solver_calls = result.solver_calls
+    report.solver_time_seconds = result.solver_time_seconds
+    report.solver_fast_paths = result.solver_fast_paths
+    report.solver_cache_hits = result.solver_cache_hits
+    report.solver_cache_misses = result.solver_cache_misses
+
+    try:
+        if QUERY_REACHABILITY in job.queries:
+            for path in result.delivered():
+                destination = str(path.last_port)
+                report.delivered_to[destination] = (
+                    report.delivered_to.get(destination, 0) + 1
+                )
+        if QUERY_LOOPS in job.queries:
+            for path in result.loops():
+                report.loops.append(
+                    {
+                        "detected_at": str(path.last_port) if path.last_port else "?",
+                        "reason": path.stop_reason,
+                        "trace": list(path.ports_visited),
+                    }
+                )
+        if QUERY_INVARIANTS in job.queries:
+            for path in result.paths:
+                if path.status == PathStatus.DELIVERED:
+                    continue
+                reason = path.stop_reason
+                report.drop_reasons[reason] = report.drop_reasons.get(reason, 0) + 1
+            report.invariants = _check_invariants(result, job, solver)
+    except Exception as exc:
+        report.error = f"{type(exc).__name__}: {exc}"
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Campaign result
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of a verification campaign."""
+
+    source: str
+    queries: Tuple[str, ...]
+    jobs: List[JobReport] = field(default_factory=list)
+    validation_problems: List[str] = field(default_factory=list)
+    execution_mode: str = "in-process"
+    workers: int = 1
+    reachability: ReachabilityMatrix = field(default_factory=ReachabilityMatrix)
+    loop_report: LoopReport = field(default_factory=LoopReport)
+    invariant_report: InvariantReport = field(default_factory=InvariantReport)
+    stats: CampaignStats = field(default_factory=CampaignStats)
+
+    @classmethod
+    def aggregate(
+        cls,
+        source: str,
+        queries: Sequence[str],
+        jobs: Iterable[JobReport],
+        *,
+        validation_problems: Sequence[str] = (),
+        execution_mode: str = "in-process",
+        workers: int = 1,
+        wall_clock_seconds: float = 0.0,
+    ) -> "CampaignResult":
+        result = cls(
+            source=source,
+            queries=tuple(queries),
+            validation_problems=list(validation_problems),
+            execution_mode=execution_mode,
+            workers=workers,
+        )
+        # Sort by injection point so aggregation order (and therefore every
+        # fingerprint) is independent of completion order.
+        for job in sorted(jobs, key=lambda j: (j.element, j.port)):
+            result.jobs.append(job)
+            result.stats.absorb(
+                paths=job.path_count,
+                elapsed_seconds=job.elapsed_seconds,
+                solver_calls=job.solver_calls,
+                solver_time_seconds=job.solver_time_seconds,
+                solver_fast_paths=job.solver_fast_paths,
+                solver_cache_hits=job.solver_cache_hits,
+                solver_cache_misses=job.solver_cache_misses,
+                truncated=job.truncated,
+                failed=job.error is not None,
+            )
+            if job.error is not None:
+                continue
+            source_key = job.source_key
+            if QUERY_REACHABILITY in result.queries:
+                result.reachability.add_source(source_key)
+                for destination, count in job.delivered_to.items():
+                    result.reachability.record(source_key, destination, count)
+            if QUERY_LOOPS in result.queries:
+                result.loop_report.add_source(source_key)
+                for loop in job.loops:
+                    result.loop_report.record(
+                        LoopFinding(
+                            source=source_key,
+                            detected_at=str(loop.get("detected_at", "?")),
+                            reason=str(loop.get("reason", "")),
+                            trace=tuple(loop.get("trace", ())),
+                        )
+                    )
+            if QUERY_INVARIANTS in result.queries:
+                result.invariant_report.record_drops(source_key, job.drop_reasons)
+                for field_name, cell in job.invariants.items():
+                    result.invariant_report.record_field(
+                        source_key,
+                        field_name,
+                        checked=cell.get("checked", 0),
+                        held=cell.get("held", 0),
+                        skipped=cell.get("skipped", 0),
+                    )
+        result.stats.wall_clock_seconds = wall_clock_seconds
+        return result
+
+    @property
+    def job_errors(self) -> List[Tuple[str, str]]:
+        return [(job.source_key, job.error) for job in self.jobs if job.error]
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "network": self.source,
+            "queries": list(self.queries),
+            "workers": self.workers,
+            "execution_mode": self.execution_mode,
+            "validation_problems": list(self.validation_problems),
+            "stats": self.stats.to_dict(),
+            "jobs": [job.to_dict() for job in self.jobs],
+        }
+        if QUERY_REACHABILITY in self.queries:
+            payload["reachability"] = self.reachability.to_dict()
+        if QUERY_LOOPS in self.queries:
+            payload["loops"] = self.loop_report.to_dict()
+        if QUERY_INVARIANTS in self.queries:
+            payload["invariants"] = self.invariant_report.to_dict()
+        return payload
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+# ---------------------------------------------------------------------------
+# The campaign driver
+# ---------------------------------------------------------------------------
+
+
+class VerificationCampaign:
+    """Fan a network out across many injection ports and aggregate queries.
+
+    >>> campaign = VerificationCampaign(network)        # doctest: +SKIP
+    ... campaign.add_all_free_input_ports()
+    ... result = campaign.run(workers=4)
+    ... result.reachability.pairs()
+    """
+
+    #: Campaigns smaller than this run in-process even when workers > 1 —
+    #: forking costs more than the jobs themselves.
+    MIN_JOBS_FOR_POOL = 2
+
+    def __init__(
+        self,
+        source: Union[NetworkSource, Network, str],
+        *,
+        packet: str = "tcp",
+        field_values: Optional[Dict[str, int]] = None,
+        queries: Sequence[str] = CAMPAIGN_QUERIES,
+        invariant_fields: Sequence[str] = DEFAULT_INVARIANT_FIELDS,
+        max_hops: int = 128,
+        max_paths: int = 1_000_000,
+        strategy: str = "dfs",
+        use_incremental_solver: bool = True,
+    ) -> None:
+        if isinstance(source, Network):
+            source = NetworkSource.from_network(source)
+        elif isinstance(source, str):
+            source = NetworkSource.from_directory(source)
+        self.source = source
+        unknown = set(queries) - set(CAMPAIGN_QUERIES)
+        if unknown:
+            known = ", ".join(CAMPAIGN_QUERIES)
+            raise ValueError(f"unknown queries {sorted(unknown)}; known: {known}")
+        self._job_template = CampaignJob(
+            source=source,
+            element="",
+            port="",
+            packet=packet,
+            field_values=tuple(sorted((field_values or {}).items())),
+            queries=tuple(queries),
+            invariant_fields=tuple(invariant_fields),
+            max_hops=max_hops,
+            max_paths=max_paths,
+            strategy=strategy,
+            use_incremental_solver=use_incremental_solver,
+        )
+        self._injections: List[Tuple[str, str]] = []
+        self._network: Optional[Network] = None
+        self._registered_injections: Optional[List[Tuple[str, str]]] = None
+        self._validation: Optional[List[str]] = None
+
+    # -- injection points ---------------------------------------------------------
+
+    def add_injection(self, element: str, port: str = "in0") -> "VerificationCampaign":
+        self._injections.append((element, port))
+        return self
+
+    def add_injections(
+        self, injections: Iterable[Tuple[str, str]]
+    ) -> "VerificationCampaign":
+        for element, port in injections:
+            self.add_injection(element, port)
+        return self
+
+    def add_all_free_input_ports(self) -> "VerificationCampaign":
+        """Inject at every input port that no link feeds (network edges)."""
+        return self.add_injections(free_input_ports(self.network()))
+
+    def add_default_injections(self) -> "VerificationCampaign":
+        """The workload's registered injection ports, or every free input
+        port when the source does not define any.  Fully wired networks
+        (rings) have no free edges; those fall back to every input port."""
+        self.network()  # one build populates _registered_injections too
+        if self._registered_injections:
+            return self.add_injections(self._registered_injections)
+        free = free_input_ports(self.network())
+        if free:
+            return self.add_injections(free)
+        return self.add_injections(
+            (element.name, port)
+            for element in self.network()
+            for port in element.input_ports
+        )
+
+    @property
+    def injections(self) -> List[Tuple[str, str]]:
+        return list(self._injections)
+
+    # -- execution ------------------------------------------------------------------
+
+    def network(self) -> Network:
+        """The campaign's network, built once (and cached) in this process."""
+        if self._network is None:
+            self._network, self._registered_injections = self.source.build_full()
+            # Seed the in-process runtime so sequential execution reuses
+            # this build instead of re-running the recipe per job.
+            _seed_runtime(self.source, self._network)
+        return self._network
+
+    def validate(self) -> List[str]:
+        """Structural problems of the network, computed once per campaign."""
+        if self._validation is None:
+            self._validation = self.network().validate()
+        return self._validation
+
+    def jobs(self) -> List[CampaignJob]:
+        if not self._injections:
+            self.add_default_injections()
+        return [
+            replace(self._job_template, element=element, port=port)
+            for element, port in sorted(set(self._injections))
+        ]
+
+    def run(self, workers: int = 1) -> CampaignResult:
+        started = time.perf_counter()
+        validation_problems = self.validate()
+        jobs = self.jobs()
+        reports: Optional[List[JobReport]] = None
+        mode = "in-process"
+        if (
+            workers > 1
+            and self.source.picklable
+            and len(jobs) >= self.MIN_JOBS_FOR_POOL
+        ):
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(jobs))
+                ) as pool:
+                    reports = list(pool.map(execute_job, jobs))
+                mode = "process-pool"
+            except (OSError, RuntimeError):
+                # No usable multiprocessing in this environment (restricted
+                # sandboxes, missing semaphores, ...): degrade gracefully.
+                reports = None
+        if reports is None:
+            # self.network() above already seeded the runtime cache, so the
+            # sequential path executes against this campaign's own build.
+            reports = [execute_job(job) for job in jobs]
+        return CampaignResult.aggregate(
+            self.source.describe(),
+            self._job_template.queries,
+            reports,
+            validation_problems=validation_problems,
+            execution_mode=mode,
+            workers=workers,
+            wall_clock_seconds=time.perf_counter() - started,
+        )

@@ -216,6 +216,15 @@ class SymbolicExecutor:
                 outcome.state.status = PathStatus.DELIVERED
                 outcome.state.stop_reason = f"delivered at {out_id} (no outgoing link)"
                 self._record(result, outcome.state, out_id)
+            elif not self.network.has_element(destination.element):
+                # A dangling link (typo'd element in the topology file, kept
+                # by the permissive parser so Network.validate() can report
+                # it): terminate explicitly instead of crashing mid-run.
+                outcome.state.status = PathStatus.DROPPED
+                outcome.state.stop_reason = (
+                    f"dangling link {out_id} -> {destination} (unknown element)"
+                )
+                self._record(result, outcome.state, out_id)
             else:
                 frontier.push(
                     (outcome.state, destination.element, destination.port)

@@ -1,0 +1,411 @@
+"""First-class network-wide query objects for verification campaigns.
+
+A single :class:`~repro.core.engine.SymbolicExecutor` run answers questions
+about *one* injection port.  The paper's headline results are network-wide —
+"the reachability matrix of the Stanford backbone", "the network is loop
+free", "field X is invariant everywhere" — so campaigns aggregate many runs
+into the query objects defined here:
+
+* :class:`ReachabilityMatrix` — all-pairs reachability: which terminal ports
+  each injection port can deliver packets to, with path counts;
+* :class:`LoopReport` — every loop (or exhausted hop budget) found anywhere,
+  keyed by injection port;
+* :class:`InvariantReport` — per-field invariance verdicts plus drop-policy
+  coverage (every non-delivered path accounted for by an explicit reason).
+
+All objects are plain-data: built from the picklable per-job reports the
+campaign workers return, serialisable with ``to_dict``, and comparable via
+``fingerprint`` (used to assert parallel and sequential campaigns agree).
+
+Adding a new query type
+-----------------------
+
+1. Collect the raw (picklable!) facts in ``campaign.JobReport`` — they must
+   cross the process boundary, so no solver terms or execution states;
+2. add a result class here with ``from_jobs`` / ``to_dict`` / ``fingerprint``;
+3. register its name in :data:`repro.core.campaign.CAMPAIGN_QUERIES` so the
+   CLI accepts ``--query <name>`` and ``CampaignResult`` aggregates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def port_key(element: str, port: str) -> str:
+    """Canonical ``element:port`` key used for matrix rows and columns."""
+    return f"{element}:{port}"
+
+
+# ---------------------------------------------------------------------------
+# Reachability matrix
+# ---------------------------------------------------------------------------
+
+
+class ReachabilityMatrix:
+    """All-pairs reachability: injection port -> terminal port -> path count.
+
+    Rows are injection points (``element:port`` the campaign injected at),
+    columns are terminal output ports where at least one packet was
+    delivered.  Cell values count the delivered paths, so the matrix doubles
+    as a crude multiplicity report (ECMP-style duplication shows up as >1).
+    """
+
+    def __init__(self) -> None:
+        self._cells: Dict[str, Dict[str, int]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_source(self, source: str) -> None:
+        """Register an injection point even if nothing was reachable from it
+        (an all-zero row is information too)."""
+        self._cells.setdefault(source, {})
+
+    def record(self, source: str, destination: str, paths: int = 1) -> None:
+        row = self._cells.setdefault(source, {})
+        row[destination] = row.get(destination, 0) + paths
+
+    # -- queries ----------------------------------------------------------------
+
+    def reachable(self, source: str, destination: str) -> bool:
+        return self._cells.get(source, {}).get(destination, 0) > 0
+
+    def path_count(self, source: str, destination: str) -> int:
+        return self._cells.get(source, {}).get(destination, 0)
+
+    @property
+    def sources(self) -> List[str]:
+        return sorted(self._cells)
+
+    @property
+    def destinations(self) -> List[str]:
+        seen = set()
+        for row in self._cells.values():
+            seen.update(row)
+        return sorted(seen)
+
+    def destinations_from(self, source: str) -> List[str]:
+        return sorted(self._cells.get(source, {}))
+
+    def sources_reaching(self, destination: str) -> List[str]:
+        return sorted(
+            src for src, row in self._cells.items() if row.get(destination, 0) > 0
+        )
+
+    def pair_count(self) -> int:
+        """Number of reachable (source, destination) pairs."""
+        return sum(1 for _, _, count in self.pairs() if count > 0)
+
+    def pairs(self) -> List[Tuple[str, str, int]]:
+        """Sorted ``(source, destination, paths)`` triples — the canonical
+        order-independent view of the matrix."""
+        return sorted(
+            (source, destination, count)
+            for source, row in self._cells.items()
+            for destination, count in row.items()
+        )
+
+    # -- reporting --------------------------------------------------------------
+
+    def fingerprint(self) -> Tuple[Tuple[str, str, int], ...]:
+        """Hashable canonical form; identical for any execution order."""
+        return tuple(self.pairs())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sources": self.sources,
+            "destinations": self.destinations,
+            "pairs": [
+                {"from": source, "to": destination, "paths": count}
+                for source, destination, count in self.pairs()
+            ],
+            "reachable_pairs": self.pair_count(),
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReachabilityMatrix):
+            return NotImplemented
+        return self.fingerprint() == other.fingerprint()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReachabilityMatrix(sources={len(self._cells)}, "
+            f"pairs={self.pair_count()})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Loop report
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoopFinding:
+    """One looping path: where it was injected, where the loop closed and the
+    port trace that demonstrates it."""
+
+    source: str
+    detected_at: str
+    reason: str
+    trace: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "source": self.source,
+            "detected_at": self.detected_at,
+            "reason": self.reason,
+            "trace": list(self.trace),
+        }
+
+
+class LoopReport:
+    """Network-wide loop-freedom verdict: every loop found by any job."""
+
+    def __init__(self) -> None:
+        self._findings: List[LoopFinding] = []
+        self._sources: List[str] = []
+
+    def add_source(self, source: str) -> None:
+        self._sources.append(source)
+
+    def record(self, finding: LoopFinding) -> None:
+        self._findings.append(finding)
+
+    @property
+    def loop_free(self) -> bool:
+        return not self._findings
+
+    @property
+    def findings(self) -> List[LoopFinding]:
+        return sorted(
+            self._findings, key=lambda f: (f.source, f.detected_at, f.trace)
+        )
+
+    def sources_with_loops(self) -> List[str]:
+        return sorted({finding.source for finding in self._findings})
+
+    def fingerprint(self) -> Tuple[Tuple[str, str, Tuple[str, ...]], ...]:
+        return tuple(
+            (f.source, f.detected_at, f.trace) for f in self.findings
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "loop_free": self.loop_free,
+            "sources_checked": sorted(self._sources),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def __repr__(self) -> str:
+        return f"LoopReport(loop_free={self.loop_free}, findings={len(self._findings)})"
+
+
+# ---------------------------------------------------------------------------
+# Invariants and drop-policy coverage
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class InvariantCell:
+    """Aggregated invariance verdict for one (source, field) pair."""
+
+    checked: int = 0
+    held: int = 0
+    skipped: int = 0
+
+    @property
+    def violated(self) -> int:
+        return self.checked - self.held
+
+    @property
+    def holds(self) -> bool:
+        return self.checked == self.held
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "checked": self.checked,
+            "held": self.held,
+            "violated": self.violated,
+            "skipped": self.skipped,
+        }
+
+
+class InvariantReport:
+    """Per-field invariance across the campaign plus drop-policy coverage.
+
+    A field is *network-invariant* when it provably keeps its injected value
+    on every delivered path from every injection port.  Drop-policy coverage
+    verifies the mirror property: every packet that did **not** get delivered
+    carries an explicit machine-readable stop reason (no path silently
+    vanishes), and tabulates those reasons so a policy audit can diff them
+    against expectations.
+    """
+
+    def __init__(self) -> None:
+        self._cells: Dict[Tuple[str, str], InvariantCell] = {}
+        self._drop_reasons: Dict[str, Dict[str, int]] = {}
+        self._unexplained_drops: int = 0
+
+    # -- construction -----------------------------------------------------------
+
+    def record_field(
+        self, source: str, field_name: str, checked: int, held: int, skipped: int = 0
+    ) -> None:
+        cell = self._cells.setdefault((source, field_name), InvariantCell())
+        cell.checked += checked
+        cell.held += held
+        cell.skipped += skipped
+
+    def record_drops(self, source: str, reasons: Dict[str, int]) -> None:
+        row = self._drop_reasons.setdefault(source, {})
+        for reason, count in reasons.items():
+            if not reason:
+                self._unexplained_drops += count
+                reason = "<unexplained>"
+            row[reason] = row.get(reason, 0) + count
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def fields(self) -> List[str]:
+        return sorted({field_name for _, field_name in self._cells})
+
+    def field_holds(self, field_name: str) -> bool:
+        """True only when the field was actually checked somewhere and never
+        violated.  A field with zero checked paths (typo'd name, template
+        that never allocates it) is vacuous, not verified — report False so
+        the tool cannot hand out green verdicts it never earned."""
+        cells = [
+            cell for (_, name), cell in self._cells.items() if name == field_name
+        ]
+        checked = sum(cell.checked for cell in cells)
+        return checked > 0 and all(cell.holds for cell in cells)
+
+    def field_vacuous(self, field_name: str) -> bool:
+        """True when the field was requested but no path could be checked."""
+        cells = [
+            cell for (_, name), cell in self._cells.items() if name == field_name
+        ]
+        return bool(cells) and sum(cell.checked for cell in cells) == 0
+
+    def violations(self) -> List[Tuple[str, str, InvariantCell]]:
+        return sorted(
+            (source, name, cell)
+            for (source, name), cell in self._cells.items()
+            if not cell.holds
+        )
+
+    @property
+    def drops_covered(self) -> bool:
+        """True when every non-delivered path carried an explicit reason."""
+        return self._unexplained_drops == 0
+
+    def drop_reason_totals(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for row in self._drop_reasons.values():
+            for reason, count in row.items():
+                totals[reason] = totals.get(reason, 0) + count
+        return totals
+
+    def fingerprint(self) -> Tuple:
+        return (
+            tuple(
+                (source, name, cell.checked, cell.held, cell.skipped)
+                for (source, name), cell in sorted(self._cells.items())
+            ),
+            tuple(sorted(self.drop_reason_totals().items())),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fields": {
+                name: {
+                    "holds": self.field_holds(name),
+                    "vacuous": self.field_vacuous(name),
+                    "by_source": {
+                        source: cell.to_dict()
+                        for (source, cell_name), cell in sorted(self._cells.items())
+                        if cell_name == name
+                    },
+                }
+                for name in self.fields
+            },
+            "drop_policy": {
+                "covered": self.drops_covered,
+                "reasons": self.drop_reason_totals(),
+                "by_source": {
+                    source: dict(sorted(reasons.items()))
+                    for source, reasons in sorted(self._drop_reasons.items())
+                },
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"InvariantReport(fields={self.fields}, "
+            f"violations={len(self.violations())}, covered={self.drops_covered})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Solver statistics roll-up
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignStats:
+    """Aggregated engine/solver counters across every job of a campaign."""
+
+    jobs: int = 0
+    paths: int = 0
+    elapsed_seconds: float = 0.0
+    solver_calls: int = 0
+    solver_time_seconds: float = 0.0
+    solver_fast_paths: int = 0
+    solver_cache_hits: int = 0
+    solver_cache_misses: int = 0
+    truncated_jobs: int = 0
+    failed_jobs: int = 0
+    wall_clock_seconds: float = 0.0
+
+    def absorb(
+        self,
+        *,
+        paths: int,
+        elapsed_seconds: float,
+        solver_calls: int,
+        solver_time_seconds: float,
+        solver_fast_paths: int,
+        solver_cache_hits: int,
+        solver_cache_misses: int,
+        truncated: bool,
+        failed: bool,
+    ) -> None:
+        self.jobs += 1
+        self.paths += paths
+        self.elapsed_seconds += elapsed_seconds
+        self.solver_calls += solver_calls
+        self.solver_time_seconds += solver_time_seconds
+        self.solver_fast_paths += solver_fast_paths
+        self.solver_cache_hits += solver_cache_hits
+        self.solver_cache_misses += solver_cache_misses
+        if truncated:
+            self.truncated_jobs += 1
+        if failed:
+            self.failed_jobs += 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "paths": self.paths,
+            "elapsed_seconds": self.elapsed_seconds,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "solver_calls": self.solver_calls,
+            "solver_time_seconds": self.solver_time_seconds,
+            "solver_fast_paths": self.solver_fast_paths,
+            "solver_cache_hits": self.solver_cache_hits,
+            "solver_cache_misses": self.solver_cache_misses,
+            "truncated_jobs": self.truncated_jobs,
+            "failed_jobs": self.failed_jobs,
+        }

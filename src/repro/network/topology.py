@@ -75,15 +75,9 @@ class Network:
         """Connect an output port to an input port (unidirectional)."""
         src = _as_port_id(source)
         dst = _as_port_id(destination)
-        src_element = self.element(src.element)
-        dst_element = self.element(dst.element)
-        src_element.add_output_port(src.port)
-        dst_element.add_input_port(dst.port)
-        key = (src.element, src.port)
-        if key in self._links:
-            raise ModelError(f"output port {src} is already linked")
-        self._links[key] = dst
-        return Link(src, dst)
+        self.element(src.element)  # raise ModelError on unknown elements
+        self.element(dst.element)
+        return self.add_link_permissive(src, dst)
 
     def add_duplex_link(
         self,
@@ -98,6 +92,29 @@ class Network:
         forward = self.add_link((element_a, a_out), (element_b, b_in))
         backward = self.add_link((element_b, b_out), (element_a, a_in))
         return forward, backward
+
+    def add_link_permissive(self, source: PortSpec, destination: PortSpec) -> Link:
+        """Record a link even when it references elements this network does
+        not contain.
+
+        The topology parser uses this so a typo'd element name in a link
+        line becomes a :meth:`validate` finding (surfaced as a CLI warning)
+        instead of a hard parse error.  Ports are still declared on the
+        elements that do exist; duplicate source ports still raise.
+        """
+        src = _as_port_id(source)
+        dst = _as_port_id(destination)
+        src_element = self._elements.get(src.element)
+        if src_element is not None:
+            src_element.add_output_port(src.port)
+        dst_element = self._elements.get(dst.element)
+        if dst_element is not None:
+            dst_element.add_input_port(dst.port)
+        key = (src.element, src.port)
+        if key in self._links:
+            raise ModelError(f"output port {src} is already linked")
+        self._links[key] = dst
+        return Link(src, dst)
 
     def link_from(self, element: str, output_port: str) -> Optional[PortId]:
         """The input port the given output port is wired to, if any."""

@@ -86,7 +86,11 @@ def parse_topology_file(
         raise TopologyParseError(f"cannot parse line: {line!r}")
 
     for src, src_port, dst, dst_port in links:
-        network.add_link((src, src_port), (dst, dst_port))
+        # Permissive: links naming unknown elements are recorded rather than
+        # rejected, so they surface as Network.validate() findings and the
+        # CLI can warn about them before execution (the engine terminates
+        # any path reaching one with an explicit "dangling link" drop).
+        network.add_link_permissive((src, src_port), (dst, dst_port))
     return network
 
 

@@ -10,13 +10,47 @@ overlap patterns, topology shape and rule counts.  See DESIGN.md §2 for the
 substitution rationale.
 """
 
+from typing import Callable, Dict, List, Tuple
+
+from repro.network.topology import Network
 from repro.workloads.mac_tables import generate_mac_table
 from repro.workloads.fibs import generate_fib
+from repro.workloads import department, enterprise, stanford
 from repro.workloads.stanford import build_stanford_like_backbone, stanford_hsa_network
 from repro.workloads.department import build_department_network
 from repro.workloads.enterprise import build_split_tcp_network
 
+#: Campaign-facing registry: workload name -> builder returning the network
+#: plus its default injection ports.  Campaign workers rebuild workloads
+#: from (name, options) pairs, so builders must be deterministic in their
+#: arguments (they are: every generator is seeded).
+CAMPAIGN_WORKLOADS: Dict[
+    str, Callable[..., Tuple[Network, List[Tuple[str, str]]]]
+] = {
+    "department": department.campaign_network,
+    "enterprise": enterprise.campaign_network,
+    "stanford": stanford.campaign_network,
+}
+
+
+def build_campaign_network(
+    name: str, **options
+) -> Tuple[Network, List[Tuple[str, str]]]:
+    """Build a registered workload for a verification campaign.
+
+    Returns the network and the workload's default injection ports.
+    """
+    try:
+        builder = CAMPAIGN_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(CAMPAIGN_WORKLOADS))
+        raise ValueError(f"unknown campaign workload {name!r}; known: {known}")
+    return builder(**options)
+
+
 __all__ = [
+    "CAMPAIGN_WORKLOADS",
+    "build_campaign_network",
     "build_department_network",
     "build_split_tcp_network",
     "build_stanford_like_backbone",

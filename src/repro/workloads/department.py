@@ -252,3 +252,19 @@ def build_department_network(
         mac_entries=mac_entries,
         route_entries=len(m1_routes),
     )
+
+
+def campaign_network(**options) -> Tuple[Network, List[Tuple[str, str]]]:
+    """Campaign adapter: the department network plus its injection ports.
+
+    The injection ports are the four operational vantage points of §8.5 —
+    an office host, a lab host, a cluster node and the Internet — which is
+    exactly the set the paper's security audit sweeps.
+    """
+    workload = build_department_network(**options)
+    return workload.network, [
+        workload.office_entry,
+        workload.lab_entry,
+        workload.cluster_entry,
+        workload.internet_entry,
+    ]

@@ -26,7 +26,7 @@ four operational issues the paper verified:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.click.elements import build_vlan_decap, build_vlan_encap
 from repro.models.mirror import build_ip_mirror
@@ -225,3 +225,17 @@ def build_split_tcp_network(
             "proxy_rewrites_src_mac": proxy_rewrites_src_mac,
         },
     )
+
+
+def campaign_network(**options) -> Tuple[Network, List[Tuple[str, str]]]:
+    """Campaign adapter: the Split-TCP deployment plus its injection ports.
+
+    Traffic is injected in the client→server direction at the access point
+    and — unless the exit mirror already bounces traffic back — in the
+    server→client direction at R1's exit-facing input.
+    """
+    workload = build_split_tcp_network(**options)
+    injections = [workload.client_entry]
+    if not workload.mirrored:
+        injections.append(("R1", "in-exit"))
+    return workload.network, injections

@@ -121,6 +121,19 @@ def build_stanford_like_backbone(
     )
 
 
+def campaign_network(**options) -> Tuple[Network, List[Tuple[str, str]]]:
+    """Campaign adapter: the backbone plus one injection port per zone.
+
+    Injecting at every zone router's hosts-facing input yields the all-pairs
+    zone-to-zone reachability matrix the paper computes on the Stanford
+    dataset.
+    """
+    workload = build_stanford_like_backbone(**options)
+    return workload.network, [
+        (name, "in-hosts") for name in workload.zone_routers
+    ]
+
+
 def stanford_hsa_network(workload: StanfordWorkload) -> HsaNetwork:
     """Build the HSA encoding of the same backbone: every FIB rule becomes a
     prefix-match transfer rule on the 32-bit destination header."""

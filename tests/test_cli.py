@@ -97,3 +97,131 @@ class TestReachability:
     def test_malformed_field_rejected(self, network_dir):
         with pytest.raises(SystemExit):
             main(["reachability", str(network_dir), "sw", "in0", "--field", "IpDst"])
+
+
+@pytest.fixture()
+def dangling_network_dir(tmp_path):
+    """A topology whose link names an element that does not exist."""
+    (tmp_path / "topology.txt").write_text(
+        TOPOLOGY + "link r1:to-internet -> ghost:in0\n"
+    )
+    (tmp_path / "sw.mac").write_text(MAC_SNAPSHOT)
+    (tmp_path / "r1.fib").write_text(FIB_SNAPSHOT)
+    return tmp_path
+
+
+class TestValidationWarnings:
+    """Regression: Network.validate() findings must surface before execution
+    instead of crashing the parse or being silently ignored."""
+
+    def test_reachability_warns_on_dangling_link(self, dangling_network_dir, capsys):
+        assert main(["reachability", str(dangling_network_dir), "sw", "in0"]) == 0
+        captured = capsys.readouterr()
+        assert "warning" in captured.err
+        assert "ghost" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["path_count"] >= 1
+
+    def test_dangling_link_terminates_paths_explicitly(
+        self, dangling_network_dir, capsys
+    ):
+        # Steer a packet towards the dangling link: it must end as an
+        # explicit drop naming the dangling destination, not a crash.
+        assert main(
+            [
+                "reachability",
+                str(dangling_network_dir),
+                "sw",
+                "in0",
+                "--field",
+                "EtherDst=00:11:22:33:44:55",
+                "--field",
+                "IpDst=8.8.8.8",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        dangling = [
+            p for p in payload["paths"] if "dangling link" in p["stop_reason"]
+        ]
+        assert dangling
+        assert all(p["status"] == "dropped" for p in dangling)
+
+    def test_campaign_warns_on_dangling_link(self, dangling_network_dir, capsys):
+        assert main(["campaign", str(dangling_network_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "warning" in captured.err and "ghost" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["validation_problems"]
+
+    def test_clean_network_emits_no_warning(self, network_dir, capsys):
+        assert main(["reachability", str(network_dir), "sw", "in0"]) == 0
+        assert "warning" not in capsys.readouterr().err
+
+
+class TestCampaign:
+    def test_json_report_on_stdout(self, network_dir, capsys):
+        assert main(["campaign", str(network_dir)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queries"] == ["reachability", "loops", "invariants"]
+        assert "reachability" in payload
+        # This topology is fully wired (both inputs are link-fed), so the
+        # default injection set falls back to every input port.
+        assert payload["stats"]["jobs"] == 2
+
+    def test_explicit_injection_points(self, network_dir, capsys):
+        assert main(
+            ["campaign", str(network_dir), "--inject", "sw:in0", "--query", "reachability"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["jobs"] == 1
+        sources = payload["reachability"]["sources"]
+        assert sources == ["sw:in0"]
+        assert "loops" not in payload
+
+    def test_workers_match_sequential(self, network_dir, tmp_path, capsys):
+        target_seq = tmp_path / "seq.json"
+        target_par = tmp_path / "par.json"
+        assert main(
+            ["campaign", str(network_dir), "-o", str(target_seq)]
+        ) == 0
+        assert main(
+            ["campaign", str(network_dir), "--workers", "2", "-o", str(target_par)]
+        ) == 0
+        seq = json.loads(target_seq.read_text())
+        par = json.loads(target_par.read_text())
+        assert seq["reachability"] == par["reachability"]
+        assert seq["loops"]["loop_free"] == par["loops"]["loop_free"]
+        assert "wrote campaign report" in capsys.readouterr().out
+
+    def test_workload_mode(self, capsys):
+        assert main(
+            [
+                "campaign",
+                "--workload",
+                "enterprise",
+                "--workload-option",
+                "mirror_at_exit=true",
+                "--query",
+                "reachability",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["network"].startswith("workload:enterprise")
+        assert payload["stats"]["jobs"] == 1  # mirrored: only the client entry
+
+    def test_directory_and_workload_are_exclusive(self, network_dir):
+        with pytest.raises(SystemExit):
+            main(["campaign", str(network_dir), "--workload", "department"])
+        with pytest.raises(SystemExit):
+            main(["campaign"])
+
+    def test_bad_injection_spec_rejected(self, network_dir):
+        with pytest.raises(SystemExit):
+            main(["campaign", str(network_dir), "--inject", "missing-colon"])
+
+    def test_failing_job_sets_exit_code(self, network_dir, capsys):
+        assert main(
+            ["campaign", str(network_dir), "--inject", "nonexistent:in0"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "error: job nonexistent:in0 failed" in captured.err

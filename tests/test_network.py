@@ -116,3 +116,24 @@ class TestNetwork:
     def test_validate_clean_network(self):
         self.network.add_link(("a", "out0"), ("b", "in0"))
         assert self.network.validate() == []
+
+    def test_permissive_link_to_unknown_element_is_a_validate_finding(self):
+        self.network.add_link_permissive(("a", "out0"), ("ghost", "in0"))
+        problems = self.network.validate()
+        assert any("ghost" in problem for problem in problems)
+
+    def test_permissive_link_from_unknown_element_is_a_validate_finding(self):
+        self.network.add_link_permissive(("phantom", "out0"), ("b", "in0"))
+        problems = self.network.validate()
+        assert any("phantom" in problem for problem in problems)
+
+    def test_permissive_link_still_declares_ports_on_known_elements(self):
+        self.network.add_link_permissive(("a", "extra-out"), ("b", "extra-in"))
+        assert self.a.has_output_port("extra-out")
+        assert self.b.has_input_port("extra-in")
+        assert self.network.validate() == []
+
+    def test_permissive_link_rejects_duplicate_source_port(self):
+        self.network.add_link_permissive(("a", "out0"), ("ghost", "in0"))
+        with pytest.raises(ModelError):
+            self.network.add_link_permissive(("a", "out0"), ("b", "in0"))

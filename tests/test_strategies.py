@@ -1,8 +1,20 @@
-"""Tests for pluggable exploration strategies and max_paths truncation."""
+"""Tests for pluggable exploration strategies and max_paths truncation,
+plus property-based tests over random instruction programs: the terminal
+path set must be strategy-independent, solver-mode-independent, and
+identical whether execution starts from a fresh or a cloned state."""
+
+import random
 
 import pytest
 
-from repro import ExecutionSettings, Network, NetworkElement, SymbolicExecutor, models
+from repro import (
+    ExecutionSettings,
+    ExecutionState,
+    Network,
+    NetworkElement,
+    SymbolicExecutor,
+    models,
+)
 from repro.core.strategy import (
     BreadthFirstStrategy,
     CoverageOrderedStrategy,
@@ -10,7 +22,24 @@ from repro.core.strategy import (
     STRATEGIES,
     make_strategy,
 )
-from repro.sefl import Eq, Fork, Forward, If, InstructionBlock, TcpDst
+from repro.sefl import (
+    Assign,
+    Constrain,
+    Eq,
+    Fork,
+    Forward,
+    Ge,
+    If,
+    InstructionBlock,
+    IpDst,
+    IpSrc,
+    Le,
+    NoOp,
+    Or,
+    SymbolicValue,
+    TcpDst,
+    TcpSrc,
+)
 
 
 def build_fork_heavy_network(depth=3, fanout=2):
@@ -150,3 +179,128 @@ class TestTruncation:
 
         result = run_with_strategy(self.build_fan(), "dfs", max_paths=1)
         assert json.loads(result.to_json())["truncated"] is True
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests over random instruction programs
+# ---------------------------------------------------------------------------
+
+PROPERTY_SEED = 987123
+PROPERTY_CASES = 20
+
+_FIELDS = (TcpDst, TcpSrc, IpDst, IpSrc)
+_PORTS = ("out0", "out1", "out2")
+
+
+def random_condition(rng):
+    field = rng.choice(_FIELDS)
+    value = rng.choice((0, 1, 80, 443, 8080, 65535))
+    kind = rng.randrange(4)
+    if kind == 0:
+        return Eq(field, value)
+    if kind == 1:
+        return Le(field, value)
+    if kind == 2:
+        return Ge(field, value)
+    return Or(Eq(field, value), Eq(rng.choice(_FIELDS), rng.choice((22, 53))))
+
+
+def random_terminal(rng, depth):
+    """A program tail that either forwards, forks, or branches further."""
+    kind = rng.randrange(4) if depth > 0 else rng.randrange(2)
+    if kind == 0:
+        return Forward(rng.choice(_PORTS))
+    if kind == 1:
+        count = rng.randint(1, len(_PORTS))
+        return Fork(*rng.sample(_PORTS, count))
+    if kind == 2:
+        return If(
+            random_condition(rng),
+            random_program(rng, depth - 1),
+            random_program(rng, depth - 1),
+        )
+    return NoOp()  # no forward: the path ends as an explicit drop
+
+
+def random_program(rng, depth=2):
+    """0-2 effect instructions (assign/constrain) then a terminal."""
+    instructions = []
+    for _ in range(rng.randrange(3)):
+        if rng.random() < 0.5:
+            target = rng.choice(_FIELDS)
+            value = (
+                rng.choice((0, 80, 1234))
+                if rng.random() < 0.6
+                else SymbolicValue("fresh", 16)
+            )
+            instructions.append(Assign(target, value))
+        else:
+            instructions.append(Constrain(random_condition(rng)))
+    instructions.append(random_terminal(rng, depth))
+    return InstructionBlock(*instructions)
+
+
+def random_network(seed):
+    """One root running a random program, with sinks on every output port."""
+    rng = random.Random(seed)
+    network = Network(f"property-{seed}")
+    root = NetworkElement("root", ["in0"], list(_PORTS))
+    root.set_input_program("in0", random_program(rng, depth=3))
+    network.add_element(root)
+    for index, port in enumerate(_PORTS):
+        sink = NetworkElement(f"sink{index}", ["in0"], ["out0"])
+        sink.set_input_program("in0", Forward("out0"))
+        network.add_element(sink)
+        network.add_link(("root", port), (f"sink{index}", "in0"))
+    return network
+
+
+class TestRandomProgramProperties:
+    """For arbitrary SEFL programs the engine must satisfy three invariants:
+    the terminal path set does not depend on the exploration strategy, nor
+    on the solver mode, nor on whether the initial state was cloned."""
+
+    @pytest.mark.parametrize(
+        "seed", range(PROPERTY_SEED, PROPERTY_SEED + PROPERTY_CASES)
+    )
+    def test_strategy_independence(self, seed):
+        network = random_network(seed)
+        results = {
+            name: run_with_strategy(network, name) for name in sorted(STRATEGIES)
+        }
+        reference = path_set(results["dfs"])
+        for name, result in results.items():
+            assert path_set(result) == reference, f"seed={seed} strategy={name}"
+
+    @pytest.mark.parametrize(
+        "seed", range(PROPERTY_SEED, PROPERTY_SEED + PROPERTY_CASES)
+    )
+    def test_solver_mode_independence(self, seed):
+        network = random_network(seed)
+        incremental = run_with_strategy(network, "dfs", use_incremental_solver=True)
+        from_scratch = run_with_strategy(
+            network, "dfs", use_incremental_solver=False
+        )
+        assert path_set(incremental) == path_set(from_scratch), f"seed={seed}"
+
+    @pytest.mark.parametrize(
+        "seed", range(PROPERTY_SEED, PROPERTY_SEED + PROPERTY_CASES, 4)
+    )
+    def test_clone_vs_fresh_state_equivalence(self, seed):
+        """Running from a fresh state, from a pre-built state, and from its
+        clone must explore identical path sets — and executing the original
+        must not corrupt the clone (the copy-on-write contract)."""
+        network = random_network(seed)
+        executor = SymbolicExecutor(network)
+        packet = models.symbolic_tcp_packet()
+
+        fresh = executor.inject(packet, "root", "in0")
+
+        base = ExecutionState(executor.symbols)
+        clone = base.clone()
+        from_base = executor.inject(packet, "root", "in0", initial_state=base)
+        # base was consumed/mutated above; the clone must be unaffected.
+        from_clone = executor.inject(packet, "root", "in0", initial_state=clone)
+
+        assert path_set(from_base) == path_set(fresh), f"seed={seed}"
+        assert path_set(from_clone) == path_set(fresh), f"seed={seed}"

@@ -153,6 +153,127 @@ class TestSubsumption:
         assert not V.state_subsumed(old, new)
 
 
+class TestAdmittedValuesAdversarial:
+    """Edge cases for the witness-enumeration helper."""
+
+    def test_zero_samples_returns_nothing(self):
+        result = run_single(Forward("out0"))
+        path = result.delivered()[0]
+        assert V.admitted_values(path, TcpDst, samples=0) == []
+
+    def test_exhausted_domain_stops_early(self):
+        # TcpDst pinned to {80, 443}: asking for 10 witnesses must yield
+        # exactly the two admissible values, not loop or fabricate more.
+        from repro.sefl import OneOf
+
+        result = run_single(
+            InstructionBlock(Constrain(OneOf(TcpDst, [80, 443])), Forward("out0"))
+        )
+        path = result.reaching("box", "out0")[0]
+        values = V.admitted_values(path, TcpDst, samples=10)
+        assert sorted(values) == [80, 443]
+
+    def test_witnesses_are_distinct(self):
+        result = run_single(Forward("out0"))
+        path = result.delivered()[0]
+        values = V.admitted_values(path, TcpDst, samples=4)
+        assert len(values) == len(set(values)) == 4
+
+    def test_contradictory_constraints_admit_nothing(self):
+        # Build a path record whose constraints are unsatisfiable by hand:
+        # delivered paths never carry them, but callers can ask anyway.
+        result = run_single(Forward("out0"))
+        path = result.delivered()[0]
+        path.state.add_constraint(SEq(Var("z", 8), Const(1)))
+        path.state.add_constraint(SEq(Var("z", 8), Const(2)))
+        assert V.admitted_values(path, TcpDst, samples=3) == []
+
+    def test_rewritten_field_samples_current_value(self):
+        # After Assign(TcpDst, 7) the only admitted value is 7 even though
+        # the injected symbol ranged over the full 16-bit space.
+        result = run_single(
+            InstructionBlock(Assign(TcpDst, 7), Forward("out0"))
+        )
+        path = result.delivered()[0]
+        assert V.admitted_values(path, TcpDst, samples=3) == [7]
+
+
+class TestSubsumptionAdversarial:
+    def test_empty_old_state_is_subsumed_by_empty_new(self):
+        assert V.state_subsumed([], [])
+
+    def test_unconstrained_old_not_subsumed_by_constrained_new(self):
+        x = Var("x", 16)
+        # Old admits everything; new only x==5: not a loop.
+        assert not V.state_subsumed([], [SEq(x, Const(5))])
+
+    def test_constrained_old_subsumed_by_unconstrained_new(self):
+        x = Var("x", 16)
+        assert V.state_subsumed([SEq(x, Const(5))], [])
+
+    def test_unsatisfiable_old_state_is_vacuously_subsumed(self):
+        # An old state admitting no packets is covered by anything — the
+        # "loop" is vacuous but the implication holds, exactly as §6 defines.
+        x = Var("x", 16)
+        contradiction = [SEq(x, Const(1)), SEq(x, Const(2))]
+        assert V.state_subsumed(contradiction, [SEq(x, Const(9))])
+
+    def test_semantically_equal_but_syntactically_different(self):
+        from repro.solver.ast import Le as SLe, Lt as SLt
+
+        x = Var("x", 16)
+        # x <= 4  vs  x < 5: same set, different syntax — must subsume both ways.
+        assert V.state_subsumed([SLe(x, Const(4))], [SLt(x, Const(5))])
+        assert V.state_subsumed([SLt(x, Const(5))], [SLe(x, Const(4))])
+
+
+class TestHeaderVisibilityAdversarial:
+    def test_not_visible_after_fresh_symbol_even_if_width_matches(self):
+        result = run_single(
+            InstructionBlock(
+                Assign(TcpDst, SymbolicValue("rewrite", 16)), Forward("out0")
+            )
+        )
+        path = result.delivered()[0]
+        original = path.state.variable_history(TcpDst)[0]
+        assert not V.header_visible(path, TcpDst, original)
+
+    def test_visible_when_fresh_symbol_is_pinned_to_original(self):
+        # Overwritten with a fresh symbol, but a constraint forces the fresh
+        # symbol to equal the original: semantically still visible.
+        from repro.sefl import Allocate
+
+        program = InstructionBlock(
+            Allocate("stash", 16),
+            Assign("stash", SymbolicValue("stash", 16)),
+            Constrain(Eq("stash", TcpDst)),
+            Assign(TcpDst, "stash"),
+            Forward("out0"),
+        )
+        result = run_single(program)
+        path = result.delivered()[0]
+        original = path.state.variable_history(TcpDst)[0]
+        assert V.header_visible(path, TcpDst, original)
+
+    def test_concrete_overwrite_visible_only_under_matching_constraint(self):
+        # Without the constraint the original symbol may differ from 80.
+        result = run_single(
+            InstructionBlock(Assign(TcpDst, 80), Forward("out0"))
+        )
+        path = result.delivered()[0]
+        original = path.state.variable_history(TcpDst)[0]
+        assert not V.header_visible(path, TcpDst, original)
+        # With the constraint pinning the original to 80 it is visible.
+        result = run_single(
+            InstructionBlock(
+                Constrain(Eq(TcpDst, 80)), Assign(TcpDst, 80), Forward("out0")
+            )
+        )
+        path = result.delivered()[0]
+        original = path.state.variable_history(TcpDst)[0]
+        assert V.header_visible(path, TcpDst, original)
+
+
 class TestFailureClassification:
     def test_memory_safety_violations_reported(self):
         from repro.sefl import Tag
