@@ -8,16 +8,75 @@ that the whole suite completes in minutes on a laptop; set
 ``SYMNET_BENCH_SCALE=full`` to run the larger versions.
 """
 
+import json
 import os
 
 import pytest
 
 FULL_SCALE = os.environ.get("SYMNET_BENCH_SCALE", "").lower() == "full"
 
+#: Where the machine-readable campaign benchmark records land.  Overridable
+#: so CI can archive per-run files; the default accumulates next to the
+#: benchmarks so the perf trajectory is versionable.
+BENCH_JSON_PATH = os.environ.get(
+    "SYMNET_BENCH_JSON",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_campaign.json"),
+)
+
 
 def scaled(small, full):
     """Pick a workload size depending on the requested scale."""
     return full if FULL_SCALE else small
+
+
+def campaign_record(label: str, result) -> dict:
+    """Digest one CampaignResult into a flat, JSON-able benchmark record
+    (wall time, solver work, verdict-cache effectiveness)."""
+    stats = result.stats
+    return {
+        "workload": label,
+        "scale": "full" if FULL_SCALE else "small",
+        "jobs": stats.jobs,
+        "paths": stats.paths,
+        "workers": result.workers,
+        "execution_mode": result.execution_mode,
+        "wall_clock_seconds": round(stats.wall_clock_seconds, 6),
+        "solver_calls": stats.solver_calls,
+        "solver_time_seconds": round(stats.solver_time_seconds, 6),
+        "solver_fast_paths": stats.solver_fast_paths,
+        "solver_cache_hits": stats.solver_cache_hits,
+        "solver_cache_misses": stats.solver_cache_misses,
+        "solver_shared_cache_hits": stats.solver_shared_cache_hits,
+        "cache_hit_rate": round(stats.cache_hit_rate, 4),
+        "verdict_cache_entries": stats.verdict_cache_entries,
+    }
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Collect machine-readable benchmark records and merge them into
+    ``BENCH_campaign.json`` at the end of the session.
+
+    Records are keyed by (workload, scale): re-running a benchmark updates
+    its row, while rows from other scales/sessions survive — so the perf
+    trajectory accumulates instead of each run clobbering the last."""
+    records = []
+    yield records
+    if not records:
+        return
+    merged = {}
+    try:
+        with open(BENCH_JSON_PATH, "r", encoding="utf-8") as handle:
+            for record in json.load(handle).get("records", []):
+                merged[(record.get("workload"), record.get("scale"))] = record
+    except (OSError, ValueError):
+        pass  # first run, or an unreadable file we simply regenerate
+    for record in records:
+        merged[(record["workload"], record["scale"])] = record
+    ordered = [merged[key] for key in sorted(merged, key=repr)]
+    with open(BENCH_JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump({"records": ordered}, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

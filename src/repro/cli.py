@@ -210,6 +210,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the incremental solver in every job",
     )
     camp.add_argument(
+        "--shared-cache", action=argparse.BooleanOptionalAction, default=True,
+        help="share the canonical verdict cache across jobs (per-worker "
+        "persistent cache, plus a process-shared tier when --workers > 1); "
+        "--no-shared-cache isolates every job (default: enabled)",
+    )
+    camp.add_argument(
         "--output", "-o", default=None, help="write the JSON report to a file"
     )
     return parser
@@ -291,6 +297,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
         max_paths=args.max_paths,
         strategy=args.strategy,
         use_incremental_solver=not args.no_incremental,
+        shared_cache=args.shared_cache,
     )
     # campaign.run() reuses this campaign-cached validation for the report.
     for problem in campaign.validate():

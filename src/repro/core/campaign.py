@@ -22,11 +22,12 @@ produces bit-identical query results to a sequential run.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.engine import ExecutionSettings, SymbolicExecutor
 from repro.core.errors import MemorySafetyError
@@ -44,6 +45,11 @@ from repro.models import host as host_models
 from repro.network.topology import Network
 from repro.sefl.fields import standard_fields
 from repro.solver.solver import Solver
+from repro.solver.verdict_cache import (
+    CacheConflictError,
+    VerdictCache,
+    resolve_verdict,
+)
 
 #: Packet templates a campaign (and the CLI) can inject, by name.
 PACKET_TEMPLATES = {
@@ -162,6 +168,25 @@ class NetworkSource:
         return self.build_full()[0]
 
 
+def _merge_verdict_entries(
+    target: Dict[str, str],
+    entries: Iterable[Tuple[str, str]],
+    context: str,
+) -> None:
+    """Fold (fingerprint, verdict) pairs into ``target`` under the one
+    verdict-combination policy (:func:`resolve_verdict`): definite verdicts
+    supersede "unknown"s, definite-vs-definite disagreement is fatal."""
+    for fingerprint, verdict in entries:
+        action = resolve_verdict(target.get(fingerprint), verdict)
+        if action == "conflict":
+            raise CacheConflictError(
+                f"{context} on fingerprint {fingerprint[:12]}…: "
+                f"{target[fingerprint]!r} vs {verdict!r}"
+            )
+        if action == "replace":
+            target[fingerprint] = verdict
+
+
 def free_input_ports(network: Network) -> List[Tuple[str, str]]:
     """Input ports with no incoming link — the natural injection points.
 
@@ -207,6 +232,18 @@ class CampaignJob:
     max_paths: int = 1_000_000
     strategy: str = "dfs"
     use_incremental_solver: bool = True
+    #: Share the worker's persistent verdict cache across jobs.  Off, every
+    #: job solves with an isolated cache (the pre-cache baseline).
+    use_verdict_cache: bool = True
+    #: Verdict-cache entries (fingerprint, verdict) merged into the worker
+    #: cache before the job runs — the campaign warm-start path.  The token
+    #: identifies the warm map's content so each worker merges it only once
+    #: per campaign, not once per job.
+    warm_cache_entries: Tuple[Tuple[str, str], ...] = ()
+    warm_cache_token: str = ""
+    #: Optional process-shared verdict tier (a Manager dict proxy) consulted
+    #: on local cache misses when the campaign runs on a process pool.
+    shared_cache: Optional[object] = field(default=None, compare=False, repr=False)
 
     @property
     def source_key(self) -> str:
@@ -239,6 +276,11 @@ class JobReport:
     solver_fast_paths: int = 0
     solver_cache_hits: int = 0
     solver_cache_misses: int = 0
+    solver_shared_cache_hits: int = 0
+    solver_cache_merged: int = 0
+    #: (fingerprint, verdict) pairs this job added to its worker's verdict
+    #: cache — merged into the campaign-level cache by the aggregation.
+    verdict_cache_entries: Tuple[Tuple[str, str], ...] = ()
 
     @property
     def source_key(self) -> str:
@@ -267,34 +309,39 @@ class JobReport:
                 "solver_fast_paths": self.solver_fast_paths,
                 "solver_cache_hits": self.solver_cache_hits,
                 "solver_cache_misses": self.solver_cache_misses,
+                "solver_shared_cache_hits": self.solver_shared_cache_hits,
+                "solver_cache_merged": self.solver_cache_merged,
+                "verdict_cache_entries": len(self.verdict_cache_entries),
             },
         }
 
 
-# Per-process runtime cache: one (network, solver) pair per network source,
-# so a worker receiving many jobs builds the network once and keeps the
-# solver memo cache warm across jobs.  Bounded LRU: long-lived processes
-# running campaigns over many networks must not retain them all.
-_RUNTIME_CACHE: "Dict[Tuple, Tuple[Network, Solver]]" = {}
+# Per-process runtime cache: one (network, solver, verdict cache) triple per
+# network source, so a worker receiving many jobs builds the network once and
+# keeps the canonical verdict cache warm across jobs.  Bounded LRU:
+# long-lived processes running campaigns over many networks must not retain
+# them all.
+_RUNTIME_CACHE: "Dict[Tuple, Tuple[Network, Solver, VerdictCache]]" = {}
 _RUNTIME_CACHE_LIMIT = 8
 
 
 def clear_runtime_cache() -> None:
-    """Drop every cached (network, solver) pair in this process."""
+    """Drop every cached (network, solver, verdict cache) triple in this
+    process."""
     _RUNTIME_CACHE.clear()
 
 
-def _cache_runtime(key: Tuple, runtime: Tuple[Network, Solver]) -> None:
+def _cache_runtime(key: Tuple, runtime: Tuple[Network, Solver, VerdictCache]) -> None:
     _RUNTIME_CACHE[key] = runtime
     while len(_RUNTIME_CACHE) > _RUNTIME_CACHE_LIMIT:
         _RUNTIME_CACHE.pop(next(iter(_RUNTIME_CACHE)))
 
 
-def _runtime_for(source: NetworkSource) -> Tuple[Network, Solver]:
+def _runtime_for(source: NetworkSource) -> Tuple[Network, Solver, VerdictCache]:
     key = source.cache_key()
     runtime = _RUNTIME_CACHE.pop(key, None)
     if runtime is None:
-        runtime = (source.build(), Solver())
+        runtime = (source.build(), Solver(), VerdictCache())
     _cache_runtime(key, runtime)  # (re)insert at the end: LRU recency
     return runtime
 
@@ -303,7 +350,7 @@ def _seed_runtime(source: NetworkSource, network: Network) -> None:
     """Pre-populate the cache with an already-built network (in-process
     sequential runs and "object" sources)."""
     if source.cache_key() not in _RUNTIME_CACHE:
-        _cache_runtime(source.cache_key(), (network, Solver()))
+        _cache_runtime(source.cache_key(), (network, Solver(), VerdictCache()))
 
 
 def _packet_program(job: CampaignJob):
@@ -355,14 +402,33 @@ def execute_job(job: CampaignJob) -> JobReport:
         element=job.element, port=job.port, packet=job.packet, worker_pid=os.getpid()
     )
     try:
-        network, solver = _runtime_for(job.source)
+        network, solver, worker_cache = _runtime_for(job.source)
+        # ``use_verdict_cache`` off isolates the job from the worker's
+        # persistent cache (and from the shared tier): the baseline the
+        # cache benchmarks compare against.
+        cache = worker_cache if job.use_verdict_cache else VerdictCache()
+        merged = 0
+        if (
+            job.warm_cache_entries
+            and job.warm_cache_token not in cache.applied_tokens
+        ):
+            merged = cache.merge(dict(job.warm_cache_entries))
+            cache.applied_tokens.add(job.warm_cache_token)
+            solver.stats.record_merged_entries(merged)
+        cache.begin_collection()
         settings = ExecutionSettings(
             max_hops=job.max_hops,
             max_paths=job.max_paths,
             strategy=job.strategy,
             use_incremental_solver=job.use_incremental_solver,
         )
-        executor = SymbolicExecutor(network, solver=solver, settings=settings)
+        executor = SymbolicExecutor(
+            network,
+            solver=solver,
+            settings=settings,
+            verdict_cache=cache,
+            shared_cache=job.shared_cache if job.use_verdict_cache else None,
+        )
         result = executor.inject(_packet_program(job), job.element, job.port)
     except Exception as exc:  # surface, never kill the whole campaign
         report.error = f"{type(exc).__name__}: {exc}"
@@ -376,6 +442,9 @@ def execute_job(job: CampaignJob) -> JobReport:
     report.solver_fast_paths = result.solver_fast_paths
     report.solver_cache_hits = result.solver_cache_hits
     report.solver_cache_misses = result.solver_cache_misses
+    report.solver_shared_cache_hits = result.solver_shared_cache_hits
+    report.solver_cache_merged = merged
+    report.verdict_cache_entries = tuple(sorted(cache.fresh_entries().items()))
 
     try:
         if QUERY_REACHABILITY in job.queries:
@@ -424,6 +493,9 @@ class CampaignResult:
     loop_report: LoopReport = field(default_factory=LoopReport)
     invariant_report: InvariantReport = field(default_factory=InvariantReport)
     stats: CampaignStats = field(default_factory=CampaignStats)
+    #: Canonical verdict-cache entries merged from every job — pass as
+    #: ``warm_cache`` to a later campaign to start it warm.
+    verdict_cache: Dict[str, str] = field(default_factory=dict)
 
     @classmethod
     def aggregate(
@@ -458,6 +530,18 @@ class CampaignResult:
                 solver_cache_misses=job.solver_cache_misses,
                 truncated=job.truncated,
                 failed=job.error is not None,
+                solver_shared_cache_hits=job.solver_shared_cache_hits,
+                solver_cache_merged=job.solver_cache_merged,
+            )
+            # Merge the job's fresh verdicts into the campaign-level cache.
+            # Jobs are absorbed in sorted injection order and resolve_verdict
+            # lets definite verdicts supersede "unknown"s, so the merged map
+            # is order-independent; a definite-vs-definite conflict would
+            # mean canonicalization is unsound and must fail loudly.
+            _merge_verdict_entries(
+                result.verdict_cache,
+                job.verdict_cache_entries,
+                "jobs disagree",
             )
             if job.error is not None:
                 continue
@@ -488,7 +572,17 @@ class CampaignResult:
                         skipped=cell.get("skipped", 0),
                     )
         result.stats.wall_clock_seconds = wall_clock_seconds
+        result.stats.verdict_cache_entries = len(result.verdict_cache)
         return result
+
+    def absorb_warm_entries(self, entries: Mapping[str, str]) -> None:
+        """Fold a campaign's warm-start entries into the result's verdict
+        cache, so chained campaigns (cold -> warm -> warmer) never lose
+        verdicts that happened not to be re-derived this run."""
+        _merge_verdict_entries(
+            self.verdict_cache, entries.items(), "warm entry conflicts"
+        )
+        self.stats.verdict_cache_entries = len(self.verdict_cache)
 
     @property
     def job_errors(self) -> List[Tuple[str, str]]:
@@ -502,6 +596,7 @@ class CampaignResult:
             "execution_mode": self.execution_mode,
             "validation_problems": list(self.validation_problems),
             "stats": self.stats.to_dict(),
+            "verdict_cache": {"entries": len(self.verdict_cache)},
             "jobs": [job.to_dict() for job in self.jobs],
         }
         if QUERY_REACHABILITY in self.queries:
@@ -548,6 +643,8 @@ class VerificationCampaign:
         max_paths: int = 1_000_000,
         strategy: str = "dfs",
         use_incremental_solver: bool = True,
+        shared_cache: bool = True,
+        warm_cache: Optional[Mapping[str, str]] = None,
     ) -> None:
         if isinstance(source, Network):
             source = NetworkSource.from_network(source)
@@ -558,6 +655,18 @@ class VerificationCampaign:
         if unknown:
             known = ", ".join(CAMPAIGN_QUERIES)
             raise ValueError(f"unknown queries {sorted(unknown)}; known: {known}")
+        # ``shared_cache`` switches the whole cross-job verdict-cache stack:
+        # the per-worker persistent cache *and* the process-shared tier used
+        # on pools.  ``warm_cache`` (typically a previous CampaignResult's
+        # ``verdict_cache``) pre-seeds every job's cache — except when
+        # ``shared_cache`` is off: jobs must then stay a truly isolated
+        # baseline, so warm entries are only folded into the result.
+        self._shared_cache = shared_cache
+        self._warm_cache = dict(warm_cache or {})
+        warm_entries = tuple(sorted(self._warm_cache.items()))
+        warm_token = ""
+        if warm_entries and shared_cache:
+            warm_token = hashlib.sha256(repr(warm_entries).encode()).hexdigest()
         self._job_template = CampaignJob(
             source=source,
             element="",
@@ -570,6 +679,9 @@ class VerificationCampaign:
             max_paths=max_paths,
             strategy=strategy,
             use_incremental_solver=use_incremental_solver,
+            use_verdict_cache=shared_cache,
+            warm_cache_entries=warm_entries if shared_cache else (),
+            warm_cache_token=warm_token,
         )
         self._injections: List[Tuple[str, str]] = []
         self._network: Optional[Network] = None
@@ -649,21 +761,43 @@ class VerificationCampaign:
             and self.source.picklable
             and len(jobs) >= self.MIN_JOBS_FOR_POOL
         ):
+            manager = None
             try:
+                pool_jobs = jobs
+                if self._shared_cache:
+                    # Process-shared verdict tier: workers publish full-solve
+                    # verdicts as they land, so symmetric jobs on *different*
+                    # workers stop re-solving each other's constraint sets.
+                    # Manager failure only loses the shared tier, not the run.
+                    import multiprocessing
+
+                    try:
+                        manager = multiprocessing.Manager()
+                        proxy = manager.dict()
+                        if self._warm_cache:
+                            proxy.update(self._warm_cache)
+                        pool_jobs = [
+                            replace(job, shared_cache=proxy) for job in jobs
+                        ]
+                    except (OSError, RuntimeError):
+                        manager = None
                 with ProcessPoolExecutor(
                     max_workers=min(workers, len(jobs))
                 ) as pool:
-                    reports = list(pool.map(execute_job, jobs))
+                    reports = list(pool.map(execute_job, pool_jobs))
                 mode = "process-pool"
             except (OSError, RuntimeError):
                 # No usable multiprocessing in this environment (restricted
                 # sandboxes, missing semaphores, ...): degrade gracefully.
                 reports = None
+            finally:
+                if manager is not None:
+                    manager.shutdown()
         if reports is None:
             # self.network() above already seeded the runtime cache, so the
             # sequential path executes against this campaign's own build.
             reports = [execute_job(job) for job in jobs]
-        return CampaignResult.aggregate(
+        result = CampaignResult.aggregate(
             self.source.describe(),
             self._job_template.queries,
             reports,
@@ -672,3 +806,6 @@ class VerificationCampaign:
             workers=workers,
             wall_clock_seconds=time.perf_counter() - started,
         )
+        if self._warm_cache:
+            result.absorb_warm_entries(self._warm_cache)
+        return result

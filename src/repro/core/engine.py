@@ -29,6 +29,7 @@ from repro.solver import ast as sa
 from repro.solver.ast import Const, Formula, Term
 from repro.solver.incremental import IncrementalSolver
 from repro.solver.solver import Solver
+from repro.solver.verdict_cache import VerdictCache
 
 
 @dataclass
@@ -69,14 +70,21 @@ class SymbolicExecutor:
         solver: Optional[Solver] = None,
         settings: Optional[ExecutionSettings] = None,
         symbols: Optional[SymbolFactory] = None,
+        verdict_cache: Optional["VerdictCache"] = None,
+        shared_cache: Optional[object] = None,
     ) -> None:
         self.network = network
         self.solver = solver if solver is not None else Solver()
         self.settings = settings if settings is not None else ExecutionSettings()
         self.symbols = symbols if symbols is not None else SymbolFactory()
-        # Shares the base solver (and its stats); the memo cache persists
-        # across inject() calls so repeated analyses reuse verdicts.
-        self.incremental = IncrementalSolver(self.solver)
+        # Shares the base solver (and its stats); the verdict cache persists
+        # across inject() calls so repeated analyses reuse verdicts.  Pass
+        # ``verdict_cache`` to share one cache across executors (campaign
+        # workers do, per-process) and ``shared_cache`` to add a
+        # cross-process tier (a Manager dict; see solver/verdict_cache.py).
+        self.incremental = IncrementalSolver(
+            self.solver, verdict_cache=verdict_cache, shared_cache=shared_cache
+        )
 
     # ------------------------------------------------------------------ public
 
@@ -96,6 +104,7 @@ class SymbolicExecutor:
         fast_paths_before = stats.fast_paths
         cache_hits_before = stats.cache_hits
         cache_misses_before = stats.cache_misses
+        shared_hits_before = stats.shared_cache_hits
 
         result = ExecutionResult(injected_at=PortId(element, port))
         state = initial_state if initial_state is not None else ExecutionState(self.symbols)
@@ -140,6 +149,9 @@ class SymbolicExecutor:
         result.solver_fast_paths = stats.fast_paths - fast_paths_before
         result.solver_cache_hits = stats.cache_hits - cache_hits_before
         result.solver_cache_misses = stats.cache_misses - cache_misses_before
+        result.solver_shared_cache_hits = (
+            stats.shared_cache_hits - shared_hits_before
+        )
         return result
 
     # ------------------------------------------------------------ propagation
@@ -252,9 +264,16 @@ class SymbolicExecutor:
             if new_formula is None:
                 new_formula = sa.conjoin(constraints)
             old_formula = sa.conjoin(list(snapshot.constraints))
-            witness = self.solver.check(
-                sa.And(old_formula, sa.Not(new_formula))
-            )
+            query = sa.And(old_formula, sa.Not(new_formula))
+            if self.settings.use_incremental_solver:
+                # Loop checks at symmetric ports differ only in symbol
+                # names, so the canonical verdict cache shares them across
+                # paths — and, in campaigns, across jobs.
+                witness = self.incremental.check_cached(
+                    sa.split_conjuncts(query)
+                )
+            else:
+                witness = self.solver.check(query)
             if witness.is_unsat:
                 return True
         return False

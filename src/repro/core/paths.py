@@ -98,6 +98,7 @@ class ExecutionResult:
     solver_fast_paths: int = 0
     solver_cache_hits: int = 0
     solver_cache_misses: int = 0
+    solver_shared_cache_hits: int = 0
     #: True when ``max_paths`` stopped exploration with frontier states
     #: still pending — the path list is a prefix, not the full set.
     truncated: bool = False

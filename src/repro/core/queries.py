@@ -365,6 +365,11 @@ class CampaignStats:
     solver_fast_paths: int = 0
     solver_cache_hits: int = 0
     solver_cache_misses: int = 0
+    solver_shared_cache_hits: int = 0
+    solver_cache_merged: int = 0
+    #: Distinct verdict-cache entries merged back into the campaign report
+    #: (set by the aggregation, not absorbed per job).
+    verdict_cache_entries: int = 0
     truncated_jobs: int = 0
     failed_jobs: int = 0
     wall_clock_seconds: float = 0.0
@@ -381,6 +386,8 @@ class CampaignStats:
         solver_cache_misses: int,
         truncated: bool,
         failed: bool,
+        solver_shared_cache_hits: int = 0,
+        solver_cache_merged: int = 0,
     ) -> None:
         self.jobs += 1
         self.paths += paths
@@ -390,10 +397,26 @@ class CampaignStats:
         self.solver_fast_paths += solver_fast_paths
         self.solver_cache_hits += solver_cache_hits
         self.solver_cache_misses += solver_cache_misses
+        self.solver_shared_cache_hits += solver_shared_cache_hits
+        self.solver_cache_merged += solver_cache_merged
         if truncated:
             self.truncated_jobs += 1
         if failed:
             self.failed_jobs += 1
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of memo-tier lookups served without a full solve."""
+        lookups = (
+            self.solver_cache_hits
+            + self.solver_shared_cache_hits
+            + self.solver_cache_misses
+        )
+        if not lookups:
+            return 0.0
+        return (
+            self.solver_cache_hits + self.solver_shared_cache_hits
+        ) / lookups
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -406,6 +429,10 @@ class CampaignStats:
             "solver_fast_paths": self.solver_fast_paths,
             "solver_cache_hits": self.solver_cache_hits,
             "solver_cache_misses": self.solver_cache_misses,
+            "solver_shared_cache_hits": self.solver_shared_cache_hits,
+            "solver_cache_merged": self.solver_cache_merged,
+            "cache_hit_rate": self.cache_hit_rate,
+            "verdict_cache_entries": self.verdict_cache_entries,
             "truncated_jobs": self.truncated_jobs,
             "failed_jobs": self.failed_jobs,
         }

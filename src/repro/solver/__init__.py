@@ -47,16 +47,26 @@ from repro.solver.ast import (
     conjoin,
     disjoin,
 )
+from repro.solver.canonical import CanonicalForm, canonical_fingerprint, canonical_form
 from repro.solver.incremental import IncrementalSolver, SolverContext
 from repro.solver.intervals import Interval, IntervalSet
 from repro.solver.result import SolverResult, SolverStats
 from repro.solver.solver import Solver
+from repro.solver.verdict_cache import (
+    CacheConflictError,
+    CacheCorruptionError,
+    VerdictCache,
+    resolve_verdict,
+)
 
 __all__ = [
     "Add",
     "And",
     "BoolFalse",
     "BoolTrue",
+    "CacheConflictError",
+    "CacheCorruptionError",
+    "CanonicalForm",
     "Const",
     "Eq",
     "FALSE",
@@ -79,6 +89,10 @@ __all__ = [
     "Sub",
     "Term",
     "Var",
+    "VerdictCache",
+    "canonical_fingerprint",
+    "canonical_form",
     "conjoin",
     "disjoin",
+    "resolve_verdict",
 ]

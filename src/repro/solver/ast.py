@@ -268,6 +268,15 @@ def disjoin(formulas: Iterable[Formula]) -> Formula:
     return Or(*items)
 
 
+def split_conjuncts(formula: Formula) -> "list":
+    """NNF-normalise ``formula`` and flatten it into a top-level conjunct
+    list (the shape the memoized/canonical solver tiers key on)."""
+    nnf = to_nnf(formula)
+    if isinstance(nnf, And):
+        return list(nnf.operands)
+    return [nnf]
+
+
 def negate(formula: Formula) -> Formula:
     """Negate ``formula`` pushing the negation down to atoms (NNF step)."""
     if isinstance(formula, BoolTrue):

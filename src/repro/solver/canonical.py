@@ -1,0 +1,342 @@
+"""Canonical constraint fingerprints: alpha-renaming-invariant cache keys.
+
+The incremental solver memoizes full solves on the conjunct set of a path.
+A plain ``frozenset`` key only merges *literally identical* sets, but the
+huge number of structurally similar paths a network induces (the paper's
+scalability argument) produces conjunct sets that differ **only** in the
+names of the fresh symbols the engine allocated along the way: two campaign
+jobs injecting at symmetric ports, or two branches of the same job whose
+symbol counters diverged, re-solve the same problem under different names.
+
+:func:`canonical_form` maps a conjunct set to a normal form that is
+
+* **order-independent** — conjuncts are normalised and sorted;
+* **duplicate-insensitive** — structurally equal conjuncts collapse (after
+  linearisation, so ``x + 1 == 5`` and ``x == 4`` are the same conjunct);
+* **variable-name-independent** — variables are alpha-renamed to canonical
+  indices chosen by iterated structural refinement (colour each variable by
+  the multiset of its occurrences, re-render occurrences under the current
+  colouring, repeat to fixpoint — a Weisfeiler-Lehman-style partition).
+
+**Soundness invariant**: the canonical renaming is always a *bijection*
+from the set's variables onto ``0..n-1``, so the canonical rendering is a
+renamed copy of the original set.  Equal renderings therefore imply the two
+sets are alpha-equivalent, hence equisatisfiable — a cache keyed on the
+fingerprint can never serve a verdict for a semantically different set
+(fingerprints are SHA-256 over the rendering; hash collisions aside).
+Variables the refinement cannot separate (automorphic-looking ties) are
+split by individualise-and-refine: try each member of the first tied class,
+recurse, keep the lexicographically smallest rendering.  If that search
+exceeds :data:`SYMMETRY_BUDGET` leaves, we fall back to breaking ties by
+the original variable names — still a bijection (still sound), merely no
+longer name-independent for that pathological set (a missed cache hit, not
+a wrong one).  ``CanonicalForm.used_name_fallback`` reports when this
+happened; the mutation/soundness suite in ``tests/test_canonical_cache.py``
+pins both directions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.solver.ast import (
+    And,
+    BoolFalse,
+    BoolTrue,
+    Formula,
+    Member,
+    Or,
+    Var,
+    linearize,
+    to_nnf,
+)
+
+#: Leaf budget for the individualise-and-refine symmetry search.  Conjunct
+#: sets produced by network models have tiny symmetric classes (usually
+#: none), so this is generous; exceeding it triggers the sound name-order
+#: fallback.
+SYMMETRY_BUDGET = 64
+
+#: Colour marking the focused variable while computing occurrence
+#: signatures.  Real colours are >= 0.
+_FOCUS = -1
+
+_OP_NAMES = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le"}
+_FLIPPED = {">": "lt", ">=": "le"}
+
+
+# ---------------------------------------------------------------------------
+# Structural normalisation (phase 1): formulas -> IR trees with Var leaves
+# ---------------------------------------------------------------------------
+#
+# IR nodes are plain tuples so that phase 2 can render them cheaply:
+#   ("bool", 0|1)
+#   ("cmp", op, coeffs, k)            -- sum(c_i * v_i) + k  op  0
+#   ("member", negated, coeffs, k, values)
+#   ("and"|"or", (children...))
+# ``coeffs`` is a tuple of (Var, int) pairs; eq/ne keep an ambiguous sign
+# that rendering resolves by taking the smaller of the two orientations.
+
+_IR = Tuple
+
+
+def _negated_coeffs(coeffs: Tuple[Tuple[Var, int], ...]) -> Tuple[Tuple[Var, int], ...]:
+    return tuple((var, -coeff) for var, coeff in coeffs)
+
+
+def _normalize(formula: Formula) -> _IR:
+    formula = to_nnf(formula)
+    if isinstance(formula, BoolTrue):
+        return ("bool", 1)
+    if isinstance(formula, BoolFalse):
+        return ("bool", 0)
+    if isinstance(formula, (And, Or)):
+        tag = "and" if isinstance(formula, And) else "or"
+        return (tag, tuple(_normalize(op) for op in formula.operands))
+    if isinstance(formula, Member):
+        linear = linearize(formula.term)
+        values = tuple(
+            (interval.lo, interval.hi) for interval in formula.values.intervals
+        )
+        return (
+            "member",
+            1 if formula.negated else 0,
+            linear.coeffs,
+            linear.constant,
+            values,
+        )
+    # Comparison atom: move everything left (lhs - rhs op 0) and orient
+    # > / >= as < / <= by negating the linear combination.
+    lhs = linearize(formula.left)
+    rhs = linearize(formula.right)
+    merged: Dict[Var, int] = {}
+    for var, coeff in lhs.coeffs:
+        merged[var] = merged.get(var, 0) + coeff
+    for var, coeff in rhs.coeffs:
+        merged[var] = merged.get(var, 0) - coeff
+    coeffs = tuple(
+        sorted(
+            ((v, c) for v, c in merged.items() if c != 0),
+            key=lambda item: item[0].name,
+        )
+    )
+    constant = lhs.constant - rhs.constant
+    op = formula.op
+    if op in _FLIPPED:
+        return ("cmp", _FLIPPED[op], _negated_coeffs(coeffs), -constant)
+    return ("cmp", _OP_NAMES[op], coeffs, constant)
+
+
+def _ir_variables(node: _IR, into: Dict[Var, None]) -> None:
+    tag = node[0]
+    if tag == "bool":
+        return
+    if tag in ("and", "or"):
+        for child in node[1]:
+            _ir_variables(child, into)
+        return
+    coeffs = node[2]
+    for var, _ in coeffs:
+        into.setdefault(var, None)
+
+
+# ---------------------------------------------------------------------------
+# Rendering (phase 2): IR + colouring -> comparable nested tuples
+# ---------------------------------------------------------------------------
+
+
+def _render_coeffs(
+    coeffs: Tuple[Tuple[Var, int], ...],
+    colors: Dict[Var, int],
+    focus: Optional[Var],
+) -> Tuple[Tuple[int, int, int], ...]:
+    """Each occurrence renders as (colour, width, coefficient); the width is
+    inlined so two sets differing only in a variable's bit width can never
+    share a rendering."""
+    return tuple(
+        sorted(
+            (
+                _FOCUS if var == focus else colors[var],
+                var.width,
+                coeff,
+            )
+            for var, coeff in coeffs
+        )
+    )
+
+
+def _render(node: _IR, colors: Dict[Var, int], focus: Optional[Var] = None) -> _IR:
+    tag = node[0]
+    if tag == "bool":
+        return node
+    if tag in ("and", "or"):
+        children = sorted(
+            (_render(child, colors, focus) for child in node[1]), key=repr
+        )
+        return (tag, tuple(children))
+    if tag == "member":
+        _, negated, coeffs, k, values = node
+        return ("member", negated, _render_coeffs(coeffs, colors, focus), k, values)
+    _, op, coeffs, k = node
+    if op in ("eq", "ne"):
+        # x - y == k and y - x == -k are the same atom: keep whichever
+        # orientation renders smaller under the current colouring.
+        forward = ("cmp", op, _render_coeffs(coeffs, colors, focus), k)
+        backward = ("cmp", op, _render_coeffs(_negated_coeffs(coeffs), colors, focus), -k)
+        return min(forward, backward, key=repr)
+    return ("cmp", op, _render_coeffs(coeffs, colors, focus), k)
+
+
+def _final_rendering(irs: Sequence[_IR], indices: Dict[Var, int]) -> Tuple:
+    rendered = {_render(ir, indices) for ir in irs}
+    return ("cf1", tuple(sorted(rendered, key=repr)))
+
+
+# ---------------------------------------------------------------------------
+# Colour refinement and symmetry breaking
+# ---------------------------------------------------------------------------
+
+
+def _partition(colors: Dict[Var, int]) -> Dict[int, Tuple[Var, ...]]:
+    classes: Dict[int, List[Var]] = {}
+    for var, color in colors.items():
+        classes.setdefault(color, []).append(var)
+    return {color: tuple(members) for color, members in classes.items()}
+
+
+def _refine(
+    irs: Sequence[_IR],
+    occurrences: Dict[Var, List[_IR]],
+    colors: Dict[Var, int],
+) -> Dict[Var, int]:
+    """Iterate occurrence-signature colouring to a fixpoint partition."""
+    for _ in range(len(colors) + 1):
+        signatures: Dict[Var, Tuple] = {}
+        for var in colors:
+            occ = sorted(
+                (_render(ir, colors, focus=var) for ir in occurrences[var]),
+                key=repr,
+            )
+            signatures[var] = (colors[var], var.width, tuple(occ))
+        ranked = sorted(set(signatures.values()), key=repr)
+        rank = {sig: index for index, sig in enumerate(ranked)}
+        new_colors = {var: rank[signatures[var]] for var in colors}
+        if len(ranked) == len(set(colors.values())):
+            return new_colors
+        colors = new_colors
+    return colors
+
+
+def _canonical_indices(
+    irs: Sequence[_IR],
+    occurrences: Dict[Var, List[_IR]],
+    colors: Dict[Var, int],
+    budget: List[int],
+) -> Optional[Dict[Var, int]]:
+    """Assign each variable a unique canonical index, individualising tied
+    colour classes.  Returns ``None`` when the symmetry budget is exhausted
+    (caller falls back to name-order tie-breaking)."""
+    colors = _refine(irs, occurrences, colors)
+    classes = _partition(colors)
+    tied = sorted(
+        (color for color, members in classes.items() if len(members) > 1)
+    )
+    if not tied:
+        order = sorted(colors, key=colors.get)
+        return {var: index for index, var in enumerate(order)}
+    members = classes[tied[0]]
+    fresh = max(colors.values()) + 1
+    best_map: Optional[Dict[Var, int]] = None
+    best_key: Optional[str] = None
+    for candidate in members:
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+        individualized = dict(colors)
+        individualized[candidate] = fresh
+        submap = _canonical_indices(irs, occurrences, individualized, budget)
+        if submap is None:
+            return None
+        key = repr(_final_rendering(irs, submap))
+        if best_key is None or key < best_key:
+            best_key = key
+            best_map = submap
+    return best_map
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """The canonical normal form of one conjunct set."""
+
+    #: SHA-256 hex digest of ``rendering`` — the cross-process cache key.
+    fingerprint: str
+    #: The canonical rendering itself (nested tuples of ints/strings only,
+    #: so it is hashable, comparable and stable across processes).
+    rendering: Tuple
+    #: The original variables in canonical-index order: ``variables[i]`` is
+    #: the variable renamed to index ``i`` (the witness bijection).
+    variables: Tuple[Var, ...]
+    #: True when symmetry breaking exceeded the budget and ties were broken
+    #: by original variable names (sound, but not name-independent).
+    used_name_fallback: bool = False
+
+
+def canonical_form(conjuncts: Iterable[Formula]) -> CanonicalForm:
+    """Canonicalize a conjunct set (see module docstring)."""
+    irs: List[_IR] = []
+    for formula in conjuncts:
+        node = _normalize(formula)
+        if node == ("bool", 1):
+            continue  # TRUE conjuncts carry no information
+        irs.append(node)
+
+    var_table: Dict[Var, None] = {}
+    for node in irs:
+        _ir_variables(node, var_table)
+    variables = list(var_table)
+
+    occurrences: Dict[Var, List[_IR]] = {var: [] for var in variables}
+    for node in irs:
+        node_vars: Dict[Var, None] = {}
+        _ir_variables(node, node_vars)
+        for var in node_vars:
+            occurrences[var].append(node)
+
+    used_fallback = False
+    if variables:
+        colors = {var: 0 for var in variables}
+        budget = [SYMMETRY_BUDGET]
+        indices = _canonical_indices(irs, occurrences, colors, budget)
+        if indices is None:
+            # Sound fallback: a deterministic bijection that consults the
+            # original names to break the remaining ties.
+            refined = _refine(irs, occurrences, {var: 0 for var in variables})
+            order = sorted(
+                variables, key=lambda v: (refined[v], v.width, v.name)
+            )
+            indices = {var: index for index, var in enumerate(order)}
+            used_fallback = True
+    else:
+        indices = {}
+
+    rendering = _final_rendering(irs, indices)
+    digest = hashlib.sha256(repr(rendering).encode("utf-8")).hexdigest()
+    ordered = tuple(sorted(indices, key=indices.get))
+    return CanonicalForm(
+        fingerprint=digest,
+        rendering=rendering,
+        variables=ordered,
+        used_name_fallback=used_fallback,
+    )
+
+
+def canonical_fingerprint(conjuncts: Iterable[Formula]) -> str:
+    """The alpha-renaming-invariant cache key of a conjunct set."""
+    return canonical_form(conjuncts).fingerprint

@@ -55,9 +55,11 @@ from repro.solver.ast import (
     linearize,
     to_nnf,
 )
+from repro.solver.canonical import canonical_fingerprint
 from repro.solver.intervals import IntervalSet
 from repro.solver.result import SolverResult, SolverStats
 from repro.solver.solver import _ATOM_TYPES, Solver
+from repro.solver.verdict_cache import VerdictCache
 from repro.solver.theory import (
     UnsupportedAtomError,
     _const_holds,
@@ -243,24 +245,51 @@ class SolverContext:
 
 
 class IncrementalSolver:
-    """Factory for :class:`SolverContext` plus a shared memoization cache.
+    """Factory for :class:`SolverContext` plus a canonical verdict cache.
 
     Wraps a base :class:`Solver`; all statistics (including cache and
     fast-path counters) accumulate in ``base.stats`` so existing
     instrumentation keeps working.
+
+    Full solves are memoized in a :class:`VerdictCache` keyed on the
+    alpha-renaming-invariant :func:`canonical_fingerprint` of the conjunct
+    set, so structurally similar paths — different variable names, shuffled
+    conjunct order, linear-arithmetic variants of the same atoms — share one
+    entry.  Passing ``verdict_cache`` lets many solvers (e.g. every job a
+    campaign worker runs) share one persistent cache; ``shared_cache`` adds
+    an optional cross-process tier (any dict-like object, typically a
+    ``multiprocessing.Manager().dict()``) consulted on local misses and fed
+    on full solves.  ``paranoid`` re-verifies every local hit against a
+    from-scratch solve — a debug tripwire used by the mutation tests.
     """
 
     def __init__(
         self,
         base: Optional[Solver] = None,
         max_cache_entries: int = 10_000,
+        verdict_cache: Optional[VerdictCache] = None,
+        shared_cache: Optional[object] = None,
+        paranoid: bool = False,
     ) -> None:
         self.base = base if base is not None else Solver()
-        # LRU: keys hold references to full conjunct sets (O(path length)
-        # each), so the cache is bounded and evicts least-recently-used
-        # entries rather than silently ceasing to cache.
-        self._cache: "OrderedDict[frozenset, str]" = OrderedDict()
-        self._max_cache_entries = max_cache_entries
+        self.cache = (
+            verdict_cache
+            if verdict_cache is not None
+            else VerdictCache(max_entries=max_cache_entries)
+        )
+        self.shared = shared_cache
+        self.paranoid = paranoid
+        # Exact-match memo: frozenset(conjuncts) -> fingerprint.  Repeated
+        # checks of the *same* growing conjunct list (every feasibility
+        # probe along a path) skip re-canonicalization entirely; only the
+        # first sight of a structurally new set pays the WL refinement.
+        self._fingerprints: "OrderedDict[frozenset, str]" = OrderedDict()
+        self._max_fingerprints = max_cache_entries
+        # "unknown" results are memoized under the exact conjunct set only:
+        # sound (the solver is deterministic on identical input) without
+        # letting budget-dependent unknowns poison alpha-variants that a
+        # fresh solve might answer definitively.
+        self._exact_unknowns: "OrderedDict[frozenset, None]" = OrderedDict()
         # Per-instance counters (SolverStats aggregates across every
         # IncrementalSolver sharing the base solver).
         self._hits = 0
@@ -276,33 +305,88 @@ class IncrementalSolver:
     # -- memoized full checks --------------------------------------------------
 
     @staticmethod
-    def canonical_key(conjuncts: List[Formula]) -> frozenset:
-        """Order- and duplicate-insensitive key for a conjunction.  Every
-        formula node is a frozen dataclass (and ``IntervalSet`` is hashable),
-        so the conjunct set itself is the canonical form."""
-        return frozenset(conjuncts)
+    def canonical_key(conjuncts: List[Formula]) -> str:
+        """Order-, duplicate- and variable-name-insensitive key for a
+        conjunction (see :mod:`repro.solver.canonical`)."""
+        return canonical_fingerprint(conjuncts)
+
+    def _fingerprint_of(self, exact: frozenset, conjuncts: List[Formula]) -> str:
+        key = self._fingerprints.get(exact)
+        if key is not None:
+            self._fingerprints.move_to_end(exact)
+            return key
+        key = canonical_fingerprint(conjuncts)
+        self._fingerprints[exact] = key
+        if len(self._fingerprints) > self._max_fingerprints:
+            self._fingerprints.popitem(last=False)
+        return key
 
     def check_cached(self, conjuncts: List[Formula]) -> SolverResult:
-        key = self.canonical_key(conjuncts)
-        verdict = self._cache.get(key)
+        exact = frozenset(conjuncts)
+        if exact in self._exact_unknowns:
+            self._exact_unknowns.move_to_end(exact)
+            self._hits += 1
+            self.stats.record_cache_hit()
+            return SolverResult(verdict="unknown")
+        key = self._fingerprint_of(exact, conjuncts)
+        verdict = self.cache.get(key)
+        if verdict == "unknown":
+            # Entries injected by merge/warm maps may carry "unknown";
+            # serving one would suppress the very solve that could upgrade
+            # it (and diverge from an uncached run).  Treat as a miss.
+            verdict = None
         if verdict is not None:
-            self._cache.move_to_end(key)
+            if self.paranoid:
+                self.cache.verify_entry(key, conjuncts)
             self._hits += 1
             self.stats.record_cache_hit()
             return SolverResult(verdict=verdict)
+        if self.shared is not None:
+            try:
+                verdict = self.shared.get(key)
+            except Exception:
+                # Broken proxy (manager gone, pipe closed): degrade to the
+                # local tiers for the rest of this solver's lifetime.
+                verdict = None
+                self.shared = None
+            if verdict == "unknown":
+                verdict = None
+            if verdict is not None:
+                # Promote into the local cache; it counts as a fresh entry
+                # so campaign jobs report verdicts they imported this way.
+                self.cache.put(key, verdict)
+                self.stats.record_shared_cache_hit()
+                return SolverResult(verdict=verdict)
         self._misses += 1
         self.stats.record_cache_miss()
         result = self.base.check(list(conjuncts))
-        self._cache[key] = result.verdict
-        if len(self._cache) > self._max_cache_entries:
-            self._cache.popitem(last=False)
+        if result.verdict == "unknown":
+            # Incompleteness, not an answer: budgets are consumed in
+            # conjunct order, so an alpha-variant of this set might solve
+            # definitively.  Memoize only under the exact conjunct set.
+            self._exact_unknowns[exact] = None
+            if len(self._exact_unknowns) > self._max_fingerprints:
+                self._exact_unknowns.popitem(last=False)
+            return result
+        self.cache.put(
+            key,
+            result.verdict,
+            witness=list(conjuncts) if self.cache.debug else None,
+        )
+        if self.shared is not None:
+            try:
+                self.shared[key] = result.verdict
+            except Exception:
+                self.shared = None
         return result
 
     def cache_info(self) -> Tuple[int, int, int]:
         """``(hits, misses, size)`` of *this* solver's memoization cache."""
-        return (self._hits, self._misses, len(self._cache))
+        return (self._hits, self._misses, len(self.cache))
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        self.cache.clear()
+        self._fingerprints.clear()
+        self._exact_unknowns.clear()
         self._hits = 0
         self._misses = 0

@@ -25,6 +25,11 @@ class SolverStats:
     fast_paths: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    # Cross-job verdict-cache instrumentation: hits served by the
+    # process-shared tier (``shared_cache_hits``) and entries imported into
+    # a local cache from another job's results (``merged_entries``).
+    shared_cache_hits: int = 0
+    merged_entries: int = 0
 
     def record(self, verdict: str, elapsed: float, atoms: int, splits: int) -> None:
         self.calls += 1
@@ -47,6 +52,12 @@ class SolverStats:
     def record_cache_miss(self) -> None:
         self.cache_misses += 1
 
+    def record_shared_cache_hit(self) -> None:
+        self.shared_cache_hits += 1
+
+    def record_merged_entries(self, count: int) -> None:
+        self.merged_entries += count
+
     def merge(self, other: "SolverStats") -> None:
         self.calls += other.calls
         self.sat += other.sat
@@ -58,6 +69,8 @@ class SolverStats:
         self.fast_paths += other.fast_paths
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.shared_cache_hits += other.shared_cache_hits
+        self.merged_entries += other.merged_entries
 
 
 @dataclass

@@ -1,0 +1,120 @@
+"""Campaign-level regression tests for the cross-job verdict cache.
+
+The claims under test, per the verdict-cache design (see README):
+
+* query fingerprints are **bit-identical** whatever the cache does — cold or
+  warm, shared or isolated, sequential or process pool;
+* full-solve counts are monotonically non-increasing as caching tiers are
+  added (isolated -> shared -> warm-started);
+* the merge path works end to end: jobs report their fresh verdict entries,
+  the aggregation merges them into ``CampaignResult.verdict_cache``, and a
+  later campaign warm-started from that map stops re-solving.
+"""
+
+from typing import Optional
+
+import pytest
+
+from repro.core.campaign import (
+    NetworkSource,
+    VerificationCampaign,
+    clear_runtime_cache,
+)
+
+DEPARTMENT_OPTIONS = dict(
+    access_switches=3, hosts_per_switch=2, mac_entries=120, extra_routes=10
+)
+STANFORD_OPTIONS = dict(
+    zones=3, internal_prefixes_per_zone=12, service_acl_rules=3
+)
+
+
+def _run(
+    source: NetworkSource,
+    *,
+    shared: bool = True,
+    workers: int = 1,
+    warm=None,
+):
+    # Each run starts from a cold per-process runtime so the measured effect
+    # comes from the verdict-cache plumbing, not leftover worker state.
+    clear_runtime_cache()
+    campaign = VerificationCampaign(source, shared_cache=shared, warm_cache=warm)
+    return campaign.run(workers=workers)
+
+
+def _fingerprints(result):
+    return (
+        result.reachability.fingerprint(),
+        result.loop_report.fingerprint(),
+        result.invariant_report.fingerprint(),
+    )
+
+
+@pytest.mark.parametrize(
+    "workload, options",
+    [("department", DEPARTMENT_OPTIONS), ("stanford", STANFORD_OPTIONS)],
+)
+def test_cold_vs_warm_and_workers(workload, options):
+    source = NetworkSource.from_workload(workload, **options)
+
+    isolated = _run(source, shared=False)
+    cold = _run(source, shared=True)
+    warm = _run(source, shared=True, warm=cold.verdict_cache)
+    pooled = _run(source, shared=True, workers=2)
+    pooled_warm = _run(source, shared=True, workers=2, warm=cold.verdict_cache)
+
+    runs = [isolated, cold, warm, pooled, pooled_warm]
+    assert not any(r.job_errors for r in runs)
+
+    # Bit-identical query results in every configuration.
+    expected = _fingerprints(isolated)
+    for result in runs[1:]:
+        assert _fingerprints(result) == expected
+
+    # Full-solve counts never increase as caching tiers are added.
+    assert cold.stats.solver_cache_misses <= isolated.stats.solver_cache_misses
+    assert warm.stats.solver_cache_misses <= cold.stats.solver_cache_misses
+    assert (
+        pooled_warm.stats.solver_cache_misses
+        <= pooled.stats.solver_cache_misses
+    )
+
+    # The merge path: cold runs report their entries, the warm run imported
+    # them (solver_cache_merged counts per-job merges) and needed no solves.
+    assert cold.stats.verdict_cache_entries > 0
+    assert warm.stats.solver_cache_merged > 0
+    assert warm.stats.solver_cache_misses == 0
+    assert warm.verdict_cache == cold.verdict_cache
+
+
+def test_shared_cache_cuts_cross_job_solves_on_symmetric_zones():
+    """The headline effect: symmetric stanford zones re-solve each other's
+    alpha-equivalent ACL constraint sets unless the cache is shared."""
+    source = NetworkSource.from_workload("stanford", **STANFORD_OPTIONS)
+    isolated = _run(source, shared=False)
+    shared = _run(source, shared=True)
+    assert isolated.stats.solver_cache_misses > 0
+    assert shared.stats.solver_cache_misses < isolated.stats.solver_cache_misses
+    assert shared.stats.solver_cache_hits > 0
+    assert (
+        shared.reachability.fingerprint() == isolated.reachability.fingerprint()
+    )
+
+
+def test_job_reports_carry_cache_statistics():
+    source = NetworkSource.from_workload("stanford", **STANFORD_OPTIONS)
+    result = _run(source, shared=True, warm=None)
+    payload = result.to_dict()
+    assert payload["verdict_cache"]["entries"] == len(result.verdict_cache)
+    stats = payload["stats"]
+    for key in (
+        "solver_shared_cache_hits",
+        "solver_cache_merged",
+        "cache_hit_rate",
+        "verdict_cache_entries",
+    ):
+        assert key in stats
+    for job in payload["jobs"]:
+        assert "verdict_cache_entries" in job["stats"]
+        assert "solver_shared_cache_hits" in job["stats"]
