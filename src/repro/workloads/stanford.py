@@ -17,8 +17,19 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.baselines.hsa import HsaNetwork, TransferFunction, TransferRule, WildcardExpr
 from repro.models.router import FibEntry, RouterModelStyle, build_router
+from repro.network.element import NetworkElement
 from repro.network.topology import Network
+from repro.sefl.expressions import Eq, Or
+from repro.sefl.fields import TcpDst, TcpSrc
+from repro.sefl.instructions import Fail, Forward, If, InstructionBlock, NoOp
 from repro.sefl.util import ip_to_number
+
+#: Campus-wide blocked service ports, most infamous first.  Every zone edge
+#: applies the same policy (the realistic case: one security baseline for
+#: the whole backbone), which is exactly what makes the per-rule solver work
+#: identical across zones modulo symbol names — the cross-job verdict cache's
+#: best case.
+SERVICE_ACL_PORTS = (23, 135, 137, 139, 445, 1433, 3389, 5900, 6379, 11211)
 
 # Header layout used by the HSA encoding: only the destination address
 # matters for backbone forwarding, so the header is 32 bits of IpDst.
@@ -121,17 +132,58 @@ def build_stanford_like_backbone(
     )
 
 
-def campaign_network(**options) -> Tuple[Network, List[Tuple[str, str]]]:
+def build_service_acl(name: str, rules: int) -> NetworkElement:
+    """A zone-edge service ACL: drop traffic to/from the first ``rules``
+    blocked service ports, forward everything else.
+
+    Each rule's match (``TcpSrc == p or TcpDst == p``) mixes two symbolic
+    variables, so probing it falls outside the interval-domain fast path and
+    costs a real solve — the constraint shape whose repetition across
+    symmetric zones the canonical verdict cache exists to absorb.
+    """
+    if rules > len(SERVICE_ACL_PORTS):
+        raise ValueError(
+            f"at most {len(SERVICE_ACL_PORTS)} service ACL rules available"
+        )
+    element = NetworkElement(
+        name, input_ports=["in0"], output_ports=["out0"], kind="service-acl"
+    )
+    checks = [
+        If(
+            Or(Eq(TcpSrc, port), Eq(TcpDst, port)),
+            Fail(f"blocked service port {port}"),
+            NoOp(),
+        )
+        for port in SERVICE_ACL_PORTS[:rules]
+    ]
+    element.set_input_program(
+        "in0", InstructionBlock(*checks, Forward("out0"))
+    )
+    return element
+
+
+def campaign_network(
+    service_acl_rules: int = 0, **options
+) -> Tuple[Network, List[Tuple[str, str]]]:
     """Campaign adapter: the backbone plus one injection port per zone.
 
     Injecting at every zone router's hosts-facing input yields the all-pairs
     zone-to-zone reachability matrix the paper computes on the Stanford
-    dataset.
+    dataset.  ``service_acl_rules > 0`` fronts every zone with the same
+    zone-edge service ACL (and moves the injection ports onto the ACLs),
+    modelling a campus-wide security baseline.
     """
     workload = build_stanford_like_backbone(**options)
-    return workload.network, [
-        (name, "in-hosts") for name in workload.zone_routers
-    ]
+    network = workload.network
+    if service_acl_rules <= 0:
+        return network, [(name, "in-hosts") for name in workload.zone_routers]
+    injections = []
+    for zone, router in enumerate(workload.zone_routers):
+        acl_name = f"acl{zone}"
+        network.add_element(build_service_acl(acl_name, service_acl_rules))
+        network.add_link((acl_name, "out0"), (router, "in-hosts"))
+        injections.append((acl_name, "in0"))
+    return network, injections
 
 
 def stanford_hsa_network(workload: StanfordWorkload) -> HsaNetwork:
