@@ -23,6 +23,13 @@ BENCH_JSON_PATH = os.environ.get(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_campaign.json"),
 )
 
+#: Machine-readable records for the API-planner benchmark: N separate
+#: campaign runs vs one planned query batch over the same network.
+BENCH_API_JSON_PATH = os.environ.get(
+    "SYMNET_BENCH_API_JSON",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_api.json"),
+)
+
 
 def scaled(small, full):
     """Pick a workload size depending on the requested scale."""
@@ -52,21 +59,14 @@ def campaign_record(label: str, result) -> dict:
     }
 
 
-@pytest.fixture(scope="session")
-def bench_json():
-    """Collect machine-readable benchmark records and merge them into
-    ``BENCH_campaign.json`` at the end of the session.
-
-    Records are keyed by (workload, scale): re-running a benchmark updates
-    its row, while rows from other scales/sessions survive — so the perf
-    trajectory accumulates instead of each run clobbering the last."""
-    records = []
-    yield records
-    if not records:
-        return
+def _merge_bench_records(path: str, records) -> None:
+    """Merge benchmark records into a JSON file, keyed by (workload, scale):
+    re-running a benchmark updates its row, while rows from other
+    scales/sessions survive — so the perf trajectory accumulates instead of
+    each run clobbering the last."""
     merged = {}
     try:
-        with open(BENCH_JSON_PATH, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8") as handle:
             for record in json.load(handle).get("records", []):
                 merged[(record.get("workload"), record.get("scale"))] = record
     except (OSError, ValueError):
@@ -74,9 +74,29 @@ def bench_json():
     for record in records:
         merged[(record["workload"], record["scale"])] = record
     ordered = [merged[key] for key in sorted(merged, key=repr)]
-    with open(BENCH_JSON_PATH, "w", encoding="utf-8") as handle:
+    with open(path, "w", encoding="utf-8") as handle:
         json.dump({"records": ordered}, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Collect machine-readable campaign benchmark records and merge them
+    into ``BENCH_campaign.json`` at the end of the session."""
+    records = []
+    yield records
+    if records:
+        _merge_bench_records(BENCH_JSON_PATH, records)
+
+
+@pytest.fixture(scope="session")
+def bench_api_json():
+    """Collect separate-campaigns-vs-planned-batch comparison records and
+    merge them into ``BENCH_api.json`` at the end of the session."""
+    records = []
+    yield records
+    if records:
+        _merge_bench_records(BENCH_API_JSON_PATH, records)
 
 
 @pytest.fixture(scope="session")

@@ -12,7 +12,7 @@ topology (scaled down by default) and checks the findings.
 import pytest
 
 from repro import ExecutionSettings, SymbolicExecutor, models
-from repro.core import verification as V
+from repro.core import checks as V
 from repro.models import tcp_options_metadata
 from repro.models.tcp_options import OPTION_MPTCP, OPTION_SACK_OK, option_var
 from repro.sefl import InstructionBlock, IpDst, IpSrc, TcpDst, ip_to_number

@@ -18,7 +18,7 @@ import pytest
 
 from repro import ExecutionSettings, Network, SymbolicExecutor, models
 from repro.baselines.kleesim import KleeOptionsAnalysis
-from repro.core import verification as V
+from repro.core import checks as V
 from repro.models import build_tcp_options_filter, tcp_options_metadata
 from repro.models.tcp_options import (
     OPTION_MPTCP,

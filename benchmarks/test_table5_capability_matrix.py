@@ -14,7 +14,7 @@ import pytest
 
 from repro import ExecutionSettings, Network, SymbolicExecutor, models
 from repro.baselines.hsa import HeaderSpace, HsaNetwork, TransferFunction, TransferRule, WildcardExpr
-from repro.core import verification as V
+from repro.core import checks as V
 from repro.models import (
     build_decapsulator,
     build_decryptor,

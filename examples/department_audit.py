@@ -17,7 +17,7 @@ Run with::
 """
 
 from repro import ExecutionSettings, SymbolicExecutor, models
-from repro.core import verification as V
+from repro.api import checks as V
 from repro.models import tcp_options_metadata
 from repro.models.tcp_options import OPTION_MPTCP, OPTION_SACK_OK, option_var
 from repro.sefl import InstructionBlock, IpDst, IpSrc, TcpDst, number_to_ip

@@ -12,7 +12,7 @@ Run with::
 """
 
 from repro import Network, NetworkElement, SymbolicExecutor, models
-from repro.core import verification as V
+from repro.api import checks as V
 from repro.models import build_switch
 from repro.sefl import (
     Assign,

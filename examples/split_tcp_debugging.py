@@ -18,7 +18,7 @@ Run with::
 
 from repro import ExecutionSettings, SymbolicExecutor, models
 from repro.click.elements import build_vlan_encap
-from repro.core import verification as V
+from repro.api import checks as V
 from repro.sefl import Allocate, Assign, EtherSrc, InstructionBlock, IpLength, IpSrc, mac_to_number
 from repro.solver.ast import Const, Eq
 from repro.solver.solver import Solver

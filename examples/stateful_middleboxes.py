@@ -16,7 +16,7 @@ Run with::
 """
 
 from repro import Network, SymbolicExecutor, models
-from repro.core import verification as V
+from repro.api import checks as V
 from repro.models import build_nat, build_stateful_firewall, build_ip_mirror
 from repro.sefl import IpDst, IpSrc, TcpDst, TcpSrc, number_to_ip
 

@@ -14,7 +14,7 @@ Run with::
 """
 
 from repro import Network, SymbolicExecutor, models
-from repro.core import verification as V
+from repro.api import checks as V
 from repro.models import build_decapsulator, build_encapsulator
 from repro.models.tunnel import build_mtu_filter
 from repro.sefl import IpDst, IpLength, IpSrc, TcpDst, TcpSrc, number_to_ip

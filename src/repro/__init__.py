@@ -48,7 +48,8 @@ from repro.core import (
 )
 from repro.network import Network, NetworkElement
 from repro.solver import Solver
-from repro import models, sefl
+from repro import api, models, sefl
+from repro.api import NetworkModel
 
 __version__ = "1.0.0"
 
@@ -58,9 +59,11 @@ __all__ = [
     "ExecutionState",
     "Network",
     "NetworkElement",
+    "NetworkModel",
     "PathRecord",
     "Solver",
     "SymbolicExecutor",
+    "api",
     "models",
     "sefl",
     "verification",

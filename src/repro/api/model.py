@@ -1,0 +1,126 @@
+"""The :class:`NetworkModel` facade — one front door to the analysis stack.
+
+A ``NetworkModel`` wraps a network *source* (a §7.1 snapshot directory, a
+registered synthetic workload, or an in-process
+:class:`~repro.network.topology.Network`) and owns everything that should
+happen exactly once per network, no matter how many campaigns or query
+batches run against it:
+
+* building the network (cached, and seeded into the campaign runtime cache
+  so in-process jobs reuse the same build);
+* ``Network.validate()`` — the findings are computed once and handed to
+  every campaign the model spawns, so CLI and API warnings are identical
+  and directory networks are never silently re-validated per construction
+  site;
+* the default injection ports (the workload's registered entry points, or
+  every free input port, or — for fully wired rings — every input port).
+
+Ask questions with :meth:`NetworkModel.query`, which compiles a batch of
+declarative :mod:`repro.api.queries` objects onto one shared campaign plan
+(see :mod:`repro.api.planner`), or drop down to :meth:`campaign` for the raw
+:class:`~repro.core.campaign.VerificationCampaign` machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.core.campaign import (
+    NetworkSource,
+    VerificationCampaign,
+    _seed_runtime,
+    default_injection_ports,
+)
+from repro.network.topology import Network
+
+SourceLike = Union[NetworkSource, Network, str]
+
+
+class NetworkModel:
+    """A session handle over one network: build once, validate once, query
+    many times.
+
+    >>> model = NetworkModel.from_workload("department")     # doctest: +SKIP
+    ... result = model.query(ForAllPairs(Reach), Loop())
+    ... result["loop()"].holds
+    """
+
+    def __init__(self, source: SourceLike) -> None:
+        if isinstance(source, Network):
+            source = NetworkSource.from_network(source)
+        elif isinstance(source, str):
+            source = NetworkSource.from_directory(source)
+        elif not isinstance(source, NetworkSource):
+            raise TypeError(
+                "NetworkModel takes a NetworkSource, a Network or a "
+                f"directory path, not {type(source).__name__}"
+            )
+        self.source = source
+        self._network: Optional[Network] = None
+        self._registered_injections: Optional[List[Tuple[str, str]]] = None
+        self._validation: Optional[List[str]] = None
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_directory(cls, directory: str) -> "NetworkModel":
+        """A model over a snapshot directory (topology.txt + device files)."""
+        return cls(NetworkSource.from_directory(directory))
+
+    @classmethod
+    def from_workload(cls, name: str, **options: object) -> "NetworkModel":
+        """A model over a registered synthetic workload (department,
+        enterprise, stanford, ...)."""
+        return cls(NetworkSource.from_workload(name, **options))
+
+    @classmethod
+    def from_network(cls, network: Network) -> "NetworkModel":
+        """A model over an in-process network object (executes in-process:
+        SEFL programs contain closures and cannot cross process boundaries)."""
+        return cls(NetworkSource.from_network(network))
+
+    # -- the once-per-model facts ----------------------------------------------
+
+    def network(self) -> Network:
+        """The built network — built exactly once and seeded into the
+        campaign runtime cache so in-process jobs reuse this build."""
+        if self._network is None:
+            self._network, self._registered_injections = self.source.build_full()
+            _seed_runtime(self.source, self._network)
+        return self._network
+
+    def validate(self) -> List[str]:
+        """``Network.validate()`` findings, computed exactly once per model."""
+        if self._validation is None:
+            self._validation = self.network().validate()
+        return list(self._validation)
+
+    def injection_ports(self) -> List[Tuple[str, str]]:
+        """The model's default injection points — the same policy campaigns
+        apply (:func:`repro.core.campaign.default_injection_ports`), so
+        planned and legacy answers quantify over identical port sets."""
+        network = self.network()  # also populates _registered_injections
+        return default_injection_ports(network, self._registered_injections)
+
+    def describe(self) -> str:
+        return self.source.describe()
+
+    # -- execution --------------------------------------------------------------
+
+    def campaign(self, **kwargs) -> VerificationCampaign:
+        """A :class:`VerificationCampaign` over this model, inheriting the
+        model's already-computed validation (accepts every campaign kwarg)."""
+        kwargs.setdefault("validation", self.validate())
+        return VerificationCampaign(self.source, **kwargs)
+
+    def query(self, *queries, workers: int = 1, warm_cache=None, **settings):
+        """Compile a batch of declarative queries onto one shared plan and
+        execute it (see :func:`repro.api.planner.compile_plan` for the
+        engine-sharing semantics and accepted ``settings``)."""
+        from repro.api.planner import compile_plan, execute_plan
+
+        plan = compile_plan(self, queries, **settings)
+        return execute_plan(plan, workers=workers, warm_cache=warm_cache)
+
+    def __repr__(self) -> str:
+        return f"NetworkModel({self.describe()})"

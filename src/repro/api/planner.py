@@ -1,0 +1,321 @@
+"""The plan compiler: many declarative queries, one campaign execution.
+
+:func:`compile_plan` inspects a batch of :mod:`repro.api.queries` objects
+and computes the **minimal set of injection jobs** they jointly need: the
+union of every query's injection ports (two queries over the same port share
+one symbolic execution) and the union of the per-job facts the workers must
+collect (reachability/loop/invariant aggregation, header-visibility checks,
+witness sampling, example traces).
+
+:func:`execute_plan` runs that job set through the existing
+:class:`~repro.core.campaign.VerificationCampaign` machinery — process-pool
+workers, the three-tier verdict cache, and warm starts are all inherited —
+then demultiplexes one :class:`~repro.api.queries.QueryResult` per query out
+of the shared per-job reports.  Answers are bit-identical to running each
+query through its own dedicated campaign: the demultiplexer re-aggregates
+the *same* job reports with the *same* order-independent aggregation code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.model import NetworkModel
+from repro.api.queries import Query, QueryResult, Requirements
+from repro.core.campaign import (
+    CAMPAIGN_QUERIES,
+    CampaignResult,
+    JobReport,
+    VerificationCampaign,
+)
+from repro.core.queries import port_key
+
+
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A compiled query batch: which jobs to run, which facts to collect.
+
+    ``injections`` is the deduplicated union of every query's ports — the
+    exact set of engine jobs the batch costs (``plan.job_count``).
+    """
+
+    model: NetworkModel
+    queries: Tuple[Query, ...]
+    injections: Tuple[Tuple[str, str], ...]
+    kinds: Tuple[str, ...]
+    invariant_fields: Tuple[str, ...]
+    visibility_fields: Tuple[str, ...]
+    witness_fields: Tuple[Tuple[str, int], ...]
+    record_examples: bool
+    packet: str = "tcp"
+    field_values: Tuple[Tuple[str, int], ...] = ()
+    max_hops: int = 128
+    max_paths: int = 1_000_000
+    strategy: str = "dfs"
+    use_incremental_solver: bool = True
+    shared_cache: bool = True
+
+    @property
+    def job_count(self) -> int:
+        return len(self.injections)
+
+    def fingerprint(self) -> str:
+        """Stable plan identity: independent of the order queries were
+        given in (the same batch always compiles to the same plan)."""
+        payload = (
+            self.model.describe(),
+            tuple(sorted(query.describe() for query in self.queries)),
+            self.injections,
+            self.kinds,
+            self.invariant_fields,
+            self.visibility_fields,
+            self.witness_fields,
+            self.record_examples,
+            self.packet,
+            self.field_values,
+            self.max_hops,
+            self.max_paths,
+            self.strategy,
+            self.use_incremental_solver,
+        )
+        return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "network": self.model.describe(),
+            "queries": [query.describe() for query in self.queries],
+            "injections": [port_key(*port) for port in self.injections],
+            "kinds": list(self.kinds),
+            "invariant_fields": list(self.invariant_fields),
+            "visibility_fields": list(self.visibility_fields),
+            "witness_fields": [list(pair) for pair in self.witness_fields],
+            "record_examples": self.record_examples,
+            "jobs": self.job_count,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+def compile_plan(
+    model: NetworkModel,
+    queries: Sequence[Query],
+    *,
+    packet: str = "tcp",
+    field_values: Optional[Mapping[str, int]] = None,
+    max_hops: int = 128,
+    max_paths: int = 1_000_000,
+    strategy: str = "dfs",
+    use_incremental_solver: bool = True,
+    shared_cache: bool = True,
+) -> Plan:
+    """Compile a batch of queries into the minimal shared job set."""
+    if isinstance(queries, Query):
+        queries = (queries,)
+    queries = tuple(queries)
+    if not queries:
+        raise ValueError("compile_plan needs at least one query")
+    for query in queries:
+        if not isinstance(query, Query):
+            raise TypeError(f"not a query: {query!r}")
+
+    requirements = Requirements()
+    ports = set()
+    needs_defaults = False
+    for query in queries:
+        requirements = requirements.merge(query.requirements())
+        ports.update(query.injections())
+        needs_defaults = needs_defaults or query.needs_default_injections()
+    if needs_defaults:
+        ports.update(model.injection_ports())
+
+    # The same field requested with different sample budgets collapses to
+    # one collection pass at the largest budget.
+    witness_budget: Dict[str, int] = {}
+    for name, samples in requirements.witness_fields:
+        witness_budget[name] = max(witness_budget.get(name, 0), samples)
+
+    return Plan(
+        model=model,
+        queries=queries,
+        injections=tuple(sorted(ports)),
+        kinds=tuple(k for k in CAMPAIGN_QUERIES if k in requirements.kinds),
+        invariant_fields=tuple(sorted(requirements.invariant_fields)),
+        visibility_fields=tuple(sorted(requirements.visibility_fields)),
+        witness_fields=tuple(sorted(witness_budget.items())),
+        record_examples=requirements.record_examples,
+        packet=packet,
+        field_values=tuple(sorted((field_values or {}).items())),
+        max_hops=max_hops,
+        max_paths=max_paths,
+        strategy=strategy,
+        use_incremental_solver=use_incremental_solver,
+        shared_cache=shared_cache,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Execution and demultiplexing
+# ---------------------------------------------------------------------------
+
+
+class PlanContext:
+    """What a query's ``evaluate`` sees: the shared campaign result plus
+    scope-resolution and re-aggregation helpers.
+
+    ``subreport`` rebuilds a query's aggregation backend from the filtered
+    job reports **with the campaign's own aggregation code**, so a demuxed
+    answer is bit-identical to a dedicated legacy campaign over the same
+    ports."""
+
+    def __init__(self, plan: Plan, campaign: CampaignResult) -> None:
+        self.plan = plan
+        self.campaign = campaign
+        self._default_keys = tuple(
+            sorted(port_key(*port) for port in plan.model.injection_ports())
+        )
+        self._jobs = {job.source_key: job for job in campaign.jobs}
+
+    def default_scope(self) -> Tuple[str, ...]:
+        return self._default_keys
+
+    def resolve_scope(self, query: Query) -> Tuple[str, ...]:
+        keys = set()
+        if query.needs_default_injections():
+            keys.update(self._default_keys)
+        keys.update(port_key(*port) for port in query.injections())
+        return tuple(sorted(keys))
+
+    def jobs_for(self, scope: Iterable[str]) -> List[JobReport]:
+        return [
+            self._jobs[key] for key in sorted(set(scope)) if key in self._jobs
+        ]
+
+    def subreport(
+        self,
+        kind: str,
+        scope: Iterable[str],
+        invariant_fields: Optional[Sequence[str]] = None,
+    ):
+        jobs = self.jobs_for(scope)
+        if invariant_fields is not None:
+            wanted = set(invariant_fields)
+            jobs = [
+                replace(
+                    job,
+                    invariants={
+                        name: dict(cell)
+                        for name, cell in job.invariants.items()
+                        if name in wanted
+                    },
+                )
+                for job in jobs
+            ]
+        sub = CampaignResult.aggregate(self.campaign.source, (kind,), jobs)
+        return {
+            "reachability": sub.reachability,
+            "loops": sub.loop_report,
+            "invariants": sub.invariant_report,
+        }[kind]
+
+
+@dataclass
+class PlanResult:
+    """The executed plan: per-query answers plus the shared campaign run."""
+
+    plan: Plan
+    campaign: CampaignResult
+    results: Tuple[QueryResult, ...]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, key) -> QueryResult:
+        if isinstance(key, int):
+            return self.results[key]
+        if isinstance(key, Query):
+            key = key.describe()
+        for result in self.results:
+            if result.query == key:
+                return result
+        raise KeyError(key)
+
+    @property
+    def stats(self):
+        return self.campaign.stats
+
+    @property
+    def job_errors(self):
+        return self.campaign.job_errors
+
+    @property
+    def verdict_cache(self) -> Dict[str, str]:
+        """Warm-start payload for a later plan/campaign."""
+        return self.campaign.verdict_cache
+
+    def fingerprint(self) -> str:
+        payload = (
+            self.plan.fingerprint(),
+            tuple(sorted(result.fingerprint for result in self.results)),
+        )
+        return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "network": self.campaign.source,
+            "plan": self.plan.to_dict(),
+            "queries": [result.to_dict() for result in self.results],
+            "validation_problems": list(self.campaign.validation_problems),
+            "execution_mode": self.campaign.execution_mode,
+            "workers": self.campaign.workers,
+            "stats": self.campaign.stats.to_dict(),
+            "fingerprint": self.fingerprint(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def execute_plan(
+    plan: Plan,
+    *,
+    workers: int = 1,
+    warm_cache: Optional[Mapping[str, str]] = None,
+) -> PlanResult:
+    """Run a compiled plan on the campaign machinery and demultiplex the
+    per-query answers."""
+    campaign = VerificationCampaign(
+        plan.model.source,
+        packet=plan.packet,
+        field_values=dict(plan.field_values),
+        queries=plan.kinds,
+        invariant_fields=plan.invariant_fields,
+        visibility_fields=plan.visibility_fields,
+        witness_fields=plan.witness_fields,
+        record_examples=plan.record_examples,
+        max_hops=plan.max_hops,
+        max_paths=plan.max_paths,
+        strategy=plan.strategy,
+        use_incremental_solver=plan.use_incremental_solver,
+        shared_cache=plan.shared_cache,
+        warm_cache=warm_cache,
+        validation=plan.model.validate(),
+    )
+    campaign.add_injections(plan.injections)
+    result = campaign.run(workers=workers)
+    ctx = PlanContext(plan, result)
+    return PlanResult(
+        plan=plan,
+        campaign=result,
+        results=tuple(query.evaluate(ctx) for query in plan.queries),
+    )

@@ -1,0 +1,670 @@
+"""The declarative query object model of the session API.
+
+A :class:`Query` is a *description* of a network-wide question — it carries
+no execution state.  The plan compiler (:mod:`repro.api.planner`) inspects a
+batch of queries for (a) the injection ports they jointly need and (b) the
+raw per-job facts the campaign workers must collect, runs the minimal set of
+engine jobs, and calls :meth:`Query.evaluate` to demultiplex each query's
+answer out of the shared campaign result.
+
+Leaf queries
+    :class:`Reach`, :class:`Loop`, :class:`Invariant`,
+    :class:`HeaderVisible`, :class:`AdmittedValues`
+Combinators
+    :class:`All`, :class:`Any_`, :class:`Not` (over queries with a boolean
+    verdict)
+Quantifiers over port sets
+    :class:`ForAllPairs` (the model's default injection ports),
+    :class:`FromPorts` (an explicit port set)
+
+Every query has a canonical textual form (:meth:`Query.describe`) — the same
+form the CLI's ``query`` subcommand parses — and every answer is a
+:class:`QueryResult` with a verdict, a JSON-able value, evidence, and a
+stable fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.queries import port_key
+
+PortLike = Union[str, Tuple[str, str]]
+
+
+def normalize_port(port: PortLike, default_port: str = "in0") -> Tuple[str, str]:
+    """Accept ``(element, port)`` tuples, ``"element:port"`` strings, or bare
+    element names (which get the conventional ``in0`` input port)."""
+    if isinstance(port, tuple):
+        element, name = port
+        return (str(element), str(name))
+    element, sep, name = str(port).partition(":")
+    if not element:
+        raise ValueError(f"invalid port {port!r}")
+    return (element, name if sep else default_port)
+
+
+def _endpoint_text(endpoint: str) -> str:
+    """Destination endpoints may be a full ``element:port`` or a bare
+    element (matching every port of that element)."""
+    return endpoint
+
+
+def _fingerprint_payload(payload: object) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode()
+    ).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QueryResult:
+    """One query's demultiplexed answer.
+
+    ``holds`` is the boolean verdict (``None`` for report-style queries such
+    as the all-pairs matrix or witness sampling), ``value`` the JSON-able
+    answer body, ``evidence`` supporting facts (example delivery traces, loop
+    port traces, violation lists), and ``backend`` the aggregation object the
+    answer was computed from (:class:`~repro.core.queries.ReachabilityMatrix`
+    and friends) — kept for bit-identical comparison against legacy campaign
+    results, never serialised.
+    """
+
+    query: str
+    kind: str
+    holds: Optional[bool]
+    value: object
+    evidence: Dict[str, object] = field(default_factory=dict)
+    backend: object = None
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash of the answer: identical for any execution
+        order, worker count, or cache configuration."""
+        if self.backend is not None and hasattr(self.backend, "fingerprint"):
+            payload: object = repr(self.backend.fingerprint())
+        else:
+            payload = self.value
+        return _fingerprint_payload(
+            {"query": self.query, "kind": self.kind, "holds": self.holds,
+             "payload": payload}
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "query": self.query,
+            "kind": self.kind,
+            "holds": self.holds,
+            "value": self.value,
+            "evidence": self.evidence,
+            "fingerprint": self.fingerprint,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Requirements (what the jobs must collect)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """The raw per-job facts a query needs the campaign workers to collect."""
+
+    kinds: frozenset = frozenset()
+    invariant_fields: frozenset = frozenset()
+    visibility_fields: frozenset = frozenset()
+    witness_fields: frozenset = frozenset()  # of (field, samples)
+    record_examples: bool = False
+
+    def merge(self, other: "Requirements") -> "Requirements":
+        return Requirements(
+            kinds=self.kinds | other.kinds,
+            invariant_fields=self.invariant_fields | other.invariant_fields,
+            visibility_fields=self.visibility_fields | other.visibility_fields,
+            witness_fields=self.witness_fields | other.witness_fields,
+            record_examples=self.record_examples or other.record_examples,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Query base
+# ---------------------------------------------------------------------------
+
+
+class Query:
+    """Base class: a declarative, executable-by-plan network question."""
+
+    #: Whether the query has a boolean verdict (required under All/Any/Not).
+    decidable = True
+
+    def requirements(self) -> Requirements:
+        raise NotImplementedError
+
+    def injections(self) -> Tuple[Tuple[str, str], ...]:
+        """Injection ports this query explicitly needs."""
+        return ()
+
+    def needs_default_injections(self) -> bool:
+        """True when the query quantifies over the model's default ports."""
+        return False
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def evaluate(self, ctx) -> QueryResult:
+        return self._evaluate(ctx, ctx.resolve_scope(self))
+
+    def _evaluate(self, ctx, scope: Tuple[str, ...]) -> QueryResult:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Query):
+            return NotImplemented
+        return self.describe() == other.describe()
+
+    def __hash__(self) -> int:
+        return hash(self.describe())
+
+
+# ---------------------------------------------------------------------------
+# Leaf queries
+# ---------------------------------------------------------------------------
+
+
+class Reach(Query):
+    """Can packets injected at ``src`` be delivered at ``dst``?
+
+    ``src`` is an injection port (``"element:port"``, ``(element, port)`` or
+    a bare element name, defaulting to ``in0``).  ``dst`` is a terminal
+    output port, or a bare element name matching any of its ports.
+    """
+
+    def __init__(self, src: PortLike, dst: PortLike) -> None:
+        self.src = normalize_port(src)
+        if isinstance(dst, tuple):
+            self.dst = port_key(*dst)
+        else:
+            self.dst = str(dst)
+
+    @property
+    def src_key(self) -> str:
+        return port_key(*self.src)
+
+    def _dst_matches(self, destination: str) -> bool:
+        if ":" in self.dst:
+            return destination == self.dst
+        return destination.partition(":")[0] == self.dst
+
+    def requirements(self) -> Requirements:
+        return Requirements(
+            kinds=frozenset({"reachability"}), record_examples=True
+        )
+
+    def injections(self) -> Tuple[Tuple[str, str], ...]:
+        return (self.src,)
+
+    def describe(self) -> str:
+        return f"reach({self.src_key}, {_endpoint_text(self.dst)})"
+
+    def _evaluate(self, ctx, scope: Tuple[str, ...]) -> QueryResult:
+        matrix = ctx.subreport("reachability", (self.src_key,))
+        counts = {
+            destination: count
+            for source, destination, count in matrix.pairs()
+            if source == self.src_key and self._dst_matches(destination)
+        }
+        examples: Dict[str, List[str]] = {}
+        for job in ctx.jobs_for((self.src_key,)):
+            for destination, trace in sorted(job.delivered_examples.items()):
+                if self._dst_matches(destination) and destination not in examples:
+                    examples[destination] = list(trace)
+        return QueryResult(
+            query=self.describe(),
+            kind="reach",
+            holds=sum(counts.values()) > 0,
+            value={"path_counts": dict(sorted(counts.items()))},
+            evidence={
+                "examples": examples,
+                "destinations_from_source": matrix.destinations_from(
+                    self.src_key
+                ),
+            },
+        )
+
+
+class Loop(Query):
+    """Is the network loop-free (from one injection port, or — by default —
+    from every default injection port)?  ``holds`` is True when **no** loop
+    was found."""
+
+    def __init__(self, port: Optional[PortLike] = None) -> None:
+        self.port = normalize_port(port) if port is not None else None
+
+    def requirements(self) -> Requirements:
+        return Requirements(kinds=frozenset({"loops"}))
+
+    def injections(self) -> Tuple[Tuple[str, str], ...]:
+        return (self.port,) if self.port is not None else ()
+
+    def needs_default_injections(self) -> bool:
+        return self.port is None
+
+    def describe(self) -> str:
+        return f"loop({port_key(*self.port) if self.port else ''})"
+
+    def _evaluate(self, ctx, scope: Tuple[str, ...]) -> QueryResult:
+        report = ctx.subreport("loops", scope)
+        return QueryResult(
+            query=self.describe(),
+            kind="loop",
+            holds=report.loop_free,
+            value=report.to_dict(),
+            evidence={
+                "findings": len(report.findings),
+                "sources_with_loops": report.sources_with_loops(),
+            },
+            backend=report,
+        )
+
+
+class Invariant(Query):
+    """Do the given header fields provably keep their injected values on
+    every delivered path (from one port, or every default port)?
+
+    A field that could not be checked anywhere (vacuous) reports ``holds``
+    False — the tool never hands out a green verdict it did not earn.
+    """
+
+    def __init__(self, *fields: str, port: Optional[PortLike] = None) -> None:
+        if len(fields) == 1 and isinstance(fields[0], (tuple, list)):
+            fields = tuple(fields[0])
+        if not fields:
+            raise ValueError("Invariant needs at least one header field")
+        self.fields = tuple(str(f) for f in fields)
+        self.port = normalize_port(port) if port is not None else None
+
+    def requirements(self) -> Requirements:
+        return Requirements(
+            kinds=frozenset({"invariants"}),
+            invariant_fields=frozenset(self.fields),
+        )
+
+    def injections(self) -> Tuple[Tuple[str, str], ...]:
+        return (self.port,) if self.port is not None else ()
+
+    def needs_default_injections(self) -> bool:
+        return self.port is None
+
+    def describe(self) -> str:
+        fields = "+".join(self.fields)
+        if self.port is not None:
+            return f"invariant({fields}, {port_key(*self.port)})"
+        return f"invariant({fields})"
+
+    def _evaluate(self, ctx, scope: Tuple[str, ...]) -> QueryResult:
+        report = ctx.subreport("invariants", scope, invariant_fields=self.fields)
+        vacuous = [f for f in self.fields if report.field_vacuous(f)]
+        return QueryResult(
+            query=self.describe(),
+            kind="invariant",
+            holds=all(report.field_holds(f) for f in self.fields),
+            value=report.to_dict(),
+            evidence={
+                "violations": [
+                    {"source": source, "field": name, **cell.to_dict()}
+                    for source, name, cell in report.violations()
+                ],
+                "vacuous_fields": vacuous,
+            },
+            backend=report,
+        )
+
+
+class HeaderVisible(Query):
+    """Is the symbol the source wrote into ``field`` still provably readable
+    where the packets are delivered (at port/element ``at``, or anywhere)?
+
+    Distinguishes a field that carries the sender's symbol end-to-end from
+    one that was overwritten (NAT, encryption) — the §6 visibility test,
+    lifted network-wide.
+    """
+
+    def __init__(
+        self,
+        field_name: str,
+        at: Optional[PortLike] = None,
+        port: Optional[PortLike] = None,
+    ) -> None:
+        self.field_name = str(field_name)
+        if at is None:
+            self.at = None
+        elif isinstance(at, tuple):
+            self.at = port_key(*at)
+        else:
+            self.at = str(at)
+        self.port = normalize_port(port) if port is not None else None
+
+    def _at_matches(self, destination: str) -> bool:
+        if self.at is None:
+            return True
+        if ":" in self.at:
+            return destination == self.at
+        return destination.partition(":")[0] == self.at
+
+    def requirements(self) -> Requirements:
+        return Requirements(visibility_fields=frozenset({self.field_name}))
+
+    def injections(self) -> Tuple[Tuple[str, str], ...]:
+        return (self.port,) if self.port is not None else ()
+
+    def needs_default_injections(self) -> bool:
+        return self.port is None
+
+    def describe(self) -> str:
+        parts = [self.field_name]
+        if self.at is not None:
+            parts.append(f"at={self.at}")
+        if self.port is not None:
+            parts.append(f"port={port_key(*self.port)}")
+        return f"header_visible({', '.join(parts)})"
+
+    def _evaluate(self, ctx, scope: Tuple[str, ...]) -> QueryResult:
+        checked = visible = skipped = 0
+        by_source: Dict[str, Dict[str, Dict[str, int]]] = {}
+        for job in ctx.jobs_for(scope):
+            for destination, cell in sorted(
+                job.visibility.get(self.field_name, {}).items()
+            ):
+                if not self._at_matches(destination):
+                    continue
+                checked += cell.get("checked", 0)
+                visible += cell.get("visible", 0)
+                skipped += cell.get("skipped", 0)
+                by_source.setdefault(job.source_key, {})[destination] = dict(cell)
+        return QueryResult(
+            query=self.describe(),
+            kind="header_visible",
+            holds=checked > 0 and visible == checked,
+            value={
+                "field": self.field_name,
+                "at": self.at,
+                "checked": checked,
+                "visible": visible,
+                "skipped": skipped,
+            },
+            evidence={"by_source": by_source},
+        )
+
+
+class AdmittedValues(Query):
+    """Which concrete values can ``field`` take on packets delivered at
+    ``at`` (or anywhere)?  A report query — no boolean verdict — collecting
+    up to ``samples`` solver witnesses per (injection, destination)."""
+
+    decidable = False
+
+    def __init__(
+        self,
+        field_name: str,
+        at: Optional[PortLike] = None,
+        samples: int = 3,
+        port: Optional[PortLike] = None,
+    ) -> None:
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        self.field_name = str(field_name)
+        if at is None:
+            self.at = None
+        elif isinstance(at, tuple):
+            self.at = port_key(*at)
+        else:
+            self.at = str(at)
+        self.samples = int(samples)
+        self.port = normalize_port(port) if port is not None else None
+
+    def _at_matches(self, destination: str) -> bool:
+        if self.at is None:
+            return True
+        if ":" in self.at:
+            return destination == self.at
+        return destination.partition(":")[0] == self.at
+
+    def requirements(self) -> Requirements:
+        return Requirements(
+            witness_fields=frozenset({(self.field_name, self.samples)})
+        )
+
+    def injections(self) -> Tuple[Tuple[str, str], ...]:
+        return (self.port,) if self.port is not None else ()
+
+    def needs_default_injections(self) -> bool:
+        return self.port is None
+
+    def describe(self) -> str:
+        parts = [self.field_name]
+        if self.at is not None:
+            parts.append(f"at={self.at}")
+        parts.append(f"samples={self.samples}")
+        if self.port is not None:
+            parts.append(f"port={port_key(*self.port)}")
+        return f"admitted_values({', '.join(parts)})"
+
+    def _evaluate(self, ctx, scope: Tuple[str, ...]) -> QueryResult:
+        values = set()
+        by_source: Dict[str, Dict[str, List[int]]] = {}
+        for job in ctx.jobs_for(scope):
+            for destination, found in sorted(
+                job.witnesses.get(self.field_name, {}).items()
+            ):
+                if not self._at_matches(destination) or not found:
+                    continue
+                values.update(found)
+                by_source.setdefault(job.source_key, {})[destination] = list(found)
+        return QueryResult(
+            query=self.describe(),
+            kind="admitted_values",
+            holds=None,
+            value={
+                "field": self.field_name,
+                "at": self.at,
+                "values": sorted(values),
+            },
+            evidence={"by_source": by_source},
+        )
+
+
+# ---------------------------------------------------------------------------
+# Combinators
+# ---------------------------------------------------------------------------
+
+
+class _Combinator(Query):
+    name = "?"
+
+    def __init__(self, *queries: Query) -> None:
+        if not queries:
+            raise ValueError(f"{self.name}() needs at least one query")
+        for query in queries:
+            if not isinstance(query, Query):
+                raise TypeError(f"{self.name}() takes queries, got {query!r}")
+            if not query.decidable:
+                raise TypeError(
+                    f"{self.name}() needs queries with a boolean verdict; "
+                    f"{query.describe()} is a report query"
+                )
+        self.queries = tuple(queries)
+
+    def requirements(self) -> Requirements:
+        merged = Requirements()
+        for query in self.queries:
+            merged = merged.merge(query.requirements())
+        return merged
+
+    def injections(self) -> Tuple[Tuple[str, str], ...]:
+        ports: List[Tuple[str, str]] = []
+        for query in self.queries:
+            ports.extend(query.injections())
+        return tuple(sorted(set(ports)))
+
+    def needs_default_injections(self) -> bool:
+        return any(q.needs_default_injections() for q in self.queries)
+
+    def describe(self) -> str:
+        return f"{self.name}({', '.join(q.describe() for q in self.queries)})"
+
+    def _verdict(self, verdicts: Sequence[bool]) -> bool:
+        raise NotImplementedError
+
+    def _evaluate(self, ctx, scope: Tuple[str, ...]) -> QueryResult:
+        children = [query.evaluate(ctx) for query in self.queries]
+        return QueryResult(
+            query=self.describe(),
+            kind=self.name,
+            holds=self._verdict([bool(child.holds) for child in children]),
+            value=[child.to_dict() for child in children],
+            evidence={"children": [child.fingerprint for child in children]},
+        )
+
+
+class All(_Combinator):
+    """True when every sub-query holds."""
+
+    name = "all"
+
+    def _verdict(self, verdicts: Sequence[bool]) -> bool:
+        return all(verdicts)
+
+
+class Any_(_Combinator):
+    """True when at least one sub-query holds."""
+
+    name = "any"
+
+    def _verdict(self, verdicts: Sequence[bool]) -> bool:
+        return any(verdicts)
+
+
+class Not(_Combinator):
+    """Negates a single sub-query's verdict."""
+
+    name = "not"
+
+    def __init__(self, query: Query) -> None:
+        super().__init__(query)
+
+    def _verdict(self, verdicts: Sequence[bool]) -> bool:
+        return not verdicts[0]
+
+
+# ---------------------------------------------------------------------------
+# Quantifiers over port sets
+# ---------------------------------------------------------------------------
+
+
+def _is_reach_template(template: object) -> bool:
+    return template is Reach
+
+
+class _Quantifier(Query):
+    """Shared machinery of ForAllPairs/FromPorts: a template — the
+    :class:`Reach` *class* for the all-pairs matrix, or a query instance —
+    evaluated over a quantifier-chosen injection scope."""
+
+    decidable = False  # matrix mode has no boolean verdict; delegate mode
+    # restores the template's own decidability in __init__.
+
+    def __init__(self, template) -> None:
+        if _is_reach_template(template):
+            self.template = Reach
+        elif isinstance(template, Query):
+            self.template = template
+            self.decidable = template.decidable
+        else:
+            raise TypeError(
+                "quantifiers take the Reach class or a query instance, "
+                f"not {template!r}"
+            )
+
+    def _template_text(self) -> str:
+        return "reach" if self.template is Reach else self.template.describe()
+
+    def requirements(self) -> Requirements:
+        if self.template is Reach:
+            return Requirements(kinds=frozenset({"reachability"}))
+        return self.template.requirements()
+
+    def _scope_keys(self, ctx) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    def _evaluate(self, ctx, scope: Tuple[str, ...]) -> QueryResult:
+        keys = self._scope_keys(ctx)
+        if self.template is Reach:
+            matrix = ctx.subreport("reachability", keys)
+            return QueryResult(
+                query=self.describe(),
+                kind="reach_matrix",
+                holds=None,
+                value=matrix.to_dict(),
+                evidence={"reachable_pairs": matrix.pair_count()},
+                backend=matrix,
+            )
+        inner = self.template._evaluate(ctx, keys)
+        inner.query = self.describe()
+        return inner
+
+
+class ForAllPairs(_Quantifier):
+    """Quantify a template over **all** of the model's default injection
+    ports.  ``ForAllPairs(Reach)`` is the all-pairs reachability matrix;
+    ``ForAllPairs(Invariant("IpSrc"))`` forces network-wide scope even for a
+    template that names a port."""
+
+    def needs_default_injections(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return f"forall_pairs({self._template_text()})"
+
+    def _scope_keys(self, ctx) -> Tuple[str, ...]:
+        return ctx.default_scope()
+
+
+class FromPorts(_Quantifier):
+    """Quantify a template over an explicit injection port set."""
+
+    def __init__(self, ports: Sequence[PortLike], template) -> None:
+        super().__init__(template)
+        normalized = tuple(sorted({normalize_port(p) for p in ports}))
+        if not normalized:
+            raise ValueError("FromPorts needs at least one port")
+        self.ports = normalized
+
+    def injections(self) -> Tuple[Tuple[str, str], ...]:
+        # The quantifier's scope *replaces* the template's own port (same as
+        # ForAllPairs), so only the quantifier ports become jobs.
+        return self.ports
+
+    def needs_default_injections(self) -> bool:
+        return False
+
+    def describe(self) -> str:
+        ports = "+".join(port_key(*p) for p in self.ports)
+        return f"from_ports({ports}, {self._template_text()})"
+
+    def _scope_keys(self, ctx) -> Tuple[str, ...]:
+        return tuple(port_key(*p) for p in self.ports)
+
+
+#: ``Any`` shadows ``typing.Any`` when star-imported; the trailing
+#: underscore is the class's real name, this alias the ergonomic one.
+Any = Any_

@@ -1,0 +1,352 @@
+"""A tiny textual form of the query object model, for the CLI.
+
+The grammar mirrors :meth:`Query.describe` exactly, so every query
+round-trips: ``parse_query(q.describe()).describe() == q.describe()``.
+
+::
+
+    query  := NAME [ '(' args ')' ]
+    args   := arg (',' arg)*
+    arg    := NAME '=' value | value
+    value  := query | atom ('+' atom)*      # '+' builds lists (ports, fields)
+    atom   := /[A-Za-z0-9_.:*\\-]+/          # element:port, field names, ints
+
+Examples::
+
+    reach(a:in0, b:out0)          loop()            loop(acl0:in0)
+    invariant(IpSrc+IpDst)        invariant(IpSrc, acl0:in0)
+    header_visible(IpSrc, at=r1:out0)
+    admitted_values(TcpDst, at=r1:out0, samples=3)
+    all(loop(), invariant(IpSrc)) not(reach(a:in0, b))
+    forall_pairs(reach)           from_ports(a:in0+b:in0, loop())
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.api.queries import (
+    AdmittedValues,
+    All,
+    Any_,
+    ForAllPairs,
+    FromPorts,
+    HeaderVisible,
+    Invariant,
+    Loop,
+    Not,
+    Query,
+    Reach,
+)
+
+
+class QueryParseError(ValueError):
+    """A textual query that does not parse (or names an unknown query)."""
+
+
+_TOKEN = re.compile(r"\s*([A-Za-z0-9_.:*\-]+|[(),=+])")
+
+# AST nodes: ("call", name, [(key|None, node), ...]) | ("atom", text)
+#            | ("list", [text, ...])
+_Node = Tuple
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise QueryParseError(
+                    f"unexpected character {text[pos:].strip()[0]!r} in query "
+                    f"{text!r}"
+                )
+            break
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QueryParseError(f"unexpected end of query {self.text!r}")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.take()
+        if got != token:
+            raise QueryParseError(
+                f"expected {token!r}, got {got!r} in query {self.text!r}"
+            )
+
+    def parse(self) -> _Node:
+        node = self.parse_value()
+        if self.peek() is not None:
+            raise QueryParseError(
+                f"trailing input {self.peek()!r} in query {self.text!r}"
+            )
+        return node
+
+    def parse_value(self) -> _Node:
+        head = self.take()
+        if head in "(),=+":
+            raise QueryParseError(
+                f"expected a name, got {head!r} in query {self.text!r}"
+            )
+        if self.peek() == "(":
+            self.take()
+            args: List[Tuple[Optional[str], _Node]] = []
+            if self.peek() == ")":
+                self.take()
+                return ("call", head, args)
+            while True:
+                args.append(self.parse_arg())
+                token = self.take()
+                if token == ")":
+                    return ("call", head, args)
+                if token != ",":
+                    raise QueryParseError(
+                        f"expected ',' or ')', got {token!r} in query "
+                        f"{self.text!r}"
+                    )
+        if self.peek() == "+":
+            items = [head]
+            while self.peek() == "+":
+                self.take()
+                items.append(self.take())
+            return ("list", items)
+        return ("atom", head)
+
+    def parse_arg(self) -> Tuple[Optional[str], _Node]:
+        # A keyword argument is NAME '=' value; anything else is positional.
+        if (
+            self.pos + 1 < len(self.tokens)
+            and self.tokens[self.pos + 1] == "="
+            and self.tokens[self.pos] not in "(),=+"
+        ):
+            key = self.take()
+            self.expect("=")
+            return (key, self.parse_value())
+        return (None, self.parse_value())
+
+
+# ---------------------------------------------------------------------------
+# AST -> query objects
+# ---------------------------------------------------------------------------
+
+
+def _atom_text(node: _Node, what: str, text: str) -> str:
+    if node[0] != "atom":
+        raise QueryParseError(f"expected {what} in query {text!r}")
+    return node[1]
+
+
+def _atoms(node: _Node, what: str, text: str) -> List[str]:
+    if node[0] == "list":
+        return list(node[1])
+    return [_atom_text(node, what, text)]
+
+
+def _int_value(node: _Node, what: str, text: str) -> int:
+    raw = _atom_text(node, what, text)
+    try:
+        return int(raw)
+    except ValueError:
+        raise QueryParseError(f"{what} must be an integer, got {raw!r}")
+
+
+def _split_args(
+    args: Sequence[Tuple[Optional[str], _Node]],
+    name: str,
+    text: str,
+    allowed_keys: Sequence[str],
+) -> Tuple[List[_Node], dict]:
+    positional: List[_Node] = []
+    keywords: dict = {}
+    for key, node in args:
+        if key is None:
+            positional.append(node)
+        elif key in allowed_keys:
+            if key in keywords:
+                raise QueryParseError(f"duplicate {key}= in {name}(...)")
+            keywords[key] = node
+        else:
+            raise QueryParseError(
+                f"unknown keyword {key!r} in {name}(...); "
+                f"allowed: {', '.join(allowed_keys) or '(none)'}"
+            )
+    return positional, keywords
+
+
+def _build(node: _Node, text: str) -> Query:
+    if node[0] == "atom":
+        # Bare names are sugar for zero-argument calls: "loop" == "loop()".
+        node = ("call", node[1], [])
+    if node[0] != "call":
+        raise QueryParseError(f"expected a query in {text!r}")
+    _, name, args = node
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        known = ", ".join(sorted(_BUILDERS))
+        raise QueryParseError(f"unknown query {name!r}; known: {known}")
+    return builder(args, text)
+
+
+def _build_template(node: _Node, text: str) -> Union[type, Query]:
+    if node[0] == "atom" and node[1] == "reach":
+        return Reach
+    return _build(node, text)
+
+
+def _build_reach(args, text) -> Query:
+    positional, _ = _split_args(args, "reach", text, ())
+    if len(positional) != 2:
+        raise QueryParseError("reach(src, dst) takes exactly two ports")
+    return Reach(
+        _atom_text(positional[0], "a source port", text),
+        _atom_text(positional[1], "a destination", text),
+    )
+
+
+def _build_loop(args, text) -> Query:
+    positional, keywords = _split_args(args, "loop", text, ("port",))
+    if len(positional) > 1:
+        raise QueryParseError("loop([port]) takes at most one port")
+    port = None
+    if positional:
+        port = _atom_text(positional[0], "a port", text)
+    elif "port" in keywords:
+        port = _atom_text(keywords["port"], "a port", text)
+    return Loop(port)
+
+
+def _build_invariant(args, text) -> Query:
+    positional, keywords = _split_args(args, "invariant", text, ("port",))
+    if not positional or len(positional) > 2:
+        raise QueryParseError("invariant(fields[, port]) takes 1-2 arguments")
+    fields = _atoms(positional[0], "field names", text)
+    port = None
+    if len(positional) == 2:
+        port = _atom_text(positional[1], "a port", text)
+    elif "port" in keywords:
+        port = _atom_text(keywords["port"], "a port", text)
+    return Invariant(*fields, port=port)
+
+
+def _build_header_visible(args, text) -> Query:
+    positional, keywords = _split_args(
+        args, "header_visible", text, ("at", "port")
+    )
+    if not positional or len(positional) > 2:
+        raise QueryParseError(
+            "header_visible(field[, at=PORT][, port=PORT]) takes a field"
+        )
+    field = _atom_text(positional[0], "a field name", text)
+    at = None
+    if len(positional) == 2:
+        at = _atom_text(positional[1], "an observation port", text)
+    elif "at" in keywords:
+        at = _atom_text(keywords["at"], "an observation port", text)
+    port = (
+        _atom_text(keywords["port"], "a port", text)
+        if "port" in keywords
+        else None
+    )
+    return HeaderVisible(field, at=at, port=port)
+
+
+def _build_admitted_values(args, text) -> Query:
+    positional, keywords = _split_args(
+        args, "admitted_values", text, ("at", "samples", "port")
+    )
+    if not positional or len(positional) > 2:
+        raise QueryParseError(
+            "admitted_values(field[, at=PORT][, samples=N]) takes a field"
+        )
+    field = _atom_text(positional[0], "a field name", text)
+    at = None
+    if len(positional) == 2:
+        at = _atom_text(positional[1], "an observation port", text)
+    elif "at" in keywords:
+        at = _atom_text(keywords["at"], "an observation port", text)
+    samples = (
+        _int_value(keywords["samples"], "samples", text)
+        if "samples" in keywords
+        else 3
+    )
+    port = (
+        _atom_text(keywords["port"], "a port", text)
+        if "port" in keywords
+        else None
+    )
+    return AdmittedValues(field, at=at, samples=samples, port=port)
+
+
+def _build_all(args, text) -> Query:
+    positional, _ = _split_args(args, "all", text, ())
+    return All(*[_build(node, text) for node in positional])
+
+
+def _build_any(args, text) -> Query:
+    positional, _ = _split_args(args, "any", text, ())
+    return Any_(*[_build(node, text) for node in positional])
+
+
+def _build_not(args, text) -> Query:
+    positional, _ = _split_args(args, "not", text, ())
+    if len(positional) != 1:
+        raise QueryParseError("not(query) takes exactly one query")
+    return Not(_build(positional[0], text))
+
+
+def _build_forall_pairs(args, text) -> Query:
+    positional, _ = _split_args(args, "forall_pairs", text, ())
+    if len(positional) != 1:
+        raise QueryParseError(
+            "forall_pairs(template) takes exactly one template"
+        )
+    return ForAllPairs(_build_template(positional[0], text))
+
+
+def _build_from_ports(args, text) -> Query:
+    positional, _ = _split_args(args, "from_ports", text, ())
+    if len(positional) != 2:
+        raise QueryParseError(
+            "from_ports(port+port+..., template) takes ports then a template"
+        )
+    ports = _atoms(positional[0], "ports", text)
+    return FromPorts(ports, _build_template(positional[1], text))
+
+
+_BUILDERS = {
+    "reach": _build_reach,
+    "loop": _build_loop,
+    "invariant": _build_invariant,
+    "header_visible": _build_header_visible,
+    "admitted_values": _build_admitted_values,
+    "all": _build_all,
+    "any": _build_any,
+    "not": _build_not,
+    "forall_pairs": _build_forall_pairs,
+    "from_ports": _build_from_ports,
+}
+
+
+def parse_query(text: str) -> Query:
+    """Parse one textual query into its query object."""
+    if not text or not text.strip():
+        raise QueryParseError("empty query")
+    return _build(_Parser(text).parse(), text)

@@ -8,8 +8,10 @@ the tool is the list of explored paths in json format."
 
 Usage::
 
+    python -m repro.cli query NETWORK_DIR "forall_pairs(reach)" "loop()"
+    python -m repro.cli query --workload department "invariant(IpSrc)" [--workers N]
     python -m repro.cli reachability NETWORK_DIR ELEMENT PORT [options]
-    python -m repro.cli campaign NETWORK_DIR [--workers N] [--query ...]
+    python -m repro.cli campaign NETWORK_DIR [--workers N]
     python -m repro.cli campaign --workload department [--workers N]
     python -m repro.cli show NETWORK_DIR
 
@@ -20,7 +22,12 @@ another template, and individual header fields can be pinned with
 ``--field NAME=VALUE`` (IP addresses and MAC addresses are accepted in their
 usual textual forms).
 
-``campaign`` runs the network-wide workflow: one symbolic execution per
+``query`` is the declarative front door: a batch of textual queries (see
+:mod:`repro.api.text` for the grammar) is compiled onto one shared campaign
+plan — queries over the same injection port share one symbolic execution —
+and each query's answer is demultiplexed from the shared run.
+
+``campaign`` runs the raw network-wide workflow: one symbolic execution per
 injection port (every free input port unless ``--inject`` narrows it),
 optionally on a process pool, aggregated into a reachability matrix, a loop
 report and invariant checks.  ``--workload`` swaps the directory for one of
@@ -31,20 +38,19 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api import NetworkModel, QueryParseError, parse_query
 from repro.core.campaign import (
     CAMPAIGN_QUERIES,
     DEFAULT_INVARIANT_FIELDS,
-    NetworkSource,
     PACKET_TEMPLATES,
-    VerificationCampaign,
 )
 from repro.core.engine import ExecutionSettings, SymbolicExecutor
 from repro.core.strategy import STRATEGIES
-from repro.network.topology import Network
-from repro.parsers.topology_file import load_network_directory
 from repro.sefl.fields import HeaderField, standard_fields
 from repro.sefl.util import ip_to_number, mac_to_number
 from repro.workloads import CAMPAIGN_WORKLOADS
@@ -77,13 +83,30 @@ def _parse_overrides(pairs: Sequence[str]) -> Dict[HeaderField, int]:
     return overrides
 
 
-def _warn_validation_problems(network: Network) -> List[str]:
+def _warn_validation_problems(model: NetworkModel) -> List[str]:
     """Surface Network.validate() findings (dangling links etc.) on stderr
-    before execution starts; the analysis still runs."""
-    problems = network.validate()
+    before execution starts; the analysis still runs.
+
+    Validation lives on the NetworkModel, which computes it exactly once —
+    every command and every campaign spawned from the model sees the same
+    findings without re-validating."""
+    problems = model.validate()
     for problem in problems:
         print(f"warning: {problem}", file=sys.stderr)
     return problems
+
+
+def _model_from_args(args: argparse.Namespace) -> NetworkModel:
+    """The one construction site for NetworkModels: a directory or a
+    registered workload (with ``--workload-option`` overrides)."""
+    if bool(args.directory) == bool(args.workload):
+        raise SystemExit(
+            f"{args.command} needs a network directory or --workload (not both)"
+        )
+    if args.workload:
+        options = dict(_parse_workload_option(pair) for pair in args.workload_option)
+        return NetworkModel.from_workload(args.workload, **options)
+    return NetworkModel.from_directory(args.directory)
 
 
 def _parse_workload_option(pair: str) -> Tuple[str, object]:
@@ -156,6 +179,58 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", "-o", default=None, help="write the JSON report to a file"
     )
 
+    query = sub.add_parser(
+        "query",
+        help="declarative network queries compiled onto one shared campaign "
+        "plan (queries over the same injection port share one execution)",
+    )
+    query.add_argument(
+        "directory", nargs="?", default=None,
+        help="network directory (omit when using --workload)",
+    )
+    query.add_argument(
+        "queries", nargs="+", metavar="QUERY",
+        help='textual queries, e.g. "forall_pairs(reach)", "loop()", '
+        '"invariant(IpSrc)", "reach(sw0:in0, r1:to-internet)", '
+        '"header_visible(IpSrc, at=r1:out0)", "admitted_values(TcpDst, samples=3)"',
+    )
+    query.add_argument(
+        "--workload", choices=sorted(CAMPAIGN_WORKLOADS),
+        help="analyze a registered synthetic workload instead of a directory",
+    )
+    query.add_argument(
+        "--workload-option", action="append", default=[], metavar="KEY=VALUE",
+        help="builder option for --workload, e.g. access_switches=4 (repeatable)",
+    )
+    query.add_argument(
+        "--workers", type=int, default=1,
+        help="run the plan's jobs on a process pool of this size",
+    )
+    query.add_argument(
+        "--packet", choices=sorted(PACKET_TEMPLATES), default="tcp",
+        help="packet template to inject (default: tcp)",
+    )
+    query.add_argument(
+        "--field", action="append", default=[], metavar="NAME=VALUE",
+        help="pin a header field to a concrete value (repeatable)",
+    )
+    query.add_argument("--max-hops", type=int, default=defaults.max_hops)
+    query.add_argument("--max-paths", type=int, default=defaults.max_paths)
+    query.add_argument(
+        "--strategy", choices=sorted(STRATEGIES), default=defaults.strategy,
+    )
+    query.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable the incremental solver in every job",
+    )
+    query.add_argument(
+        "--shared-cache", action=argparse.BooleanOptionalAction, default=True,
+        help="share the canonical verdict cache across the plan's jobs",
+    )
+    query.add_argument(
+        "--output", "-o", default=None, help="write the JSON report to a file"
+    )
+
     camp = sub.add_parser(
         "campaign",
         help="network-wide verification: run one symbolic execution per "
@@ -185,7 +260,8 @@ def _build_parser() -> argparse.ArgumentParser:
     camp.add_argument(
         "--query", action="append", default=[], dest="queries",
         choices=sorted(CAMPAIGN_QUERIES) + ["all"],
-        help="query to aggregate (repeatable; default: all)",
+        help="[deprecated: use the 'query' subcommand] query to aggregate "
+        "(repeatable; default: all)",
     )
     camp.add_argument(
         "--packet", choices=sorted(PACKET_TEMPLATES), default="tcp",
@@ -222,7 +298,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _command_show(directory: str) -> int:
-    network = load_network_directory(directory)
+    network = NetworkModel.from_directory(directory).network()
     print(f"network: {network.name}")
     print(f"elements: {len(network)}")
     for element in network:
@@ -243,8 +319,9 @@ def _command_show(directory: str) -> int:
 
 
 def _command_reachability(args: argparse.Namespace) -> int:
-    network = load_network_directory(args.directory)
-    _warn_validation_problems(network)
+    model = NetworkModel.from_directory(args.directory)
+    network = model.network()
+    _warn_validation_problems(model)
     overrides = _parse_overrides(args.field)
     packet_program = PACKET_TEMPLATES[args.packet](overrides or None)
     settings = ExecutionSettings(
@@ -275,20 +352,27 @@ def _command_reachability(args: argparse.Namespace) -> int:
 
 
 def _command_campaign(args: argparse.Namespace) -> int:
-    if bool(args.directory) == bool(args.workload):
-        raise SystemExit("campaign needs a network directory or --workload (not both)")
-    if args.workload:
-        options = dict(_parse_workload_option(pair) for pair in args.workload_option)
-        source = NetworkSource.from_workload(args.workload, **options)
-    else:
-        source = NetworkSource.from_directory(args.directory)
+    model = _model_from_args(args)
 
     queries = tuple(args.queries) if args.queries else CAMPAIGN_QUERIES
+    if args.queries:
+        warnings.warn(
+            "the campaign --query flag is deprecated; use the declarative "
+            "'query' subcommand (e.g. \"forall_pairs(reach)\", \"loop()\", "
+            "\"invariant(IpSrc)\"), which compiles query batches onto one "
+            "shared plan",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        print(
+            "warning: --query is deprecated; use the 'query' subcommand",
+            file=sys.stderr,
+        )
     if "all" in queries:
         queries = CAMPAIGN_QUERIES
     overrides = _parse_overrides(args.field)
-    campaign = VerificationCampaign(
-        source,
+    # The model validated exactly once; the campaign inherits those findings.
+    campaign = model.campaign(
         packet=args.packet,
         field_values={field.name: value for field, value in overrides.items()},
         queries=queries,
@@ -299,9 +383,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
         use_incremental_solver=not args.no_incremental,
         shared_cache=args.shared_cache,
     )
-    # campaign.run() reuses this campaign-cached validation for the report.
-    for problem in campaign.validate():
-        print(f"warning: {problem}", file=sys.stderr)
+    _warn_validation_problems(model)
     if args.inject:
         campaign.add_injections(_parse_injection(text) for text in args.inject)
 
@@ -327,14 +409,87 @@ def _command_campaign(args: argparse.Namespace) -> int:
     return 1 if result.job_errors else 0
 
 
+def _command_query(args: argparse.Namespace) -> int:
+    # Re-split the positionals ourselves: argparse's chunking cannot tell
+    # the directory from the first query (and splits the list when options
+    # are interleaved, see main()), but the distinction is trivial here —
+    # without --workload the first positional is the directory, with it
+    # every positional is a query.
+    positionals = (
+        [args.directory] if args.directory is not None else []
+    ) + args.queries
+    if args.workload:
+        if positionals and os.path.isdir(positionals[0]):
+            raise SystemExit(
+                "query needs a network directory or --workload (not both)"
+            )
+        args.directory, args.queries = None, positionals
+    else:
+        if not positionals:
+            raise SystemExit("query needs a network directory or --workload")
+        args.directory, args.queries = positionals[0], positionals[1:]
+    if not args.queries:
+        raise SystemExit("query needs at least one QUERY argument")
+    # Parse the queries before touching the network: a typo'd query must
+    # fail instantly, not after a multi-second snapshot build.
+    try:
+        queries = [parse_query(text) for text in args.queries]
+    except QueryParseError as exc:
+        raise SystemExit(f"bad query: {exc}")
+    overrides = _parse_overrides(args.field)
+    model = _model_from_args(args)
+    _warn_validation_problems(model)
+    result = model.query(
+        *queries,
+        workers=args.workers,
+        packet=args.packet,
+        field_values={field.name: value for field, value in overrides.items()},
+        max_hops=args.max_hops,
+        max_paths=args.max_paths,
+        strategy=args.strategy,
+        use_incremental_solver=not args.no_incremental,
+        shared_cache=args.shared_cache,
+    )
+    report = result.to_json()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        verdicts = ", ".join(
+            f"{answer.query}={'?' if answer.holds is None else answer.holds}"
+            for answer in result
+        )
+        print(
+            f"wrote query report to {args.output} "
+            f"({result.plan.job_count} jobs shared by {len(result)} queries: "
+            f"{verdicts})"
+        )
+    else:
+        print(report)
+    for source_key, error in result.job_errors:
+        print(f"error: job {source_key} failed: {error}", file=sys.stderr)
+    return 1 if result.job_errors else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args, extras = parser.parse_known_args(argv)
+    if extras:
+        # Positionals split by interleaved options ("query DIR --workers 2
+        # 'loop()'") land here; only the query command accepts them, and
+        # only for non-option tokens.
+        if getattr(args, "command", None) != "query" or any(
+            token.startswith("-") for token in extras
+        ):
+            parser.error(f"unrecognized arguments: {' '.join(extras)}")
+        args.queries.extend(extras)
     if args.command == "show":
         return _command_show(args.directory)
     if args.command == "reachability":
         return _command_reachability(args)
     if args.command == "campaign":
         return _command_campaign(args)
+    if args.command == "query":
+        return _command_query(args)
     raise SystemExit(2)
 
 

@@ -9,11 +9,14 @@ Public entry points:
 * :class:`repro.core.engine.SymbolicExecutor` — run symbolic execution over a
   :class:`repro.network.Network`;
 * :class:`repro.core.state.ExecutionState` — the per-path symbolic state;
-* :mod:`repro.core.verification` — reachability, loop detection, invariance,
-  header visibility and memory-safety analyses built on the engine;
+* :mod:`repro.core.checks` — path-level reachability, loop, invariance,
+  header-visibility and memory-safety predicates built on the engine
+  (:mod:`repro.core.verification` is its deprecated alias);
 * :class:`repro.core.campaign.VerificationCampaign` — network-wide campaigns
   fanning one network out across many injection ports (optionally on a
   process pool) and aggregating the :mod:`repro.core.queries` objects.
+
+The declarative front door over all of this lives in :mod:`repro.api`.
 """
 
 from repro.core.campaign import (
@@ -51,6 +54,7 @@ from repro.core.strategy import (
     make_strategy,
 )
 from repro.core.values import SymbolFactory
+from repro.core import checks
 from repro.core import verification
 
 __all__ = [
@@ -80,6 +84,7 @@ __all__ = [
     "SymbolFactory",
     "SymbolicExecutor",
     "VerificationCampaign",
+    "checks",
     "clear_runtime_cache",
     "execute_job",
     "free_input_ports",

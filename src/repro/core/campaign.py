@@ -40,7 +40,7 @@ from repro.core.queries import (
     ReachabilityMatrix,
     port_key,
 )
-from repro.core.verification import field_invariant
+from repro.core.checks import admitted_values, field_invariant, header_visible
 from repro.models import host as host_models
 from repro.network.topology import Network
 from repro.sefl.fields import standard_fields
@@ -187,6 +187,26 @@ def _merge_verdict_entries(
             target[fingerprint] = verdict
 
 
+def default_injection_ports(
+    network: Network,
+    registered: Optional[Sequence[Tuple[str, str]]] = None,
+) -> List[Tuple[str, str]]:
+    """The one default-injection policy, shared by campaigns and the API's
+    NetworkModel: the source's registered entry ports, else every free input
+    port, else (fully wired rings, which have no free edges) every input
+    port."""
+    if registered:
+        return list(registered)
+    free = free_input_ports(network)
+    if free:
+        return free
+    return [
+        (element.name, port)
+        for element in network
+        for port in element.input_ports
+    ]
+
+
 def free_input_ports(network: Network) -> List[Tuple[str, str]]:
     """Input ports with no incoming link — the natural injection points.
 
@@ -228,6 +248,16 @@ class CampaignJob:
     field_values: Tuple[Tuple[str, int], ...] = ()
     queries: Tuple[str, ...] = CAMPAIGN_QUERIES
     invariant_fields: Tuple[str, ...] = DEFAULT_INVARIANT_FIELDS
+    #: Fields whose header visibility (is the source's symbol still readable?)
+    #: is checked per delivered destination — fed by the API planner's
+    #: ``HeaderVisible`` queries.
+    visibility_fields: Tuple[str, ...] = ()
+    #: (field, samples) pairs: collect up to ``samples`` concrete witness
+    #: values per delivered destination — the ``AdmittedValues`` queries.
+    witness_fields: Tuple[Tuple[str, int], ...] = ()
+    #: Record one example port trace per delivered destination (evidence
+    #: paths for ``Reach`` query results).
+    record_examples: bool = False
     max_hops: int = 128
     max_paths: int = 1_000_000
     strategy: str = "dfs"
@@ -267,6 +297,12 @@ class JobReport:
     loops: List[Dict[str, object]] = field(default_factory=list)
     drop_reasons: Dict[str, int] = field(default_factory=dict)
     invariants: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: field -> destination port -> {checked, visible, skipped} counters.
+    visibility: Dict[str, Dict[str, Dict[str, int]]] = field(default_factory=dict)
+    #: field -> destination port -> sorted concrete witness values.
+    witnesses: Dict[str, Dict[str, List[int]]] = field(default_factory=dict)
+    #: destination port -> one example port trace demonstrating delivery.
+    delivered_examples: Dict[str, List[str]] = field(default_factory=dict)
     truncated: bool = False
     error: Optional[str] = None
     worker_pid: int = 0
@@ -291,7 +327,7 @@ class JobReport:
         return sum(self.status_counts.values())
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "injected_at": self.source_key,
             "packet": self.packet,
             "status_counts": dict(sorted(self.status_counts.items())),
@@ -299,6 +335,23 @@ class JobReport:
             "loops": list(self.loops),
             "drop_reasons": dict(sorted(self.drop_reasons.items())),
             "invariants": {k: dict(v) for k, v in sorted(self.invariants.items())},
+        }
+        # Planner-only facts stay out of legacy campaign reports entirely.
+        if self.visibility:
+            payload["visibility"] = {
+                f: {d: dict(cell) for d, cell in sorted(row.items())}
+                for f, row in sorted(self.visibility.items())
+            }
+        if self.witnesses:
+            payload["witnesses"] = {
+                f: {d: list(vals) for d, vals in sorted(row.items())}
+                for f, row in sorted(self.witnesses.items())
+            }
+        if self.delivered_examples:
+            payload["delivered_examples"] = {
+                d: list(trace) for d, trace in sorted(self.delivered_examples.items())
+            }
+        payload.update({
             "truncated": self.truncated,
             "error": self.error,
             "worker_pid": self.worker_pid,
@@ -313,7 +366,8 @@ class JobReport:
                 "solver_cache_merged": self.solver_cache_merged,
                 "verdict_cache_entries": len(self.verdict_cache_entries),
             },
-        }
+        })
+        return payload
 
 
 # Per-process runtime cache: one (network, solver, verdict cache) triple per
@@ -329,6 +383,21 @@ def clear_runtime_cache() -> None:
     """Drop every cached (network, solver, verdict cache) triple in this
     process."""
     _RUNTIME_CACHE.clear()
+
+
+# In-process counter of symbolic-execution runs, so tests (and the API
+# planner's acceptance checks) can assert how many engine jobs a batch of
+# queries actually cost.  Per-process: pool workers count their own runs.
+_EXECUTION_COUNTERS = {"engine_runs": 0}
+
+
+def execution_counters() -> Dict[str, int]:
+    """Snapshot of this process's campaign execution counters."""
+    return dict(_EXECUTION_COUNTERS)
+
+
+def reset_execution_counters() -> None:
+    _EXECUTION_COUNTERS["engine_runs"] = 0
 
 
 def _cache_runtime(key: Tuple, runtime: Tuple[Network, Solver, VerdictCache]) -> None:
@@ -392,6 +461,69 @@ def _check_invariants(
     return report
 
 
+def _check_visibility(
+    result: ExecutionResult, job: CampaignJob, solver: Solver
+) -> Dict[str, Dict[str, Dict[str, int]]]:
+    """Per-destination header visibility: is the symbol the source wrote into
+    the field still provably readable where the packet was delivered?"""
+    fields = standard_fields()
+    report: Dict[str, Dict[str, Dict[str, int]]] = {}
+    for name in job.visibility_fields:
+        variable = fields.get(name, name)
+        per_destination: Dict[str, Dict[str, int]] = {}
+        for path in result.delivered():
+            destination = str(path.last_port)
+            cell = per_destination.setdefault(
+                destination, {"checked": 0, "visible": 0, "skipped": 0}
+            )
+            try:
+                history = path.state.variable_history(variable)
+                if not history:
+                    cell["skipped"] += 1
+                    continue
+                visible = header_visible(path, variable, history[0], solver)
+            except MemorySafetyError:
+                cell["skipped"] += 1
+                continue
+            cell["checked"] += 1
+            cell["visible"] += 1 if visible else 0
+        report[name] = per_destination
+    return report
+
+
+def _collect_witnesses(
+    result: ExecutionResult, job: CampaignJob, solver: Solver
+) -> Dict[str, Dict[str, List[int]]]:
+    """Concrete admitted values per delivered destination, up to the
+    requested sample count per (field, destination).  Paths are scanned in
+    the engine's (deterministic) discovery order, so the collected sets are
+    reproducible; the final per-destination lists are sorted."""
+    fields = standard_fields()
+    report: Dict[str, Dict[str, List[int]]] = {}
+    for name, samples in job.witness_fields:
+        variable = fields.get(name, name)
+        per_destination: Dict[str, List[int]] = {}
+        for path in result.delivered():
+            destination = str(path.last_port)
+            found = per_destination.setdefault(destination, [])
+            if len(found) >= samples:
+                continue
+            try:
+                values = admitted_values(path, variable, solver, samples)
+            except MemorySafetyError:
+                continue
+            for value in values:
+                if value not in found:
+                    found.append(value)
+                if len(found) >= samples:
+                    break
+        report[name] = {
+            destination: sorted(values)
+            for destination, values in per_destination.items()
+        }
+    return report
+
+
 def execute_job(job: CampaignJob) -> JobReport:
     """Run one campaign job in this process and digest the result.
 
@@ -429,6 +561,7 @@ def execute_job(job: CampaignJob) -> JobReport:
             verdict_cache=cache,
             shared_cache=job.shared_cache if job.use_verdict_cache else None,
         )
+        _EXECUTION_COUNTERS["engine_runs"] += 1
         result = executor.inject(_packet_program(job), job.element, job.port)
     except Exception as exc:  # surface, never kill the whole campaign
         report.error = f"{type(exc).__name__}: {exc}"
@@ -469,6 +602,16 @@ def execute_job(job: CampaignJob) -> JobReport:
                 reason = path.stop_reason
                 report.drop_reasons[reason] = report.drop_reasons.get(reason, 0) + 1
             report.invariants = _check_invariants(result, job, solver)
+        if job.record_examples:
+            for path in result.delivered():
+                destination = str(path.last_port)
+                report.delivered_examples.setdefault(
+                    destination, list(path.ports_visited)
+                )
+        if job.visibility_fields:
+            report.visibility = _check_visibility(result, job, solver)
+        if job.witness_fields:
+            report.witnesses = _collect_witnesses(result, job, solver)
     except Exception as exc:
         report.error = f"{type(exc).__name__}: {exc}"
     return report
@@ -639,12 +782,16 @@ class VerificationCampaign:
         field_values: Optional[Dict[str, int]] = None,
         queries: Sequence[str] = CAMPAIGN_QUERIES,
         invariant_fields: Sequence[str] = DEFAULT_INVARIANT_FIELDS,
+        visibility_fields: Sequence[str] = (),
+        witness_fields: Sequence[Tuple[str, int]] = (),
+        record_examples: bool = False,
         max_hops: int = 128,
         max_paths: int = 1_000_000,
         strategy: str = "dfs",
         use_incremental_solver: bool = True,
         shared_cache: bool = True,
         warm_cache: Optional[Mapping[str, str]] = None,
+        validation: Optional[Sequence[str]] = None,
     ) -> None:
         if isinstance(source, Network):
             source = NetworkSource.from_network(source)
@@ -675,6 +822,9 @@ class VerificationCampaign:
             field_values=tuple(sorted((field_values or {}).items())),
             queries=tuple(queries),
             invariant_fields=tuple(invariant_fields),
+            visibility_fields=tuple(visibility_fields),
+            witness_fields=tuple(witness_fields),
+            record_examples=record_examples,
             max_hops=max_hops,
             max_paths=max_paths,
             strategy=strategy,
@@ -686,7 +836,14 @@ class VerificationCampaign:
         self._injections: List[Tuple[str, str]] = []
         self._network: Optional[Network] = None
         self._registered_injections: Optional[List[Tuple[str, str]]] = None
-        self._validation: Optional[List[str]] = None
+        # ``validation`` hoists Network.validate() out of the campaign: a
+        # NetworkModel validates its network exactly once and hands the
+        # findings to every campaign (and the CLI) it spawns, instead of each
+        # construction site silently re-validating — and possibly re-building
+        # — the same network.
+        self._validation: Optional[List[str]] = (
+            list(validation) if validation is not None else None
+        )
 
     # -- injection points ---------------------------------------------------------
 
@@ -709,16 +866,9 @@ class VerificationCampaign:
         """The workload's registered injection ports, or every free input
         port when the source does not define any.  Fully wired networks
         (rings) have no free edges; those fall back to every input port."""
-        self.network()  # one build populates _registered_injections too
-        if self._registered_injections:
-            return self.add_injections(self._registered_injections)
-        free = free_input_ports(self.network())
-        if free:
-            return self.add_injections(free)
+        network = self.network()  # one build populates _registered_injections
         return self.add_injections(
-            (element.name, port)
-            for element in self.network()
-            for port in element.input_ports
+            default_injection_ports(network, self._registered_injections)
         )
 
     @property

@@ -1,0 +1,528 @@
+"""Tests for the session API: NetworkModel, the declarative query objects,
+the textual query grammar, the plan compiler, and the deprecation shims.
+
+The load-bearing guarantees:
+
+* a batch of queries over the same injection port compiles to ONE engine
+  job (asserted via the campaign execution counters);
+* plan fingerprints are independent of the order queries are given in;
+* every planned answer is bit-identical to the legacy per-query campaign
+  it replaces (department and stanford workloads, workers 1 and 2);
+* validation is hoisted into NetworkModel and runs exactly once;
+* the legacy ``repro.core.verification`` free functions keep working as
+  shims that emit DeprecationWarning.
+"""
+
+import pytest
+
+from repro import Network, NetworkElement, models
+from repro.api import (
+    AdmittedValues,
+    All,
+    Any_,
+    ForAllPairs,
+    FromPorts,
+    HeaderVisible,
+    Invariant,
+    Loop,
+    NetworkModel,
+    Not,
+    Query,
+    QueryParseError,
+    Reach,
+    compile_plan,
+    execute_plan,
+    parse_query,
+)
+from repro.core.campaign import (
+    NetworkSource,
+    VerificationCampaign,
+    clear_runtime_cache,
+    execution_counters,
+    reset_execution_counters,
+)
+from repro.network.topology import Network as TopoNetwork
+from repro.sefl import Assign, Forward, InstructionBlock, IpDst, ip_to_number
+
+DEPARTMENT_OPTIONS = dict(
+    access_switches=4, hosts_per_switch=2, mac_entries=300, extra_routes=20
+)
+STANFORD_OPTIONS = dict(
+    zones=4, internal_prefixes_per_zone=30, service_acl_rules=4
+)
+WORKLOADS = {
+    "department": DEPARTMENT_OPTIONS,
+    "stanford": STANFORD_OPTIONS,
+}
+
+
+def forwarding_network():
+    """a:in0 -> a:out0 -> b:in0 -> b:out0 (a simple delivery chain)."""
+    network = Network("chain")
+    for name in ("a", "b"):
+        element = NetworkElement(name, ["in0"], ["out0"])
+        element.set_input_program("in0", Forward("out0"))
+        network.add_element(element)
+    network.add_link(("a", "out0"), ("b", "in0"))
+    return network
+
+
+def loop_network():
+    """Two forwarders wired into a ring, entered via in-entry ports."""
+    network = Network("ring")
+    for name in ("a", "b"):
+        element = NetworkElement(name, ["in0", "in-entry"], ["out0"])
+        element.set_input_program("in0", Forward("out0"))
+        element.set_input_program("in-entry", Forward("out0"))
+        network.add_element(element)
+    network.add_link(("a", "out0"), ("b", "in0"))
+    network.add_link(("b", "out0"), ("a", "in0"))
+    return network
+
+
+def rewriting_network():
+    """An element that overwrites IpDst with a constant (a NAT-ish box)."""
+    network = Network("nat-ish")
+    element = NetworkElement("nat", ["in0"], ["out0"])
+    element.set_input_program(
+        "in0",
+        InstructionBlock(Assign(IpDst, ip_to_number("9.9.9.9")), Forward("out0")),
+    )
+    network.add_element(element)
+    return network
+
+
+# ---------------------------------------------------------------------------
+# NetworkModel
+# ---------------------------------------------------------------------------
+
+
+class TestNetworkModel:
+    def test_from_workload(self):
+        model = NetworkModel.from_workload("department", **DEPARTMENT_OPTIONS)
+        assert model.network().has_element("m1")
+        assert len(model.injection_ports()) == 4
+        assert model.describe().startswith("workload:department")
+
+    def test_from_network_and_plain_constructor(self):
+        network = forwarding_network()
+        assert NetworkModel.from_network(network).network() is network
+        assert NetworkModel(network).network() is network
+        assert NetworkModel(NetworkSource.from_network(network)).network() is network
+
+    def test_from_directory(self, tmp_path):
+        (tmp_path / "topology.txt").write_text("device sw switch sw.mac\n")
+        (tmp_path / "sw.mac").write_text(
+            "Vlan    Mac Address       Type        Ports\n"
+            " 302    0011.2233.4455    DYNAMIC     out0\n"
+        )
+        model = NetworkModel.from_directory(str(tmp_path))
+        assert model.network().has_element("sw")
+        assert model.injection_ports() == [("sw", "in0")]
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError, match="NetworkModel takes"):
+            NetworkModel(42)
+
+    def test_network_built_once(self):
+        model = NetworkModel.from_workload("department", **DEPARTMENT_OPTIONS)
+        assert model.network() is model.network()
+
+    def test_validation_runs_exactly_once(self, tmp_path, monkeypatch):
+        """The satellite bugfix: directory networks are validated once per
+        model, no matter how many campaigns/plans are spawned from it."""
+        (tmp_path / "topology.txt").write_text(
+            "device sw switch sw.mac\nlink sw:out0 -> ghost:in0\n"
+        )
+        (tmp_path / "sw.mac").write_text(
+            "Vlan    Mac Address       Type        Ports\n"
+            " 302    0011.2233.4455    DYNAMIC     out0\n"
+        )
+        calls = []
+        original = TopoNetwork.validate
+
+        def counting_validate(self):
+            calls.append(self.name)
+            return original(self)
+
+        monkeypatch.setattr(TopoNetwork, "validate", counting_validate)
+        clear_runtime_cache()
+        model = NetworkModel.from_directory(str(tmp_path))
+        problems = model.validate()
+        assert problems  # the dangling link shows up ...
+        assert model.validate() == problems  # ... and is cached
+        campaign_result = model.campaign(queries=("loops",)).run()
+        assert campaign_result.validation_problems == problems
+        plan_result = model.query(Loop())
+        assert plan_result.campaign.validation_problems == problems
+        assert len(calls) == 1
+
+
+# ---------------------------------------------------------------------------
+# Query objects and the textual grammar
+# ---------------------------------------------------------------------------
+
+
+class TestQueryObjects:
+    def test_describe_and_equality(self):
+        assert Reach("a:in0", "b").describe() == "reach(a:in0, b)"
+        assert Reach(("a", "in0"), ("b", "out0")) == Reach("a:in0", "b:out0")
+        assert Loop() == Loop(None) and Loop("a:in0") != Loop()
+        assert Invariant("IpSrc", "IpDst").describe() == "invariant(IpSrc+IpDst)"
+        assert len({Loop(), Loop(None)}) == 1
+
+    def test_bare_element_gets_default_port(self):
+        assert Reach("a", "b").src == ("a", "in0")
+
+    def test_invariant_needs_fields(self):
+        with pytest.raises(ValueError, match="at least one header field"):
+            Invariant()
+
+    def test_combinators_reject_report_queries(self):
+        with pytest.raises(TypeError, match="boolean verdict"):
+            Not(AdmittedValues("IpDst"))
+        with pytest.raises(TypeError, match="boolean verdict"):
+            All(Loop(), ForAllPairs(Reach))
+
+    def test_quantifier_rejects_non_queries(self):
+        with pytest.raises(TypeError, match="quantifiers take"):
+            ForAllPairs("reach")
+
+    def test_parser_roundtrips(self):
+        texts = [
+            "reach(a:in0, b:out0)",
+            "loop()",
+            "loop(acl0:in0)",
+            "invariant(IpSrc+IpDst)",
+            "invariant(IpSrc, acl0:in0)",
+            "header_visible(IpSrc, at=r1:out0)",
+            "admitted_values(TcpDst, at=r1:out0, samples=3)",
+            "all(loop(), invariant(IpSrc))",
+            "any(loop(), reach(a:in0, b))",
+            "not(reach(a:in0, b))",
+            "forall_pairs(reach)",
+            "forall_pairs(invariant(IpSrc))",
+            "from_ports(a:in0+b:in0, loop())",
+            "from_ports(a:in0, reach)",
+        ]
+        for text in texts:
+            query = parse_query(text)
+            assert isinstance(query, Query)
+            assert parse_query(query.describe()).describe() == query.describe()
+
+    def test_parser_sugar(self):
+        assert parse_query("loop") == Loop()
+        assert parse_query(" loop( a:in0 ) ") == Loop("a:in0")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "bogus()",
+            "loop() trailing",
+            "reach(a:in0)",
+            "loop(a:in0, b:in0)",
+            "invariant()",
+            "not(loop(), loop())",
+            "admitted_values(IpDst, samples=lots)",
+            "header_visible(IpSrc, wat=1)",
+            "forall_pairs(reach, loop)",
+            "all(,)",
+            "reach(a:in0, b:out0))",
+        ],
+    )
+    def test_parser_rejects(self, bad):
+        with pytest.raises(QueryParseError):
+            parse_query(bad)
+
+
+# ---------------------------------------------------------------------------
+# The plan compiler
+# ---------------------------------------------------------------------------
+
+
+class TestPlanner:
+    def test_overlapping_queries_share_one_engine_job(self):
+        """Two queries over the same injection port compile to ONE job and
+        cost ONE symbolic execution."""
+        model = NetworkModel.from_network(forwarding_network())
+        plan = compile_plan(
+            model, [Reach("a:in0", "b:out0"), Reach("a:in0", "nowhere")]
+        )
+        assert plan.job_count == 1
+        clear_runtime_cache()
+        reset_execution_counters()
+        result = execute_plan(plan)
+        assert execution_counters()["engine_runs"] == 1
+        assert result.stats.jobs == 1
+        assert result[0].holds is True
+        assert result[1].holds is False
+
+    def test_disjoint_ports_get_separate_jobs(self):
+        model = NetworkModel.from_network(loop_network())
+        plan = compile_plan(
+            model, [Loop(("a", "in-entry")), Loop(("b", "in-entry"))]
+        )
+        assert plan.job_count == 2
+
+    def test_from_ports_scope_replaces_the_template_port(self):
+        """The quantifier's port set *replaces* the template's own port: no
+        job is compiled (or executed) that the quantifier never reads."""
+        model = NetworkModel.from_network(loop_network())
+        quantified = FromPorts(
+            [("a", "in-entry")], Invariant("IpSrc", port=("b", "in-entry"))
+        )
+        plan = compile_plan(model, [quantified])
+        assert plan.injections == (("a", "in-entry"),)
+        answer = execute_plan(plan)[0]
+        assert list(answer.value["fields"]["IpSrc"]["by_source"]) == [
+            "a:in-entry"
+        ]
+
+    def test_plan_fingerprint_is_order_independent(self):
+        model = NetworkModel.from_workload("department", **DEPARTMENT_OPTIONS)
+        queries = [ForAllPairs(Reach), Loop(), Invariant("IpSrc")]
+        forward = compile_plan(model, queries)
+        backward = compile_plan(model, list(reversed(queries)))
+        assert forward.fingerprint() == backward.fingerprint()
+        assert forward.injections == backward.injections
+
+    def test_plan_fingerprint_separates_different_batches(self):
+        model = NetworkModel.from_workload("department", **DEPARTMENT_OPTIONS)
+        base = compile_plan(model, [Loop()])
+        assert base.fingerprint() != compile_plan(model, [Loop(), Invariant("IpSrc")]).fingerprint()
+        assert base.fingerprint() != compile_plan(model, [Loop()], packet="udp").fingerprint()
+
+    def test_witness_budgets_collapse_to_max(self):
+        model = NetworkModel.from_network(forwarding_network())
+        plan = compile_plan(
+            model,
+            [AdmittedValues("IpDst", samples=2), AdmittedValues("IpDst", samples=5)],
+        )
+        assert plan.witness_fields == (("IpDst", 5),)
+
+    def test_compile_rejects_non_queries(self):
+        model = NetworkModel.from_network(forwarding_network())
+        with pytest.raises(TypeError, match="not a query"):
+            compile_plan(model, [Loop(), "loop()"])
+        with pytest.raises(ValueError, match="at least one query"):
+            compile_plan(model, [])
+
+    def test_plan_result_indexing(self):
+        model = NetworkModel.from_network(forwarding_network())
+        result = model.query(Loop(), Reach("a:in0", "b"))
+        assert result["loop()"] is result[0]
+        assert result[Reach("a:in0", "b")] is result[1]
+        assert len(result) == 2
+        with pytest.raises(KeyError):
+            result["bogus"]
+
+
+# ---------------------------------------------------------------------------
+# Query semantics on small in-process networks
+# ---------------------------------------------------------------------------
+
+
+class TestQuerySemantics:
+    def test_reach_evidence_carries_an_example_trace(self):
+        model = NetworkModel.from_network(forwarding_network())
+        answer = model.query(Reach("a:in0", "b:out0"))[0]
+        assert answer.holds is True
+        assert answer.value["path_counts"] == {"b:out0": 1}
+        assert answer.evidence["examples"]["b:out0"][0] == "a:in0"
+        assert answer.evidence["examples"]["b:out0"][-1] == "b:out0"
+
+    def test_loop_detection_via_from_ports(self):
+        model = NetworkModel.from_network(loop_network())
+        result = model.query(
+            FromPorts([("a", "in-entry")], Loop()),
+            Reach(("a", "in-entry"), "nowhere"),
+        )
+        looped = result[0]
+        assert looped.holds is False
+        assert looped.evidence["findings"] >= 1
+        assert looped.query == "from_ports(a:in-entry, loop())"
+
+    def test_invariant_and_visibility_on_rewriting_network(self):
+        model = NetworkModel.from_network(rewriting_network())
+        result = model.query(
+            Invariant("IpDst"),
+            Invariant("IpSrc"),
+            HeaderVisible("IpDst"),
+            HeaderVisible("IpSrc"),
+            AdmittedValues("IpDst", samples=2),
+        )
+        assert result[0].holds is False  # IpDst was overwritten
+        assert result[1].holds is True
+        assert result[2].holds is False  # the source's IpDst symbol is gone
+        assert result[3].holds is True
+        assert result[4].value["values"] == [ip_to_number("9.9.9.9")]
+
+    def test_header_visible_at_port_scoping(self):
+        model = NetworkModel.from_network(rewriting_network())
+        result = model.query(
+            HeaderVisible("IpSrc", at="nat:out0"),
+            HeaderVisible("IpSrc", at="nowhere:out0"),
+        )
+        assert result[0].holds is True
+        # Nothing was delivered at the bogus port: vacuous, so not verified.
+        assert result[1].holds is False
+        assert result[1].value["checked"] == 0
+
+    def test_admitted_values_respects_constraints(self):
+        network = Network("filter")
+        element = NetworkElement("fw", ["in0"], ["out0"])
+        from repro.sefl import Constrain, Eq, TcpDst
+
+        element.set_input_program(
+            "in0",
+            InstructionBlock(Constrain(Eq(TcpDst, 443)), Forward("out0")),
+        )
+        network.add_element(element)
+        model = NetworkModel.from_network(network)
+        answer = model.query(AdmittedValues("TcpDst", at="fw:out0", samples=3))[0]
+        assert answer.value["values"] == [443]
+
+    def test_combinators_combine_verdicts(self):
+        model = NetworkModel.from_network(forwarding_network())
+        result = model.query(
+            All(Loop(), Reach("a:in0", "b:out0")),
+            Any_(Reach("a:in0", "nowhere"), Reach("a:in0", "b")),
+            Not(Reach("a:in0", "nowhere")),
+        )
+        assert [answer.holds for answer in result] == [True, True, True]
+        assert result[0].query == "all(loop(), reach(a:in0, b:out0))"
+
+    def test_forall_pairs_matrix_mode(self):
+        model = NetworkModel.from_workload("department", **DEPARTMENT_OPTIONS)
+        answer = model.query(ForAllPairs(Reach))[0]
+        assert answer.holds is None
+        assert answer.kind == "reach_matrix"
+        assert answer.value["reachable_pairs"] > 0
+        assert answer.backend.fingerprint()  # the ReachabilityMatrix
+
+
+# ---------------------------------------------------------------------------
+# Planned-vs-direct parity (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+class TestPlannedVsDirectParity:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_batch_is_bit_identical_to_legacy_campaigns(self, workload, workers):
+        """ForAllPairs(Reach) + Loop + Invariant in ONE planned batch vs the
+        three dedicated legacy campaigns they replace: every injection port
+        runs exactly once in the batch, and every answer fingerprint is
+        bit-identical to the legacy aggregation."""
+        options = WORKLOADS[workload]
+        model = NetworkModel.from_workload(workload, **options)
+        ports = model.injection_ports()
+
+        clear_runtime_cache()
+        reset_execution_counters()
+        batch = model.query(
+            ForAllPairs(Reach),
+            Loop(),
+            Invariant("IpSrc", "IpDst"),
+            workers=workers,
+        )
+        assert batch.stats.jobs == len(ports)
+        if workers == 1:
+            # Each injection port executed exactly once (in-process counter;
+            # pool workers count in their own processes).
+            assert execution_counters()["engine_runs"] == len(ports)
+
+        source = NetworkSource.from_workload(workload, **options)
+        legacy = {}
+        for kind in ("reachability", "loops", "invariants"):
+            clear_runtime_cache()
+            legacy[kind] = VerificationCampaign(
+                source,
+                queries=(kind,),
+                invariant_fields=("IpDst", "IpSrc"),
+            ).run(workers=workers)
+
+        assert (
+            batch[0].backend.fingerprint()
+            == legacy["reachability"].reachability.fingerprint()
+        )
+        assert (
+            batch[1].backend.fingerprint()
+            == legacy["loops"].loop_report.fingerprint()
+        )
+        assert (
+            batch[2].backend.fingerprint()
+            == legacy["invariants"].invariant_report.fingerprint()
+        )
+
+    def test_single_field_invariant_matches_single_field_campaign(self):
+        model = NetworkModel.from_workload("department", **DEPARTMENT_OPTIONS)
+        answer = model.query(Invariant("IpSrc"))[0]
+        legacy = VerificationCampaign(
+            NetworkSource.from_workload("department", **DEPARTMENT_OPTIONS),
+            queries=("invariants",),
+            invariant_fields=("IpSrc",),
+        ).run()
+        assert answer.backend.fingerprint() == legacy.invariant_report.fingerprint()
+        assert answer.holds == legacy.invariant_report.field_holds("IpSrc")
+
+    def test_plan_results_are_worker_count_independent(self):
+        model = NetworkModel.from_workload("department", **DEPARTMENT_OPTIONS)
+        sequential = model.query(ForAllPairs(Reach), Loop(), workers=1)
+        parallel = model.query(ForAllPairs(Reach), Loop(), workers=2)
+        assert sequential.fingerprint() == parallel.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Deprecation shims
+# ---------------------------------------------------------------------------
+
+
+class TestDeprecationShims:
+    @pytest.fixture(scope="class")
+    def tiny_result(self):
+        network = forwarding_network()
+        from repro.core.engine import SymbolicExecutor
+
+        return SymbolicExecutor(network).inject(
+            models.symbolic_tcp_packet(), "a", "in0"
+        )
+
+    def test_every_free_function_warns_and_delegates(self, tiny_result):
+        from repro.core import checks
+        from repro.core import verification as V
+        from repro.sefl import IpDst, IpSrc
+
+        path = tiny_result.delivered()[0]
+        term = path.state.read_variable(IpDst)
+        calls = [
+            ("reachable_paths", (tiny_result, "b"), {}),
+            ("is_reachable", (tiny_result, "b"), {}),
+            ("admitted_values", (path, IpDst), {}),
+            ("state_subsumed", ([], []), {}),
+            ("find_loops", (tiny_result,), {}),
+            ("field_invariant", (path, IpDst), {}),
+            ("values_equal", (path, IpSrc, IpDst), {}),
+            ("header_visible", (path, IpDst, term), {}),
+            ("field_concrete_value", (path, IpDst), {}),
+            ("memory_safety_violations", (tiny_result,), {}),
+            ("constraint_violations", (tiny_result,), {}),
+        ]
+        assert sorted(name for name, _, _ in calls) == sorted(V.__all__)
+        for name, args, kwargs in calls:
+            with pytest.warns(DeprecationWarning, match=name):
+                shimmed = getattr(V, name)(*args, **kwargs)
+            assert shimmed == getattr(checks, name)(*args, **kwargs)
+
+    def test_campaign_query_flag_warns(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "topology.txt").write_text("device sw switch sw.mac\n")
+        (tmp_path / "sw.mac").write_text(
+            "Vlan    Mac Address       Type        Ports\n"
+            " 302    0011.2233.4455    DYNAMIC     out0\n"
+        )
+        with pytest.warns(DeprecationWarning, match="--query flag is deprecated"):
+            assert main(["campaign", str(tmp_path), "--query", "loops"]) == 0
+        assert "use the 'query' subcommand" in capsys.readouterr().err

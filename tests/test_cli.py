@@ -225,3 +225,120 @@ class TestCampaign:
         ) == 1
         captured = capsys.readouterr()
         assert "error: job nonexistent:in0 failed" in captured.err
+
+
+class TestQueryCommand:
+    """The declarative front door: textual queries compiled onto one plan."""
+
+    def test_directory_queries_on_stdout(self, network_dir, capsys):
+        assert main(
+            [
+                "query",
+                str(network_dir),
+                "reach(sw:in0, r1:to-internet)",
+                "loop()",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"]["queries"] == [
+            "reach(sw:in0, r1:to-internet)",
+            "loop()",
+        ]
+        by_query = {entry["query"]: entry for entry in payload["queries"]}
+        assert by_query["reach(sw:in0, r1:to-internet)"]["holds"] is True
+        # The sw <-> r1 topology genuinely loops on 10/8 traffic.
+        assert by_query["loop()"]["holds"] is False
+        assert by_query["loop()"]["evidence"]["findings"] >= 1
+        assert all(entry["fingerprint"] for entry in payload["queries"])
+
+    def test_shared_port_compiles_to_one_job(self, network_dir, capsys):
+        assert main(
+            [
+                "query",
+                str(network_dir),
+                "reach(sw:in0, r1:to-internet)",
+                "reach(sw:in0, r1:to-lan)",
+                "invariant(IpDst, sw:in0)",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"]["jobs"] == 1
+        assert payload["stats"]["jobs"] == 1
+
+    def test_workload_mode_first_positional_is_a_query(self, capsys):
+        # With --workload, argparse's "directory" slot holds the first query.
+        assert main(
+            [
+                "query",
+                "--workload",
+                "enterprise",
+                "--workload-option",
+                "mirror_at_exit=true",
+                "loop()",
+                "forall_pairs(reach)",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["network"].startswith("workload:enterprise")
+        assert payload["plan"]["queries"] == ["loop()", "forall_pairs(reach)"]
+
+    def test_report_written_to_file(self, network_dir, tmp_path, capsys):
+        target = tmp_path / "query.json"
+        assert main(
+            ["query", str(network_dir), "loop()", "-o", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert payload["queries"][0]["holds"] is False  # the loopy topology
+        assert "wrote query report" in capsys.readouterr().out
+
+    def test_workers_match_sequential(self, network_dir, tmp_path):
+        seq, par = tmp_path / "seq.json", tmp_path / "par.json"
+        args = ["query", str(network_dir), "forall_pairs(reach)", "loop()"]
+        assert main(args + ["-o", str(seq)]) == 0
+        assert main(args + ["--workers", "2", "-o", str(par)]) == 0
+        seq_payload = json.loads(seq.read_text())
+        par_payload = json.loads(par.read_text())
+        assert [q["fingerprint"] for q in seq_payload["queries"]] == [
+            q["fingerprint"] for q in par_payload["queries"]
+        ]
+
+    def test_validation_warnings_identical_to_campaign(
+        self, dangling_network_dir, capsys
+    ):
+        assert main(["query", str(dangling_network_dir), "loop()"]) == 0
+        query_err = capsys.readouterr().err
+        assert main(["campaign", str(dangling_network_dir)]) == 0
+        campaign_err = capsys.readouterr().err
+        query_warnings = [l for l in query_err.splitlines() if "warning" in l]
+        campaign_warnings = [
+            l for l in campaign_err.splitlines() if "warning" in l
+        ]
+        assert query_warnings and query_warnings == campaign_warnings
+
+    def test_bad_query_rejected(self, network_dir):
+        with pytest.raises(SystemExit, match="bad query"):
+            main(["query", str(network_dir), "bogus()"])
+
+    def test_directory_and_workload_are_exclusive(self, network_dir, capsys):
+        with pytest.raises(SystemExit, match="not both"):
+            main(["query", str(network_dir), "loop()", "--workload", "department"])
+
+    def test_bad_query_fails_before_the_network_is_built(self, network_dir):
+        # The typo'd query must be rejected without paying for the build.
+        import repro.api.model as model_module
+
+        original = model_module.NetworkModel.network
+        def exploding_network(self):
+            raise AssertionError("network was built for a malformed query")
+        model_module.NetworkModel.network = exploding_network
+        try:
+            with pytest.raises(SystemExit, match="bad query"):
+                main(["query", str(network_dir), "invarint(IpSrc)"])
+        finally:
+            model_module.NetworkModel.network = original
+
+    def test_failing_reach_source_sets_exit_code(self, network_dir, capsys):
+        assert main(
+            ["query", str(network_dir), "reach(nonexistent:in0, sw)"]
+        ) == 1
+        assert "failed" in capsys.readouterr().err

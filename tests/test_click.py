@@ -25,7 +25,7 @@ from repro.click.elements import (
     build_vlan_decap,
     build_vlan_encap,
 )
-from repro.core import verification as V
+from repro.core import checks as V
 from repro.sefl import (
     ETHER_HEADER_BITS,
     EtherDst,

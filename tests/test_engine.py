@@ -4,7 +4,7 @@ forwarding, failure handling and loop detection."""
 import pytest
 
 from repro import ExecutionSettings, Network, NetworkElement, SymbolicExecutor, models
-from repro.core import verification as V
+from repro.core import checks as V
 from repro.core.errors import ModelError
 from repro.core.paths import PathStatus
 from repro.sefl import (

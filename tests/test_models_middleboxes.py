@@ -4,7 +4,7 @@ IP mirror and the composite ASA pipeline."""
 import pytest
 
 from repro import ExecutionSettings, Network, SymbolicExecutor, models
-from repro.core import verification as V
+from repro.core import checks as V
 from repro.models.asa import AsaConfig, build_asa
 from repro.models.firewall import AclRule, build_acl_firewall, build_stateful_firewall
 from repro.models.mirror import build_ip_mirror

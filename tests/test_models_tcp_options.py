@@ -3,7 +3,7 @@
 import pytest
 
 from repro import ExecutionSettings, Network, SymbolicExecutor, models
-from repro.core import verification as V
+from repro.core import checks as V
 from repro.models.tcp_options import (
     ALLOW,
     ASA_DEFAULT_OPTION_POLICY,

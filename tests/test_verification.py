@@ -4,7 +4,7 @@ header visibility, subsumption and memory-safety reporting."""
 import pytest
 
 from repro import Network, NetworkElement, SymbolicExecutor, models
-from repro.core import verification as V
+from repro.core import checks as V
 from repro.sefl import (
     Assign,
     Constrain,

@@ -4,7 +4,7 @@
 import pytest
 
 from repro import ExecutionSettings, SymbolicExecutor, models
-from repro.core import verification as V
+from repro.core import checks as V
 from repro.models.router import longest_prefix_match
 from repro.sefl import (
     EtherSrc,
