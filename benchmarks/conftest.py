@@ -30,6 +30,13 @@ BENCH_API_JSON_PATH = os.environ.get(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_api.json"),
 )
 
+#: Machine-readable records for the persistent-store benchmark: cold vs
+#: warm-from-disk campaigns and single-dict vs sharded shared tiers.
+BENCH_STORE_JSON_PATH = os.environ.get(
+    "SYMNET_BENCH_STORE_JSON",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_store.json"),
+)
+
 
 def scaled(small, full):
     """Pick a workload size depending on the requested scale."""
@@ -56,6 +63,11 @@ def campaign_record(label: str, result) -> dict:
         "solver_shared_cache_hits": stats.solver_shared_cache_hits,
         "cache_hit_rate": round(stats.cache_hit_rate, 4),
         "verdict_cache_entries": stats.verdict_cache_entries,
+        "solver_shared_round_trips": stats.solver_shared_round_trips,
+        "solver_shared_publish_batches": stats.solver_shared_publish_batches,
+        "solver_shared_publish_entries": stats.solver_shared_publish_entries,
+        "store_entries_loaded": stats.store_entries_loaded,
+        "store_entries_published": stats.store_entries_published,
     }
 
 
@@ -97,6 +109,16 @@ def bench_api_json():
     yield records
     if records:
         _merge_bench_records(BENCH_API_JSON_PATH, records)
+
+
+@pytest.fixture(scope="session")
+def bench_store_json():
+    """Collect persistent-store benchmark records and merge them into
+    ``BENCH_store.json`` at the end of the session."""
+    records = []
+    yield records
+    if records:
+        _merge_bench_records(BENCH_STORE_JSON_PATH, records)
 
 
 @pytest.fixture(scope="session")

@@ -23,6 +23,8 @@ declarative :mod:`repro.api.queries` objects onto one shared campaign plan
 
 from __future__ import annotations
 
+import hashlib
+import os
 from typing import List, Optional, Tuple, Union
 
 from repro.core.campaign import (
@@ -34,6 +36,59 @@ from repro.core.campaign import (
 from repro.network.topology import Network
 
 SourceLike = Union[NetworkSource, Network, str]
+
+
+def _directory_stat_key(directory: str) -> tuple:
+    """Cheap (stat-only) snapshot of the referenced device files, taken at
+    network-build time so a later :meth:`NetworkModel.fingerprint` can tell
+    whether the directory still holds the bytes this model executed."""
+    from repro.parsers.topology_file import referenced_snapshot_files
+
+    try:
+        with open(os.path.join(directory, "topology.txt"), encoding="utf-8") as handle:
+            topology_text = handle.read()
+    except OSError:
+        return ("unreadable-topology",)
+    stats = []
+    for name in sorted(referenced_snapshot_files(topology_text)):
+        try:
+            stat = os.stat(os.path.join(directory, name))
+            stats.append((name, stat.st_size, stat.st_mtime_ns))
+        except OSError:
+            stats.append((name, -1, -1))
+    return ("stats", topology_text, tuple(stats))
+
+
+def _directory_content_key(directory: str) -> tuple:
+    """Identity of a snapshot directory's *relevant* content: the topology
+    text itself plus a content hash of every device file it references.
+    Files the topology never reads (JSON reports, a ``--store-dir`` placed
+    in the snapshot directory) do not perturb the key — and because the
+    referenced files are *hashed*, not stat'ed, a same-size in-place
+    rewrite within a coarse filesystem mtime tick still invalidates.
+    Hashing costs one read per device file, the same order of work as
+    building the network the cached plan would otherwise skip."""
+    from repro.parsers.topology_file import referenced_snapshot_files
+
+    topology_path = os.path.join(directory, "topology.txt")
+    try:
+        with open(topology_path, encoding="utf-8") as handle:
+            topology_text = handle.read()
+    except OSError:
+        # No readable topology: fall back to the coarse every-file key.
+        return ("directory-all-files", NetworkSource.from_directory(directory).fingerprint)
+    digests = []
+    for name in sorted(referenced_snapshot_files(topology_text)):
+        try:
+            with open(os.path.join(directory, name), "rb") as handle:
+                digest = hashlib.sha256(handle.read()).hexdigest()
+        except OSError:
+            digest = "<unreadable>"
+        digests.append((name, digest))
+    # Content only — no directory path — so byte-identical snapshots at
+    # different paths (copied checkouts, run-numbered CI workspaces) share
+    # one plan-cache identity against a shared store.
+    return ("directory", topology_text, tuple(digests))
 
 
 class NetworkModel:
@@ -59,6 +114,9 @@ class NetworkModel:
         self._network: Optional[Network] = None
         self._registered_injections: Optional[List[Tuple[str, str]]] = None
         self._validation: Optional[List[str]] = None
+        self._fingerprint: Optional[str] = None
+        self._fingerprint_known = False
+        self._build_stat_key: Optional[tuple] = None
 
     # -- constructors -----------------------------------------------------------
 
@@ -85,6 +143,12 @@ class NetworkModel:
         """The built network — built exactly once and seeded into the
         campaign runtime cache so in-process jobs reuse this build."""
         if self._network is None:
+            if self.source.kind == "directory" and self.source.directory:
+                # Stat-only snapshot (no content hashing — store-less runs
+                # must not pay a second read of every device file): enough
+                # for fingerprint() to later prove the directory still
+                # holds the bytes this build executed.
+                self._build_stat_key = _directory_stat_key(self.source.directory)
             self._network, self._registered_injections = self.source.build_full()
             _seed_runtime(self.source, self._network)
         return self._network
@@ -105,6 +169,52 @@ class NetworkModel:
     def describe(self) -> str:
         return self.source.describe()
 
+    def fingerprint(self) -> Optional[str]:
+        """Content identity of the model's network source, or ``None`` when
+        the source has no stable identity (in-process ``Network`` objects).
+
+        This is the model half of the persistent plan-result cache key
+        (:class:`repro.store.VerificationStore`): workload sources hash the
+        builder name and options; directory sources hash ``topology.txt``'s
+        *content* plus the content of exactly the snapshot files it
+        references — so editing the topology or any referenced device file
+        invalidates the directory's cached plans, while report files or a
+        store directory living alongside the snapshot do not.
+        For sources whose content can change invisibly (a workload builder
+        edited in place), use
+        :meth:`repro.store.VerificationStore.invalidate_plans` explicitly.
+
+        The fingerprint is computed **once per model**, lazily (store-less
+        runs never pay the hashing), and it must identify the content this
+        model *executes*: a model built before an in-place edit keeps
+        answering for the snapshot it read, so hashing the edited files
+        under the same session would file the old network's answers under
+        the new content's key, poisoning the plan cache for every later
+        process.  If the directory's referenced files no longer stat the
+        way they did at build time, the model therefore has **no**
+        fingerprint (plan caching is disabled for it) — edited the
+        directory?  Make a new :class:`NetworkModel`.
+        """
+        if self._fingerprint_known:
+            return self._fingerprint
+        if self.source.picklable:
+            payload: Optional[str] = None
+            if self.source.kind == "directory" and self.source.directory:
+                if (
+                    self._build_stat_key is None
+                    or self._build_stat_key
+                    == _directory_stat_key(self.source.directory)
+                ):
+                    payload = repr(
+                        ("network-model", _directory_content_key(self.source.directory))
+                    )
+            else:
+                payload = repr(("network-model", self.source.cache_key()))
+            if payload is not None:
+                self._fingerprint = hashlib.sha256(payload.encode()).hexdigest()
+        self._fingerprint_known = True
+        return self._fingerprint
+
     # -- execution --------------------------------------------------------------
 
     def campaign(self, **kwargs) -> VerificationCampaign:
@@ -113,14 +223,32 @@ class NetworkModel:
         kwargs.setdefault("validation", self.validate())
         return VerificationCampaign(self.source, **kwargs)
 
-    def query(self, *queries, workers: int = 1, warm_cache=None, **settings):
+    def query(
+        self,
+        *queries,
+        workers: int = 1,
+        warm_cache=None,
+        store=None,
+        cache_shards=None,
+        **settings,
+    ):
         """Compile a batch of declarative queries onto one shared plan and
         execute it (see :func:`repro.api.planner.compile_plan` for the
-        engine-sharing semantics and accepted ``settings``)."""
+        engine-sharing semantics and accepted ``settings``).  Passing a
+        :class:`repro.store.VerificationStore` as ``store`` makes the run
+        persistent: verdicts warm-start from (and publish to) the store's
+        disk shards, and a repeated identical batch is answered from the
+        plan-result cache without running any engine job."""
         from repro.api.planner import compile_plan, execute_plan
 
         plan = compile_plan(self, queries, **settings)
-        return execute_plan(plan, workers=workers, warm_cache=warm_cache)
+        return execute_plan(
+            plan,
+            workers=workers,
+            warm_cache=warm_cache,
+            store=store,
+            cache_shards=cache_shards,
+        )
 
     def __repr__(self) -> str:
         return f"NetworkModel({self.describe()})"

@@ -28,6 +28,7 @@ from repro.core.campaign import (
     CAMPAIGN_QUERIES,
     CampaignResult,
     JobReport,
+    PortFacts,
     VerificationCampaign,
 )
 from repro.core.queries import port_key
@@ -44,6 +45,9 @@ class Plan:
 
     ``injections`` is the deduplicated union of every query's ports — the
     exact set of engine jobs the batch costs (``plan.job_count``).
+    ``port_facts`` narrows each job to the union of the fact requirements
+    of exactly the queries that need that port (not the whole batch), so a
+    port only pays for collection channels some query will read.
     """
 
     model: NetworkModel
@@ -54,6 +58,7 @@ class Plan:
     visibility_fields: Tuple[str, ...]
     witness_fields: Tuple[Tuple[str, int], ...]
     record_examples: bool
+    port_facts: Tuple[Tuple[Tuple[str, str], PortFacts], ...] = ()
     packet: str = "tcp"
     field_values: Tuple[Tuple[str, int], ...] = ()
     max_hops: int = 128
@@ -68,9 +73,12 @@ class Plan:
 
     def fingerprint(self) -> str:
         """Stable plan identity: independent of the order queries were
-        given in (the same batch always compiles to the same plan)."""
+        given in (the same batch always compiles to the same plan) and —
+        like the model fingerprint it pairs with in the plan-cache key —
+        of *where* a snapshot directory lives, so byte-identical checkouts
+        share plan identities."""
         payload = (
-            self.model.describe(),
+            self.model.fingerprint() or self.model.describe(),
             tuple(sorted(query.describe() for query in self.queries)),
             self.injections,
             self.kinds,
@@ -78,12 +86,14 @@ class Plan:
             self.visibility_fields,
             self.witness_fields,
             self.record_examples,
+            self.port_facts,
             self.packet,
             self.field_values,
             self.max_hops,
             self.max_paths,
             self.strategy,
             self.use_incremental_solver,
+            self.shared_cache,
         )
         return hashlib.sha256(repr(payload).encode()).hexdigest()
 
@@ -97,6 +107,16 @@ class Plan:
             "visibility_fields": list(self.visibility_fields),
             "witness_fields": [list(pair) for pair in self.witness_fields],
             "record_examples": self.record_examples,
+            "port_facts": {
+                port_key(*port): {
+                    "kinds": list(facts.queries),
+                    "invariant_fields": list(facts.invariant_fields),
+                    "visibility_fields": list(facts.visibility_fields),
+                    "witness_fields": [list(p) for p in facts.witness_fields],
+                    "record_examples": facts.record_examples,
+                }
+                for port, facts in self.port_facts
+            },
             "jobs": self.job_count,
             "fingerprint": self.fingerprint(),
         }
@@ -113,8 +133,15 @@ def compile_plan(
     strategy: str = "dfs",
     use_incremental_solver: bool = True,
     shared_cache: bool = True,
+    narrow_facts: bool = True,
 ) -> Plan:
-    """Compile a batch of queries into the minimal shared job set."""
+    """Compile a batch of queries into the minimal shared job set.
+
+    ``narrow_facts`` (on by default) computes each port's fact requirements
+    as the union over the queries that *need that port*; off, every job
+    collects the whole batch's union (the pre-narrowing behaviour, kept as
+    the comparison baseline for tests and benchmarks).
+    """
     if isinstance(queries, Query):
         queries = (queries,)
     queries = tuple(queries)
@@ -131,14 +158,48 @@ def compile_plan(
         requirements = requirements.merge(query.requirements())
         ports.update(query.injections())
         needs_defaults = needs_defaults or query.needs_default_injections()
+    default_ports: Tuple[Tuple[str, str], ...] = ()
     if needs_defaults:
-        ports.update(model.injection_ports())
+        default_ports = tuple(model.injection_ports())
+        ports.update(default_ports)
 
-    # The same field requested with different sample budgets collapses to
-    # one collection pass at the largest budget.
-    witness_budget: Dict[str, int] = {}
-    for name, samples in requirements.witness_fields:
-        witness_budget[name] = max(witness_budget.get(name, 0), samples)
+    def _collapse_witness_budgets(
+        witness_fields: Iterable[Tuple[str, int]]
+    ) -> Tuple[Tuple[str, int], ...]:
+        # The same field requested with different sample budgets collapses
+        # to one collection pass at the largest budget.
+        budget: Dict[str, int] = {}
+        for name, samples in witness_fields:
+            budget[name] = max(budget.get(name, 0), samples)
+        return tuple(sorted(budget.items()))
+
+    port_facts: Tuple[Tuple[Tuple[str, str], PortFacts], ...] = ()
+    if narrow_facts:
+        per_port: Dict[Tuple[str, str], Requirements] = {}
+        for query in queries:
+            scope = set(query.injections())
+            if query.needs_default_injections():
+                scope.update(default_ports)
+            query_requirements = query.requirements()
+            for port in scope:
+                per_port[port] = per_port.get(port, Requirements()).merge(
+                    query_requirements
+                )
+        port_facts = tuple(
+            (
+                port,
+                PortFacts(
+                    queries=tuple(
+                        k for k in CAMPAIGN_QUERIES if k in reqs.kinds
+                    ),
+                    invariant_fields=tuple(sorted(reqs.invariant_fields)),
+                    visibility_fields=tuple(sorted(reqs.visibility_fields)),
+                    witness_fields=_collapse_witness_budgets(reqs.witness_fields),
+                    record_examples=reqs.record_examples,
+                ),
+            )
+            for port, reqs in sorted(per_port.items())
+        )
 
     return Plan(
         model=model,
@@ -147,8 +208,9 @@ def compile_plan(
         kinds=tuple(k for k in CAMPAIGN_QUERIES if k in requirements.kinds),
         invariant_fields=tuple(sorted(requirements.invariant_fields)),
         visibility_fields=tuple(sorted(requirements.visibility_fields)),
-        witness_fields=tuple(sorted(witness_budget.items())),
+        witness_fields=_collapse_witness_budgets(requirements.witness_fields),
         record_examples=requirements.record_examples,
+        port_facts=port_facts,
         packet=packet,
         field_values=tuple(sorted((field_values or {}).items())),
         max_hops=max_hops,
@@ -226,11 +288,51 @@ class PlanContext:
 
 @dataclass
 class PlanResult:
-    """The executed plan: per-query answers plus the shared campaign run."""
+    """The executed plan: per-query answers plus the shared campaign run.
+
+    A result restored from the persistent plan cache
+    (:meth:`from_cached`) has ``from_cache`` True and no ``campaign`` —
+    the answers, fingerprints and serialised report are the ones the
+    original execution produced, verbatim.
+    """
 
     plan: Plan
-    campaign: CampaignResult
+    campaign: Optional[CampaignResult]
     results: Tuple[QueryResult, ...]
+    from_cache: bool = False
+    cached_payload: Optional[Dict[str, object]] = None
+
+    @classmethod
+    def from_cached(
+        cls, plan: Plan, payload: Dict[str, object]
+    ) -> Optional["PlanResult"]:
+        """Rebuild a result from a stored payload, or ``None`` when the
+        payload cannot serve this plan.
+
+        ``Plan.fingerprint()`` is deliberately order-independent, so the
+        stored payload may hold the answers in a *different* batch order
+        than this caller used — results are re-matched to ``plan.queries``
+        by their canonical query text so positional access
+        (``result[0]``, iteration) stays aligned with the caller's batch.
+        """
+        by_text: Dict[str, List[Dict[str, object]]] = {}
+        for entry in payload.get("queries", ()):
+            by_text.setdefault(str(entry.get("query", "")), []).append(entry)
+        ordered = []
+        for query in plan.queries:
+            bucket = by_text.get(query.describe())
+            if not bucket:
+                return None  # treat as a cache miss, never misattribute
+            ordered.append(QueryResult.from_cached(bucket.pop(0)))
+        if any(bucket for bucket in by_text.values()):
+            return None  # leftover answers: not this batch
+        return cls(
+            plan=plan,
+            campaign=None,
+            results=tuple(ordered),
+            from_cache=True,
+            cached_payload=dict(payload),
+        )
 
     def __len__(self) -> int:
         return len(self.results)
@@ -250,16 +352,33 @@ class PlanResult:
 
     @property
     def stats(self):
-        return self.campaign.stats
+        """The shared campaign's solver roll-up.  On a plan-cache hit the
+        original execution's stats are rehydrated from the stored payload,
+        so ``result.stats.<counter>`` keeps working whichever tier
+        answered (the counters describe the run that *computed* the
+        answers, not the cache lookup)."""
+        if self.campaign is not None:
+            return self.campaign.stats
+        stored = (self.cached_payload or {}).get("stats")
+        if isinstance(stored, dict):
+            from dataclasses import fields as dataclass_fields
+
+            from repro.core.queries import CampaignStats
+
+            known = {f.name for f in dataclass_fields(CampaignStats)}
+            return CampaignStats(
+                **{k: v for k, v in stored.items() if k in known}
+            )
+        return None
 
     @property
     def job_errors(self):
-        return self.campaign.job_errors
+        return self.campaign.job_errors if self.campaign is not None else []
 
     @property
     def verdict_cache(self) -> Dict[str, str]:
         """Warm-start payload for a later plan/campaign."""
-        return self.campaign.verdict_cache
+        return self.campaign.verdict_cache if self.campaign is not None else {}
 
     def fingerprint(self) -> str:
         payload = (
@@ -269,6 +388,11 @@ class PlanResult:
         return hashlib.sha256(repr(payload).encode()).hexdigest()
 
     def to_dict(self) -> Dict[str, object]:
+        if self.cached_payload is not None:
+            # The serialised report the original execution produced —
+            # returned verbatim so cached and fresh reports are comparable
+            # bit for bit.
+            return dict(self.cached_payload)
         return {
             "network": self.campaign.source,
             "plan": self.plan.to_dict(),
@@ -291,9 +415,35 @@ def execute_plan(
     *,
     workers: int = 1,
     warm_cache: Optional[Mapping[str, str]] = None,
+    store: Optional[object] = None,
+    cache_shards: Optional[int] = None,
 ) -> PlanResult:
     """Run a compiled plan on the campaign machinery and demultiplex the
-    per-query answers."""
+    per-query answers.
+
+    With a :class:`repro.store.VerificationStore` as ``store``, finished
+    answers are cached on ``(model fingerprint, plan fingerprint)``: a
+    repeated identical batch over an unchanged network returns the stored
+    :class:`PlanResult` without running a single engine job, and the
+    campaign that does run warm-starts from (and publishes back to) the
+    store's verdict shards.  ``warm_cache`` is the deprecated in-memory
+    predecessor (the campaign constructor emits the DeprecationWarning).
+    """
+    # The whole persistence stack — plan cache included — is gated on the
+    # plan's shared_cache flag: a --no-shared-cache run is the isolated
+    # baseline and must neither read nor feed any cache tier.
+    use_store = store is not None and plan.shared_cache
+    model_fingerprint = plan.model.fingerprint() if use_store else None
+    plan_fingerprint = plan.fingerprint() if model_fingerprint else None
+    if model_fingerprint and plan_fingerprint:
+        cached = store.get_plan(model_fingerprint, plan_fingerprint)
+        if cached is not None:
+            restored = PlanResult.from_cached(plan, cached)
+            if restored is not None:
+                return restored
+    campaign_kwargs = {}
+    if cache_shards is not None:
+        campaign_kwargs["cache_shards"] = cache_shards
     campaign = VerificationCampaign(
         plan.model.source,
         packet=plan.packet,
@@ -309,13 +459,20 @@ def execute_plan(
         use_incremental_solver=plan.use_incremental_solver,
         shared_cache=plan.shared_cache,
         warm_cache=warm_cache,
+        store=store,
         validation=plan.model.validate(),
+        **campaign_kwargs,
     )
-    campaign.add_injections(plan.injections)
+    facts = dict(plan.port_facts)
+    for element, port in plan.injections:
+        campaign.add_injection(element, port, facts=facts.get((element, port)))
     result = campaign.run(workers=workers)
     ctx = PlanContext(plan, result)
-    return PlanResult(
+    plan_result = PlanResult(
         plan=plan,
         campaign=result,
         results=tuple(query.evaluate(ctx) for query in plan.queries),
     )
+    if model_fingerprint and plan_fingerprint and not result.job_errors:
+        store.put_plan(model_fingerprint, plan_fingerprint, plan_result.to_dict())
+    return plan_result

@@ -83,11 +83,18 @@ class QueryResult:
     value: object
     evidence: Dict[str, object] = field(default_factory=dict)
     backend: object = None
+    #: Fingerprint restored from a persistent plan-result cache entry
+    #: (repro.store).  Backend objects are never serialised, so a cached
+    #: answer carries the fingerprint its original computed — which the
+    #: store-parity tests assert is bit-identical to a fresh execution.
+    stored_fingerprint: Optional[str] = None
 
     @property
     def fingerprint(self) -> str:
         """Stable content hash of the answer: identical for any execution
         order, worker count, or cache configuration."""
+        if self.stored_fingerprint is not None:
+            return self.stored_fingerprint
         if self.backend is not None and hasattr(self.backend, "fingerprint"):
             payload: object = repr(self.backend.fingerprint())
         else:
@@ -95,6 +102,18 @@ class QueryResult:
         return _fingerprint_payload(
             {"query": self.query, "kind": self.kind, "holds": self.holds,
              "payload": payload}
+        )
+
+    @classmethod
+    def from_cached(cls, payload: Dict[str, object]) -> "QueryResult":
+        """Rebuild an answer from its serialised form (plan-result cache)."""
+        return cls(
+            query=str(payload.get("query", "")),
+            kind=str(payload.get("kind", "")),
+            holds=payload.get("holds"),  # type: ignore[arg-type]
+            value=payload.get("value"),
+            evidence=dict(payload.get("evidence") or {}),
+            stored_fingerprint=str(payload.get("fingerprint", "")) or None,
         )
 
     def to_dict(self) -> Dict[str, object]:

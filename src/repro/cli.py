@@ -11,8 +11,9 @@ Usage::
     python -m repro.cli query NETWORK_DIR "forall_pairs(reach)" "loop()"
     python -m repro.cli query --workload department "invariant(IpSrc)" [--workers N]
     python -m repro.cli reachability NETWORK_DIR ELEMENT PORT [options]
-    python -m repro.cli campaign NETWORK_DIR [--workers N]
+    python -m repro.cli campaign NETWORK_DIR [--workers N] [--store-dir DIR]
     python -m repro.cli campaign --workload department [--workers N]
+    python -m repro.cli store inspect|compact|clear-plans STORE_DIR
     python -m repro.cli show NETWORK_DIR
 
 ``NETWORK_DIR`` must contain ``topology.txt`` plus the per-device snapshot
@@ -32,6 +33,13 @@ injection port (every free input port unless ``--inject`` narrows it),
 optionally on a process pool, aggregated into a reachability matrix, a loop
 report and invariant checks.  ``--workload`` swaps the directory for one of
 the built-in synthetic workloads (department / enterprise / stanford).
+
+``--store-dir DIR`` (on ``query`` and ``campaign``) makes runs persistent:
+solver verdicts warm-start from — and publish back to — the disk shards of
+a :class:`repro.store.VerificationStore` at ``DIR``, and a repeated
+identical ``query`` batch over an unchanged network is answered from the
+store's plan-result cache without running any engine job.  ``store``
+inspects, compacts or invalidates such a directory.
 """
 
 from __future__ import annotations
@@ -227,6 +235,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--shared-cache", action=argparse.BooleanOptionalAction, default=True,
         help="share the canonical verdict cache across the plan's jobs",
     )
+    _add_store_options(query)
     query.add_argument(
         "--output", "-o", default=None, help="write the JSON report to a file"
     )
@@ -288,13 +297,70 @@ def _build_parser() -> argparse.ArgumentParser:
     camp.add_argument(
         "--shared-cache", action=argparse.BooleanOptionalAction, default=True,
         help="share the canonical verdict cache across jobs (per-worker "
-        "persistent cache, plus a process-shared tier when --workers > 1); "
-        "--no-shared-cache isolates every job (default: enabled)",
+        "persistent cache, plus a sharded process-shared tier when "
+        "--workers > 1); --no-shared-cache isolates every job "
+        "(default: enabled)",
     )
+    _add_store_options(camp)
     camp.add_argument(
         "--output", "-o", default=None, help="write the JSON report to a file"
     )
+
+    store = sub.add_parser(
+        "store",
+        help="inspect or maintain a persistent verification store directory "
+        "(the --store-dir of previous runs)",
+    )
+    store.add_argument(
+        "action", choices=("inspect", "compact", "clear-plans"),
+        help="inspect: summarize shards/segments/plans as JSON; compact: "
+        "fold each shard's segments into one; clear-plans: drop cached "
+        "plan results (the explicit invalidation path when a network "
+        "source changed in ways the model fingerprint cannot see)",
+    )
+    store.add_argument("store_dir", help="store directory")
+    store.add_argument(
+        "--model", default=None, metavar="FINGERPRINT",
+        help="clear-plans: only drop plans of this model fingerprint",
+    )
     return parser
+
+
+def _add_store_options(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="persist solver verdicts (and, for 'query', finished plan "
+        "results) in a verification store at DIR: runs warm-start from the "
+        "store's disk shards and publish fresh verdicts back",
+    )
+    command.add_argument(
+        "--cache-shards", type=_shard_count, default=None, metavar="N",
+        help="shard the process-shared verdict tier (and a newly created "
+        "store) across N partitions (default: 8)",
+    )
+
+
+def _shard_count(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError("shard count must be >= 1")
+    return value
+
+
+def _open_store(args: argparse.Namespace):
+    """The --store-dir flag as a VerificationStore (None when unset)."""
+    if not getattr(args, "store_dir", None):
+        return None
+    from repro.store import DEFAULT_SHARD_COUNT, StoreError, VerificationStore
+
+    shards = args.cache_shards or DEFAULT_SHARD_COUNT
+    try:
+        return VerificationStore(args.store_dir, shards=shards)
+    except (StoreError, ValueError) as exc:
+        raise SystemExit(f"unusable store {args.store_dir}: {exc}")
 
 
 def _command_show(directory: str) -> int:
@@ -372,7 +438,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
         queries = CAMPAIGN_QUERIES
     overrides = _parse_overrides(args.field)
     # The model validated exactly once; the campaign inherits those findings.
-    campaign = model.campaign(
+    campaign_kwargs = dict(
         packet=args.packet,
         field_values={field.name: value for field, value in overrides.items()},
         queries=queries,
@@ -382,7 +448,11 @@ def _command_campaign(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         use_incremental_solver=not args.no_incremental,
         shared_cache=args.shared_cache,
+        store=_open_store(args),
     )
+    if args.cache_shards:
+        campaign_kwargs["cache_shards"] = args.cache_shards
+    campaign = model.campaign(**campaign_kwargs)
     _warn_validation_problems(model)
     if args.inject:
         campaign.add_injections(_parse_injection(text) for text in args.inject)
@@ -442,6 +512,8 @@ def _command_query(args: argparse.Namespace) -> int:
     result = model.query(
         *queries,
         workers=args.workers,
+        store=_open_store(args),
+        cache_shards=args.cache_shards,
         packet=args.packet,
         field_values={field.name: value for field, value in overrides.items()},
         max_hops=args.max_hops,
@@ -450,6 +522,12 @@ def _command_query(args: argparse.Namespace) -> int:
         use_incremental_solver=not args.no_incremental,
         shared_cache=args.shared_cache,
     )
+    if result.from_cache:
+        print(
+            "note: answered from the store's plan-result cache "
+            "(0 engine jobs)",
+            file=sys.stderr,
+        )
     report = result.to_json()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -468,6 +546,45 @@ def _command_query(args: argparse.Namespace) -> int:
     for source_key, error in result.job_errors:
         print(f"error: job {source_key} failed: {error}", file=sys.stderr)
     return 1 if result.job_errors else 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    from repro.store import StoreError, VerificationStore
+
+    # Opening a VerificationStore scaffolds the directory; maintenance
+    # commands must never do that to a mistyped path, so require the
+    # store's metadata file to already exist.
+    if not os.path.isdir(args.store_dir) or not os.path.isfile(
+        os.path.join(args.store_dir, "STORE.json")
+    ):
+        raise SystemExit(
+            f"not a store directory (no STORE.json): {args.store_dir}"
+        )
+    try:
+        store = VerificationStore(args.store_dir)
+    except StoreError as exc:
+        raise SystemExit(f"unusable store: {exc}")
+    if args.action == "inspect":
+        summary = store.describe()
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        for path, reason in store.quarantined:
+            print(f"warning: quarantined {path}: {reason}", file=sys.stderr)
+        return 0
+    if args.action == "compact":
+        outcome = store.compact()
+        print(
+            f"compacted {store.directory}: {outcome['entries']} verdicts, "
+            f"{outcome['segments_before']} -> {outcome['segments_after']} segments"
+        )
+        for path, reason in store.quarantined:
+            print(f"warning: quarantined {path}: {reason}", file=sys.stderr)
+        return 0
+    if args.action == "clear-plans":
+        removed = store.invalidate_plans(args.model)
+        scope = f"model {args.model}" if args.model else "all models"
+        print(f"dropped {removed} cached plan result(s) ({scope})")
+        return 0
+    raise SystemExit(2)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -490,6 +607,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_campaign(args)
     if args.command == "query":
         return _command_query(args)
+    if args.command == "store":
+        return _command_store(args)
     raise SystemExit(2)
 
 

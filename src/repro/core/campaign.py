@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -49,6 +50,11 @@ from repro.solver.verdict_cache import (
     CacheConflictError,
     VerdictCache,
     resolve_verdict,
+)
+from repro.store.sharding import (
+    DEFAULT_PUBLISH_BATCH,
+    DEFAULT_SHARD_COUNT,
+    ShardedTier,
 )
 
 #: Packet templates a campaign (and the CLI) can inject, by name.
@@ -233,6 +239,24 @@ def free_input_ports(network: Network) -> List[Tuple[str, str]]:
 
 
 @dataclass(frozen=True)
+class PortFacts:
+    """Per-injection narrowing of the facts one job must collect.
+
+    The API planner computes, for every injection port, the union of the
+    fact requirements of exactly the queries that *need that port* — not the
+    whole batch (see :func:`repro.api.planner.compile_plan`).  A campaign
+    applies these as per-job overrides of its global fact template, so a
+    port only pays for the channels some query will actually read.
+    """
+
+    queries: Tuple[str, ...]
+    invariant_fields: Tuple[str, ...] = ()
+    visibility_fields: Tuple[str, ...] = ()
+    witness_fields: Tuple[Tuple[str, int], ...] = ()
+    record_examples: bool = False
+
+
+@dataclass(frozen=True)
 class CampaignJob:
     """One unit of campaign work: inject one packet template at one port.
 
@@ -271,8 +295,16 @@ class CampaignJob:
     #: per campaign, not once per job.
     warm_cache_entries: Tuple[Tuple[str, str], ...] = ()
     warm_cache_token: str = ""
-    #: Optional process-shared verdict tier (a Manager dict proxy) consulted
-    #: on local cache misses when the campaign runs on a process pool.
+    #: Persistent verdict store (repro.store): each worker process opens the
+    #: store directory and merges its shards into the worker cache once per
+    #: ``store_token`` (the store's content identity), instead of the
+    #: campaign pickling warm entries into every job.
+    store_dir: Optional[str] = None
+    store_token: str = ""
+    store_shards: int = DEFAULT_SHARD_COUNT
+    #: Optional process-shared verdict tier (a sharded Manager-dict tier,
+    #: see repro.store.sharding) consulted on local cache misses when the
+    #: campaign runs on a process pool.
     shared_cache: Optional[object] = field(default=None, compare=False, repr=False)
 
     @property
@@ -314,6 +346,9 @@ class JobReport:
     solver_cache_misses: int = 0
     solver_shared_cache_hits: int = 0
     solver_cache_merged: int = 0
+    solver_shared_round_trips: int = 0
+    solver_shared_publish_batches: int = 0
+    solver_shared_publish_entries: int = 0
     #: (fingerprint, verdict) pairs this job added to its worker's verdict
     #: cache — merged into the campaign-level cache by the aggregation.
     verdict_cache_entries: Tuple[Tuple[str, str], ...] = ()
@@ -364,6 +399,9 @@ class JobReport:
                 "solver_cache_misses": self.solver_cache_misses,
                 "solver_shared_cache_hits": self.solver_shared_cache_hits,
                 "solver_cache_merged": self.solver_cache_merged,
+                "solver_shared_round_trips": self.solver_shared_round_trips,
+                "solver_shared_publish_batches": self.solver_shared_publish_batches,
+                "solver_shared_publish_entries": self.solver_shared_publish_entries,
                 "verdict_cache_entries": len(self.verdict_cache_entries),
             },
         })
@@ -385,10 +423,13 @@ def clear_runtime_cache() -> None:
     _RUNTIME_CACHE.clear()
 
 
-# In-process counter of symbolic-execution runs, so tests (and the API
-# planner's acceptance checks) can assert how many engine jobs a batch of
-# queries actually cost.  Per-process: pool workers count their own runs.
-_EXECUTION_COUNTERS = {"engine_runs": 0}
+# In-process counters of symbolic-execution runs and of the fact channels
+# (query kinds, invariant/visibility fields, witness samplers, example
+# recorders) those runs collected, so tests (and the API planner's
+# acceptance checks) can assert both how many engine jobs a batch of
+# queries cost and how much per-job collection work the planner's per-port
+# narrowing saved.  Per-process: pool workers count their own runs.
+_EXECUTION_COUNTERS = {"engine_runs": 0, "fact_channels": 0}
 
 
 def execution_counters() -> Dict[str, int]:
@@ -397,7 +438,20 @@ def execution_counters() -> Dict[str, int]:
 
 
 def reset_execution_counters() -> None:
-    _EXECUTION_COUNTERS["engine_runs"] = 0
+    for key in _EXECUTION_COUNTERS:
+        _EXECUTION_COUNTERS[key] = 0
+
+
+def _job_fact_channels(job: "CampaignJob") -> int:
+    """How many collection channels this job pays for (counted into
+    ``execution_counters()['fact_channels']``)."""
+    return (
+        len(job.queries)
+        + (len(job.invariant_fields) if QUERY_INVARIANTS in job.queries else 0)
+        + len(job.visibility_fields)
+        + len(job.witness_fields)
+        + (1 if job.record_examples else 0)
+    )
 
 
 def _cache_runtime(key: Tuple, runtime: Tuple[Network, Solver, VerdictCache]) -> None:
@@ -547,6 +601,27 @@ def execute_job(job: CampaignJob) -> JobReport:
             merged = cache.merge(dict(job.warm_cache_entries))
             cache.applied_tokens.add(job.warm_cache_token)
             solver.stats.record_merged_entries(merged)
+        if (
+            job.use_verdict_cache
+            and job.store_dir
+            and job.store_token
+            and job.store_token not in cache.applied_tokens
+        ):
+            # Warm-from-disk: each worker opens the store once per store
+            # state and merges its shards locally — no entries travel in
+            # job pickles.  Live verdicts outrank stored ones
+            # (strict=False): a corrupted-but-well-formed segment entry
+            # must degrade the cache, never crash the job.
+            try:
+                from repro.store import VerificationStore
+
+                store = VerificationStore(job.store_dir, shards=job.store_shards)
+                loaded = cache.merge(store.load(), strict=False)
+            except Exception:
+                loaded = 0
+            cache.applied_tokens.add(job.store_token)
+            merged += loaded
+            solver.stats.record_merged_entries(loaded)
         cache.begin_collection()
         settings = ExecutionSettings(
             max_hops=job.max_hops,
@@ -562,6 +637,7 @@ def execute_job(job: CampaignJob) -> JobReport:
             shared_cache=job.shared_cache if job.use_verdict_cache else None,
         )
         _EXECUTION_COUNTERS["engine_runs"] += 1
+        _EXECUTION_COUNTERS["fact_channels"] += _job_fact_channels(job)
         result = executor.inject(_packet_program(job), job.element, job.port)
     except Exception as exc:  # surface, never kill the whole campaign
         report.error = f"{type(exc).__name__}: {exc}"
@@ -577,6 +653,9 @@ def execute_job(job: CampaignJob) -> JobReport:
     report.solver_cache_misses = result.solver_cache_misses
     report.solver_shared_cache_hits = result.solver_shared_cache_hits
     report.solver_cache_merged = merged
+    report.solver_shared_round_trips = result.solver_shared_round_trips
+    report.solver_shared_publish_batches = result.solver_shared_publish_batches
+    report.solver_shared_publish_entries = result.solver_shared_publish_entries
     report.verdict_cache_entries = tuple(sorted(cache.fresh_entries().items()))
 
     try:
@@ -675,6 +754,9 @@ class CampaignResult:
                 failed=job.error is not None,
                 solver_shared_cache_hits=job.solver_shared_cache_hits,
                 solver_cache_merged=job.solver_cache_merged,
+                solver_shared_round_trips=job.solver_shared_round_trips,
+                solver_shared_publish_batches=job.solver_shared_publish_batches,
+                solver_shared_publish_entries=job.solver_shared_publish_entries,
             )
             # Merge the job's fresh verdicts into the campaign-level cache.
             # Jobs are absorbed in sorted injection order and resolve_verdict
@@ -791,6 +873,9 @@ class VerificationCampaign:
         use_incremental_solver: bool = True,
         shared_cache: bool = True,
         warm_cache: Optional[Mapping[str, str]] = None,
+        store: Optional[object] = None,
+        cache_shards: int = DEFAULT_SHARD_COUNT,
+        publish_batch: int = DEFAULT_PUBLISH_BATCH,
         validation: Optional[Sequence[str]] = None,
     ) -> None:
         if isinstance(source, Network):
@@ -803,11 +888,29 @@ class VerificationCampaign:
             known = ", ".join(CAMPAIGN_QUERIES)
             raise ValueError(f"unknown queries {sorted(unknown)}; known: {known}")
         # ``shared_cache`` switches the whole cross-job verdict-cache stack:
-        # the per-worker persistent cache *and* the process-shared tier used
-        # on pools.  ``warm_cache`` (typically a previous CampaignResult's
-        # ``verdict_cache``) pre-seeds every job's cache — except when
-        # ``shared_cache`` is off: jobs must then stay a truly isolated
-        # baseline, so warm entries are only folded into the result.
+        # the per-worker persistent cache, the process-shared tier used on
+        # pools, *and* the persistent store.  ``store`` (a
+        # :class:`repro.store.VerificationStore`) is the durable warm-start
+        # path: workers merge its shards once per store state and the
+        # campaign publishes its fresh verdicts back after aggregation.
+        # ``warm_cache`` (a previous CampaignResult's ``verdict_cache``) is
+        # the deprecated in-memory predecessor: it still works, but it ships
+        # every entry through job pickles — except when ``shared_cache`` is
+        # off: jobs must then stay a truly isolated baseline, so warm
+        # entries are only folded into the result.
+        if warm_cache is not None:
+            warnings.warn(
+                "VerificationCampaign(warm_cache=...) is deprecated; persist "
+                "verdicts across campaigns with a VerificationStore instead "
+                "(store=VerificationStore(store_dir), or the CLI --store-dir "
+                "flag): workers open the store's disk shards once per "
+                "process instead of re-importing pickled entries per job",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        self._store = store
+        self._cache_shards = cache_shards
+        self._publish_batch = publish_batch
         self._shared_cache = shared_cache
         self._warm_cache = dict(warm_cache or {})
         warm_entries = tuple(sorted(self._warm_cache.items()))
@@ -834,6 +937,7 @@ class VerificationCampaign:
             warm_cache_token=warm_token,
         )
         self._injections: List[Tuple[str, str]] = []
+        self._injection_facts: Dict[Tuple[str, str], PortFacts] = {}
         self._network: Optional[Network] = None
         self._registered_injections: Optional[List[Tuple[str, str]]] = None
         # ``validation`` hoists Network.validate() out of the campaign: a
@@ -847,7 +951,24 @@ class VerificationCampaign:
 
     # -- injection points ---------------------------------------------------------
 
-    def add_injection(self, element: str, port: str = "in0") -> "VerificationCampaign":
+    def add_injection(
+        self,
+        element: str,
+        port: str = "in0",
+        facts: Optional[PortFacts] = None,
+    ) -> "VerificationCampaign":
+        """Add one injection point.  ``facts`` narrows the fact channels the
+        port's job collects to a subset of the campaign's globals (the API
+        planner's per-port narrowing); omitted, the job collects the full
+        template."""
+        if facts is not None:
+            unknown = set(facts.queries) - set(self._job_template.queries)
+            if unknown:
+                raise ValueError(
+                    f"per-port facts ask for {sorted(unknown)} which the "
+                    f"campaign does not aggregate {self._job_template.queries}"
+                )
+            self._injection_facts[(element, port)] = facts
         self._injections.append((element, port))
         return self
 
@@ -895,10 +1016,32 @@ class VerificationCampaign:
     def jobs(self) -> List[CampaignJob]:
         if not self._injections:
             self.add_default_injections()
-        return [
-            replace(self._job_template, element=element, port=port)
-            for element, port in sorted(set(self._injections))
-        ]
+        template = self._job_template
+        if self._store is not None and self._shared_cache:
+            # Jobs reference the store by directory + content token; each
+            # worker process merges the disk shards locally, exactly once
+            # per store state (see execute_job).
+            template = replace(
+                template,
+                store_dir=self._store.directory,
+                store_token=self._store.content_token(),
+                store_shards=self._store.shard_count,
+            )
+        jobs = []
+        for element, port in sorted(set(self._injections)):
+            job = replace(template, element=element, port=port)
+            facts = self._injection_facts.get((element, port))
+            if facts is not None:
+                job = replace(
+                    job,
+                    queries=tuple(facts.queries),
+                    invariant_fields=tuple(facts.invariant_fields),
+                    visibility_fields=tuple(facts.visibility_fields),
+                    witness_fields=tuple(facts.witness_fields),
+                    record_examples=facts.record_examples,
+                )
+            jobs.append(job)
+        return jobs
 
     def run(self, workers: int = 1) -> CampaignResult:
         started = time.perf_counter()
@@ -918,16 +1061,23 @@ class VerificationCampaign:
                     # Process-shared verdict tier: workers publish full-solve
                     # verdicts as they land, so symmetric jobs on *different*
                     # workers stop re-solving each other's constraint sets.
+                    # The fingerprint space is prefix-sharded across
+                    # ``cache_shards`` Manager dicts and publishes are
+                    # batched per worker (repro.store.sharding), so misses
+                    # contend shard-wise instead of on one proxy lock.
                     # Manager failure only loses the shared tier, not the run.
                     import multiprocessing
 
                     try:
                         manager = multiprocessing.Manager()
-                        proxy = manager.dict()
+                        tier = ShardedTier(
+                            [manager.dict() for _ in range(self._cache_shards)],
+                            batch_size=self._publish_batch,
+                        )
                         if self._warm_cache:
-                            proxy.update(self._warm_cache)
+                            tier.seed(self._warm_cache)
                         pool_jobs = [
-                            replace(job, shared_cache=proxy) for job in jobs
+                            replace(job, shared_cache=tier) for job in jobs
                         ]
                     except (OSError, RuntimeError):
                         manager = None
@@ -958,4 +1108,27 @@ class VerificationCampaign:
         )
         if self._warm_cache:
             result.absorb_warm_entries(self._warm_cache)
+        if self._store is not None and self._shared_cache:
+            # Persist every fresh verdict this campaign derived.  A
+            # definite-vs-definite conflict with the store proves either
+            # unsound canonicalization or a corrupted segment that slipped
+            # past the integrity checks — but the finished result in hand
+            # was computed from live solves and is correct regardless, so
+            # the store's never-crash-a-campaign contract applies: warn
+            # loudly and skip the publish instead of discarding the run.
+            result.stats.store_entries_loaded = self._store.verdict_count()
+            try:
+                result.stats.store_entries_published = self._store.publish(
+                    result.verdict_cache
+                )
+            except CacheConflictError as exc:
+                warnings.warn(
+                    f"verdict store at {self._store.directory} conflicts "
+                    f"with this campaign's live solves ({exc}); nothing was "
+                    "published — the store is likely corrupted (inspect / "
+                    "compact it), or canonicalization is unsound",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                result.stats.store_entries_published = 0
         return result

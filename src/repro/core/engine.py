@@ -105,6 +105,9 @@ class SymbolicExecutor:
         cache_hits_before = stats.cache_hits
         cache_misses_before = stats.cache_misses
         shared_hits_before = stats.shared_cache_hits
+        shared_trips_before = stats.shared_round_trips
+        publish_batches_before = stats.shared_publish_batches
+        publish_entries_before = stats.shared_publish_entries
 
         result = ExecutionResult(injected_at=PortId(element, port))
         state = initial_state if initial_state is not None else ExecutionState(self.symbols)
@@ -143,6 +146,17 @@ class SymbolicExecutor:
             current, element_name, in_port = frontier.pop()
             self._step(current, element_name, in_port, frontier, result)
 
+        # Publish any verdicts still buffered in a batched shared tier
+        # *before* the stats deltas are read, so the run's own report sees
+        # its own flushes (and another worker never waits a whole extra job
+        # for them).  A broken proxy only loses the shared tier.
+        shared = self.incremental.shared
+        if shared is not None and hasattr(shared, "flush"):
+            try:
+                shared.flush()
+            except Exception:
+                self.incremental.shared = None
+
         result.elapsed_seconds = time.perf_counter() - start
         result.solver_calls = stats.calls - solver_calls_before
         result.solver_time_seconds = stats.time_seconds - solver_time_before
@@ -151,6 +165,15 @@ class SymbolicExecutor:
         result.solver_cache_misses = stats.cache_misses - cache_misses_before
         result.solver_shared_cache_hits = (
             stats.shared_cache_hits - shared_hits_before
+        )
+        result.solver_shared_round_trips = (
+            stats.shared_round_trips - shared_trips_before
+        )
+        result.solver_shared_publish_batches = (
+            stats.shared_publish_batches - publish_batches_before
+        )
+        result.solver_shared_publish_entries = (
+            stats.shared_publish_entries - publish_entries_before
         )
         return result
 

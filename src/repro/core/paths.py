@@ -99,6 +99,9 @@ class ExecutionResult:
     solver_cache_hits: int = 0
     solver_cache_misses: int = 0
     solver_shared_cache_hits: int = 0
+    solver_shared_round_trips: int = 0
+    solver_shared_publish_batches: int = 0
+    solver_shared_publish_entries: int = 0
     #: True when ``max_paths`` stopped exploration with frontier states
     #: still pending — the path list is a prefix, not the full set.
     truncated: bool = False

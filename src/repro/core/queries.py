@@ -367,9 +367,19 @@ class CampaignStats:
     solver_cache_misses: int = 0
     solver_shared_cache_hits: int = 0
     solver_cache_merged: int = 0
+    #: Sharded shared-tier traffic (repro.store.sharding): Manager proxy
+    #: round-trips and batched verdict publishes across every job.
+    solver_shared_round_trips: int = 0
+    solver_shared_publish_batches: int = 0
+    solver_shared_publish_entries: int = 0
     #: Distinct verdict-cache entries merged back into the campaign report
     #: (set by the aggregation, not absorbed per job).
     verdict_cache_entries: int = 0
+    #: Persistent-store traffic (set by the campaign driver, not absorbed
+    #: per job): verdicts available on disk at campaign start, and fresh
+    #: verdicts this campaign appended to the store.
+    store_entries_loaded: int = 0
+    store_entries_published: int = 0
     truncated_jobs: int = 0
     failed_jobs: int = 0
     wall_clock_seconds: float = 0.0
@@ -388,6 +398,9 @@ class CampaignStats:
         failed: bool,
         solver_shared_cache_hits: int = 0,
         solver_cache_merged: int = 0,
+        solver_shared_round_trips: int = 0,
+        solver_shared_publish_batches: int = 0,
+        solver_shared_publish_entries: int = 0,
     ) -> None:
         self.jobs += 1
         self.paths += paths
@@ -399,6 +412,9 @@ class CampaignStats:
         self.solver_cache_misses += solver_cache_misses
         self.solver_shared_cache_hits += solver_shared_cache_hits
         self.solver_cache_merged += solver_cache_merged
+        self.solver_shared_round_trips += solver_shared_round_trips
+        self.solver_shared_publish_batches += solver_shared_publish_batches
+        self.solver_shared_publish_entries += solver_shared_publish_entries
         if truncated:
             self.truncated_jobs += 1
         if failed:
@@ -431,6 +447,11 @@ class CampaignStats:
             "solver_cache_misses": self.solver_cache_misses,
             "solver_shared_cache_hits": self.solver_shared_cache_hits,
             "solver_cache_merged": self.solver_cache_merged,
+            "solver_shared_round_trips": self.solver_shared_round_trips,
+            "solver_shared_publish_batches": self.solver_shared_publish_batches,
+            "solver_shared_publish_entries": self.solver_shared_publish_entries,
+            "store_entries_loaded": self.store_entries_loaded,
+            "store_entries_published": self.store_entries_published,
             "cache_hit_rate": self.cache_hit_rate,
             "verdict_cache_entries": self.verdict_cache_entries,
             "truncated_jobs": self.truncated_jobs,

@@ -118,6 +118,19 @@ def _build_device(
         raise TopologyParseError(f"unknown device kind {kind!r} for {name!r}")
 
 
+def referenced_snapshot_files(topology_text: str) -> List[str]:
+    """The snapshot file names a topology description references, in
+    declaration order (duplicates removed).  Uses the parser's own device
+    grammar, so callers that fingerprint a snapshot directory (the plan
+    cache's model identity) can never drift from what the parser reads."""
+    seen: List[str] = []
+    for raw_line in topology_text.splitlines():
+        device = _DEVICE.match(raw_line.strip())
+        if device and device.group("file") not in seen:
+            seen.append(device.group("file"))
+    return seen
+
+
 def load_network_directory(directory: str) -> Network:
     """Load a network from a directory containing ``topology.txt`` plus the
     per-device snapshot files it references."""

@@ -278,6 +278,10 @@ class IncrementalSolver:
             else VerdictCache(max_entries=max_cache_entries)
         )
         self.shared = shared_cache
+        if shared_cache is not None and hasattr(shared_cache, "bind_stats"):
+            # A sharded tier (repro.store.sharding) reports its round-trip
+            # and batched-publish counters through this solver's stats.
+            shared_cache.bind_stats(self.base.stats)
         self.paranoid = paranoid
         # Exact-match memo: frozenset(conjuncts) -> fingerprint.  Repeated
         # checks of the *same* growing conjunct list (every feasibility

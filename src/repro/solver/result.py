@@ -30,6 +30,13 @@ class SolverStats:
     # a local cache from another job's results (``merged_entries``).
     shared_cache_hits: int = 0
     merged_entries: int = 0
+    # Sharded shared-tier instrumentation (repro.store.sharding): proxy
+    # round-trips to the Manager shards, and batched verdict publishes
+    # (``shared_publish_batches`` flushes carrying
+    # ``shared_publish_entries`` verdicts in total).
+    shared_round_trips: int = 0
+    shared_publish_batches: int = 0
+    shared_publish_entries: int = 0
 
     def record(self, verdict: str, elapsed: float, atoms: int, splits: int) -> None:
         self.calls += 1
@@ -58,6 +65,13 @@ class SolverStats:
     def record_merged_entries(self, count: int) -> None:
         self.merged_entries += count
 
+    def record_shared_round_trip(self) -> None:
+        self.shared_round_trips += 1
+
+    def record_shared_publish(self, entries: int) -> None:
+        self.shared_publish_batches += 1
+        self.shared_publish_entries += entries
+
     def merge(self, other: "SolverStats") -> None:
         self.calls += other.calls
         self.sat += other.sat
@@ -71,6 +85,9 @@ class SolverStats:
         self.cache_misses += other.cache_misses
         self.shared_cache_hits += other.shared_cache_hits
         self.merged_entries += other.merged_entries
+        self.shared_round_trips += other.shared_round_trips
+        self.shared_publish_batches += other.shared_publish_batches
+        self.shared_publish_entries += other.shared_publish_entries
 
 
 @dataclass

@@ -107,6 +107,11 @@ class VerdictCache:
         self.hits += 1
         return verdict
 
+    def peek(self, fingerprint: str) -> Optional[str]:
+        """Look up an entry without touching LRU order or hit/miss counters
+        (the store's load-time conflict probing must not skew statistics)."""
+        return self._entries.get(fingerprint)
+
     def put(
         self,
         fingerprint: str,

@@ -1,0 +1,42 @@
+"""Persistent sharded verification store.
+
+The :class:`VerificationStore` owns every piece of cross-process and
+cross-run verdict state:
+
+* a **sharded shared tier** (:class:`ShardedTier`) — the fingerprint space
+  prefix-partitioned across N ``multiprocessing.Manager`` dicts with
+  per-worker write buffers and batched publishes, replacing PR 3's single
+  Manager dict;
+* **disk persistence** — append-only, checksummed verdict segment files
+  per shard with atomic writes, quarantine-on-corruption loading and
+  compaction, so campaign warm starts open the store instead of pickling
+  entries into every job;
+* a **plan-result cache** — finished plan payloads keyed on
+  ``(NetworkModel fingerprint, Plan fingerprint)``, so a repeated identical
+  query batch never runs a campaign at all.
+
+The store inherits PR 3's invariant verbatim: any combination of
+{no store, cold store, warm store} × {1 shard, N shards} × {workers 1, N}
+changes *which tier answers* a satisfiability query, never the answer.
+"""
+
+from repro.store.segments import SegmentFormatError, read_segment, write_segment
+from repro.store.sharding import (
+    DEFAULT_PUBLISH_BATCH,
+    DEFAULT_SHARD_COUNT,
+    ShardedTier,
+    shard_index,
+)
+from repro.store.store import StoreError, VerificationStore
+
+__all__ = [
+    "DEFAULT_PUBLISH_BATCH",
+    "DEFAULT_SHARD_COUNT",
+    "SegmentFormatError",
+    "ShardedTier",
+    "StoreError",
+    "VerificationStore",
+    "read_segment",
+    "shard_index",
+    "write_segment",
+]

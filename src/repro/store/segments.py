@@ -1,0 +1,174 @@
+"""Append-only verdict segment files — the store's unit of disk I/O.
+
+A *segment* is one immutable file holding (fingerprint, verdict) pairs for
+one shard of the fingerprint space.  Publishing verdicts never rewrites an
+existing file: each publish writes a brand-new segment (to a temp file in
+the same directory, then an atomic ``os.replace``), so a crash mid-flush
+leaves either the complete new segment or nothing — never a torn file that
+a later load could half-trust.  Compaction folds a shard's segments into
+one and deletes the originals.
+
+Format (version 1, line-oriented JSON)::
+
+    {"magic": "symnet-verdict-segment", "version": 1, "shard": 3,
+     "entries": 2, "checksum": "<sha256 of the body bytes>"}
+    {"f": "<64 hex chars>", "v": "sat"}
+    {"f": "<64 hex chars>", "v": "unsat"}
+
+The header's checksum covers every byte after the header line, so any
+truncation, bit flip or splice inside the body is detected before a single
+entry is parsed.  :func:`read_segment` raises :class:`SegmentFormatError`
+on *any* inconsistency — the store quarantines such files rather than
+trusting them (see :mod:`repro.store.store`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+from typing import Dict, Mapping, Tuple
+
+SEGMENT_MAGIC = "symnet-verdict-segment"
+SEGMENT_VERSION = 1
+SEGMENT_SUFFIX = ".seg"
+
+_FINGERPRINT_RE = re.compile(r"^[0-9a-f]{64}$")
+_VERDICTS = ("sat", "unsat", "unknown")
+
+
+class SegmentFormatError(ValueError):
+    """A segment file failed an integrity check and must not be trusted."""
+
+
+def _checksum(body: bytes) -> str:
+    return hashlib.sha256(body).hexdigest()
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically: temp file in the same
+    directory, fsync, ``os.replace``.  A reader (or a crash) never sees a
+    partial file.  Shared by segment and store-metadata/plan writers."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(prefix=".tmp-", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def write_segment(path: str, shard: int, entries: Mapping[str, str]) -> int:
+    """Atomically write ``entries`` as a new segment file at ``path``.
+
+    The payload is assembled in memory, written to a temp file in the same
+    directory and moved into place with ``os.replace`` — a reader never sees
+    a partially written segment.  Returns the number of entries written.
+    """
+    body_lines = []
+    for fingerprint in sorted(entries):
+        verdict = entries[fingerprint]
+        if not _FINGERPRINT_RE.match(fingerprint):
+            raise ValueError(f"not a canonical fingerprint: {fingerprint!r}")
+        if verdict not in _VERDICTS:
+            raise ValueError(f"not a solver verdict: {verdict!r}")
+        body_lines.append(
+            json.dumps({"f": fingerprint, "v": verdict}, sort_keys=True)
+        )
+    body = ("".join(line + "\n" for line in body_lines)).encode("utf-8")
+    header = json.dumps(
+        {
+            "magic": SEGMENT_MAGIC,
+            "version": SEGMENT_VERSION,
+            "shard": shard,
+            "entries": len(body_lines),
+            "checksum": _checksum(body),
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    atomic_write_bytes(path, header + b"\n" + body)
+    return len(body_lines)
+
+
+def read_segment(path: str, expected_shard: int) -> Dict[str, str]:
+    """Read and fully validate one segment file.
+
+    Raises :class:`SegmentFormatError` on any *content* inconsistency: bad
+    header, wrong shard, checksum mismatch (truncation / bit flips),
+    malformed entry lines, non-canonical fingerprints, unknown verdicts,
+    or entry counts that disagree with the header.  Never returns partial
+    data.  An ``OSError`` (permissions hiccup, transient NFS failure)
+    propagates unchanged — failing to *read* a file proves nothing about
+    its content, so callers must not treat it as corruption.
+    """
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise SegmentFormatError("segment has no header line")
+    header_bytes, body = raw[:newline], raw[newline + 1:]
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SegmentFormatError(f"unparsable segment header: {exc}")
+    if not isinstance(header, dict) or header.get("magic") != SEGMENT_MAGIC:
+        raise SegmentFormatError("not a verdict segment (bad magic)")
+    if header.get("version") != SEGMENT_VERSION:
+        raise SegmentFormatError(
+            f"unsupported segment version {header.get('version')!r}"
+        )
+    if header.get("shard") != expected_shard:
+        raise SegmentFormatError(
+            f"segment belongs to shard {header.get('shard')!r}, "
+            f"found in shard {expected_shard}"
+        )
+    if _checksum(body) != header.get("checksum"):
+        raise SegmentFormatError(
+            "checksum mismatch (truncated or corrupted body)"
+        )
+    entries: Dict[str, str] = {}
+    for line_number, line in enumerate(body.splitlines(), start=1):
+        if not line.strip():
+            raise SegmentFormatError(f"blank entry line {line_number}")
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise SegmentFormatError(f"bad entry line {line_number}: {exc}")
+        if not isinstance(record, dict):
+            raise SegmentFormatError(f"entry line {line_number} is not an object")
+        fingerprint, verdict = record.get("f"), record.get("v")
+        if not isinstance(fingerprint, str) or not _FINGERPRINT_RE.match(fingerprint):
+            raise SegmentFormatError(
+                f"entry line {line_number}: not a canonical fingerprint"
+            )
+        if verdict not in _VERDICTS:
+            raise SegmentFormatError(
+                f"entry line {line_number}: not a solver verdict: {verdict!r}"
+            )
+        if entries.get(fingerprint, verdict) != verdict:
+            raise SegmentFormatError(
+                f"entry line {line_number}: fingerprint {fingerprint[:12]}… "
+                "appears twice with different verdicts"
+            )
+        entries[fingerprint] = record["v"]
+    if len(entries) != header.get("entries"):
+        raise SegmentFormatError(
+            f"header promises {header.get('entries')!r} entries, "
+            f"body holds {len(entries)}"
+        )
+    return entries
+
+
+def segment_stat(path: str) -> Tuple[str, int, int]:
+    """(name, size, mtime_ns) triple used for store content tokens."""
+    stat = os.stat(path)
+    return (os.path.basename(path), stat.st_size, stat.st_mtime_ns)

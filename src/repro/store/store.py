@@ -1,0 +1,457 @@
+"""The persistent verification store: verdict shards + plan-result cache.
+
+A :class:`VerificationStore` owns a directory of cross-run verification
+state::
+
+    <store-dir>/
+      STORE.json                 # {"format": 1, "shards": N}
+      shards/00/…/segment-*.seg  # append-only verdict segments (segments.py)
+      plans/<model-fp>/<plan-fp>.json   # finished plan results
+      quarantine/                # segments that failed integrity checks
+
+Two kinds of state live here:
+
+* **verdict shards** — canonical-fingerprint → verdict entries, the same
+  data a :class:`~repro.solver.verdict_cache.VerdictCache` holds in memory,
+  prefix-partitioned across ``shards`` directories.  Campaigns *load* the
+  store once per worker process (instead of pickling warm entries into
+  every job) and *publish* the fresh verdicts they derived as one new
+  segment per affected shard.
+* **plan results** — finished
+  :class:`~repro.api.planner.PlanResult` payloads keyed on
+  ``(NetworkModel fingerprint, Plan fingerprint)``, so a repeated identical
+  query batch is answered without running a single engine job.
+
+Trust model: disk contents are *evidence, never truth*.  Every segment is
+checksummed and fully validated before a single entry is used
+(:func:`repro.store.segments.read_segment`), loaded entries are folded in
+with the verdict cache's own conflict-refusing policy
+(:func:`~repro.solver.verdict_cache.resolve_verdict` /
+:meth:`~repro.solver.verdict_cache.VerdictCache.merge`), and a segment that
+fails either check is moved to ``quarantine/`` and ignored — the store
+degrades to a smaller cache, it never crashes a campaign and never serves
+data it cannot vouch for.  The soundness backstop is unchanged from PR 3:
+caching (including this store) changes *which tier answers*, never the
+answer, and the mutation suite in ``tests/test_store.py`` corrupts segments
+deliberately to prove it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.solver.verdict_cache import (
+    CacheConflictError,
+    VerdictCache,
+    resolve_verdict,
+)
+from repro.store.segments import (
+    SEGMENT_SUFFIX,
+    SegmentFormatError,
+    atomic_write_bytes,
+    read_segment,
+    segment_stat,
+    write_segment,
+)
+from repro.store.sharding import DEFAULT_SHARD_COUNT, shard_index
+
+STORE_FORMAT = 1
+_META_NAME = "STORE.json"
+
+
+class StoreError(RuntimeError):
+    """The store directory is unusable (bad metadata, wrong format)."""
+
+
+def _atomic_write_json(path: str, payload: Dict[str, object]) -> None:
+    data = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    atomic_write_bytes(path, data.encode("utf-8"))
+
+
+class VerificationStore:
+    """Disk-backed verdict shards plus a plan-result cache (module docs)."""
+
+    def __init__(self, directory: str, shards: int = DEFAULT_SHARD_COUNT) -> None:
+        if shards < 1:
+            raise ValueError("a store needs at least one shard")
+        self.directory = os.path.abspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        meta_path = os.path.join(self.directory, _META_NAME)
+        if os.path.exists(meta_path):
+            try:
+                with open(meta_path, "r", encoding="utf-8") as handle:
+                    meta = json.load(handle)
+            except (OSError, ValueError) as exc:
+                raise StoreError(f"unreadable store metadata {meta_path}: {exc}")
+            if meta.get("format") != STORE_FORMAT:
+                raise StoreError(
+                    f"store format {meta.get('format')!r} is not {STORE_FORMAT}"
+                )
+            # The shard layout is pinned at creation time; opening with a
+            # different count silently uses the on-disk layout (the caller's
+            # value is only a default for *new* stores).  The on-disk value
+            # is untrusted input like everything else in the directory:
+            # reject anything that is not a usable shard count here, not
+            # deep inside a campaign's end-of-run publish.
+            stored_shards = meta.get("shards", shards)
+            if (
+                not isinstance(stored_shards, int)
+                or isinstance(stored_shards, bool)
+                or stored_shards < 1
+            ):
+                raise StoreError(
+                    f"store metadata declares an unusable shard count "
+                    f"{stored_shards!r}"
+                )
+            self.shard_count = stored_shards
+        else:
+            self.shard_count = shards
+            _atomic_write_json(
+                meta_path, {"format": STORE_FORMAT, "shards": self.shard_count}
+            )
+        for index in range(self.shard_count):
+            os.makedirs(self._shard_dir(index), exist_ok=True)
+        os.makedirs(self._plan_dir(), exist_ok=True)
+        os.makedirs(self._quarantine_dir(), exist_ok=True)
+        self._verdicts: Optional[Dict[str, str]] = None
+        #: (segment path, reason) pairs quarantined by the last load.
+        self.quarantined: List[Tuple[str, str]] = []
+
+    # -- layout ----------------------------------------------------------------
+
+    def _shard_dir(self, index: int) -> str:
+        return os.path.join(self.directory, "shards", f"{index:02d}")
+
+    def _plan_dir(self) -> str:
+        return os.path.join(self.directory, "plans")
+
+    def _quarantine_dir(self) -> str:
+        return os.path.join(self.directory, "quarantine")
+
+    def _segments_of(self, index: int) -> List[str]:
+        shard_dir = self._shard_dir(index)
+        try:
+            names = sorted(
+                name
+                for name in os.listdir(shard_dir)
+                if name.endswith(SEGMENT_SUFFIX) and not name.startswith(".")
+            )
+        except OSError:
+            return []
+        return [os.path.join(shard_dir, name) for name in names]
+
+    def _segment_path(self, index: int) -> str:
+        """A fresh, collision-free segment name.  The counter keeps load
+        order deterministic (sorted by name ≈ publish order); the random
+        suffix keeps concurrent writers from clobbering each other."""
+        existing = self._segments_of(index)
+        counter = len(existing)
+        for path in existing:
+            name = os.path.basename(path)
+            try:
+                counter = max(counter, int(name.split("-")[1]) + 1)
+            except (IndexError, ValueError):
+                pass
+        name = f"segment-{counter:08d}-{uuid.uuid4().hex[:8]}{SEGMENT_SUFFIX}"
+        return os.path.join(self._shard_dir(index), name)
+
+    # -- integrity / quarantine ------------------------------------------------
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        self.quarantined.append((path, reason))
+        target = os.path.join(
+            self._quarantine_dir(),
+            f"{os.path.basename(path)}.{uuid.uuid4().hex[:8]}",
+        )
+        try:
+            os.replace(path, target)
+            _atomic_write_json(target + ".reason", {"segment": path, "reason": reason})
+        except OSError:
+            pass  # quarantine is best-effort; the segment is already ignored
+
+    # -- verdict shards ----------------------------------------------------------
+
+    def load(self, refresh: bool = False) -> Dict[str, str]:
+        """Every trustworthy verdict in the store, merged across shards.
+
+        Each segment is checksum-validated, then probed entry-by-entry
+        against everything already accepted under the verdict cache's one
+        combination policy (:func:`resolve_verdict`): a definite verdict may
+        supersede an "unknown", but a definite-vs-definite disagreement
+        convicts the *segment* — it is quarantined wholesale, never
+        half-trusted.  The surviving map is cached on the instance.
+        """
+        if self._verdicts is not None and not refresh:
+            return dict(self._verdicts)
+        self._verdicts = self._load_segments(
+            {
+                index: self._segments_of(index)
+                for index in range(self.shard_count)
+            }
+        )
+        return dict(self._verdicts)
+
+    def _load_segments(self, segment_lists: Dict[int, List[str]]) -> Dict[str, str]:
+        """Validate-and-merge exactly the listed segment files (quarantining
+        failures), returning the surviving verdict map."""
+        accepted = VerdictCache(max_entries=2**31)
+        for index in sorted(segment_lists):
+            for path in segment_lists[index]:
+                try:
+                    entries = read_segment(path, index)
+                except SegmentFormatError as exc:
+                    # Content-level failure: the file is provably bad.
+                    self._quarantine(path, str(exc))
+                    continue
+                except OSError:
+                    # Could not *read* the file (permissions hiccup,
+                    # transient I/O error): proves nothing about its
+                    # content — skip it for this load, never quarantine.
+                    continue
+                # Probe the whole segment against everything accepted so
+                # far, then commit: a conflicting segment is refused
+                # wholesale, never half-trusted.
+                staged = {}
+                conflict = None
+                for fingerprint in sorted(entries):
+                    action = resolve_verdict(
+                        accepted.peek(fingerprint), entries[fingerprint]
+                    )
+                    if action == "conflict":
+                        conflict = (
+                            f"fingerprint {fingerprint[:12]}… maps to "
+                            f"{accepted.peek(fingerprint)!r} elsewhere, "
+                            f"{entries[fingerprint]!r} here"
+                        )
+                        break
+                    if action == "replace":
+                        staged[fingerprint] = entries[fingerprint]
+                if conflict is not None:
+                    self._quarantine(path, conflict)
+                    continue
+                for fingerprint, verdict in staged.items():
+                    accepted.put(fingerprint, verdict, fresh=False)
+        return accepted.snapshot()
+
+    def verdict_count(self) -> int:
+        return len(self.load())
+
+    def content_token(self) -> str:
+        """Identity of the store's current segment set.  Campaign jobs carry
+        this token so each worker process merges the store into its verdict
+        cache exactly once per store state (the same idempotence scheme as
+        PR 3's warm-map tokens), and a later publish changes the token."""
+        stats = []
+        for index in range(self.shard_count):
+            for path in self._segments_of(index):
+                try:
+                    stats.append((index,) + segment_stat(path))
+                except OSError:
+                    continue
+        payload = repr((self.shard_count, sorted(stats)))
+        return "store:" + hashlib.sha256(payload.encode()).hexdigest()
+
+    def publish(self, entries: Mapping[str, str]) -> int:
+        """Persist every entry the store does not already hold, as one new
+        segment per affected shard (atomic tmp-file + rename each).  Returns
+        how many entries were written.  "unknown" verdicts are never
+        persisted: they are budget-dependent incompleteness, worthless on a
+        later run that might solve the set definitively."""
+        known = self.load()
+        fresh: List[Dict[str, str]] = [{} for _ in range(self.shard_count)]
+        added = 0
+        for fingerprint in sorted(entries):
+            verdict = entries[fingerprint]
+            if verdict == "unknown":
+                continue
+            action = resolve_verdict(known.get(fingerprint), verdict)
+            if action == "conflict":
+                raise CacheConflictError(
+                    f"publish conflicts with store on {fingerprint[:12]}…: "
+                    f"store has {known[fingerprint]!r}, incoming {verdict!r}"
+                )
+            if action == "replace":
+                fresh[shard_index(fingerprint, self.shard_count)][fingerprint] = verdict
+                added += 1
+        for index, batch in enumerate(fresh):
+            if batch:
+                write_segment(self._segment_path(index), index, batch)
+        if added:
+            self._verdicts = None  # next load() sees the new segments
+        return added
+
+    def compact(self) -> Dict[str, int]:
+        """Fold every shard's segments into one, dropping duplicates (and
+        quarantining anything untrustworthy on the way in).
+
+        Race-safe against concurrent publishers: the segment lists are
+        snapshotted once, the replacement is built from — and the deletions
+        limited to — exactly those files, so a segment published while the
+        compaction runs is neither folded in nor deleted; it simply
+        survives alongside the compacted one."""
+        listed = {
+            index: self._segments_of(index)
+            for index in range(self.shard_count)
+        }
+        merged = self._load_segments(listed)
+        segments_before = sum(len(paths) for paths in listed.values())
+        per_shard: List[Dict[str, str]] = [{} for _ in range(self.shard_count)]
+        for fingerprint, verdict in merged.items():
+            per_shard[shard_index(fingerprint, self.shard_count)][fingerprint] = verdict
+        for index, batch in enumerate(per_shard):
+            if batch:
+                write_segment(self._segment_path(index), index, batch)
+            # Quarantined files are already gone; a concurrently deleted
+            # segment (another compactor) is not this compaction's problem.
+            for path in listed[index]:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+        self._verdicts = None
+        return {
+            "entries": len(merged),
+            "segments_before": segments_before,
+            "segments_after": sum(
+                1 for i in range(self.shard_count) if per_shard[i]
+            ),
+        }
+
+    # -- plan-result cache -------------------------------------------------------
+
+    def _plan_path(self, model_fingerprint: str, plan_fingerprint: str) -> str:
+        return os.path.join(
+            self._plan_dir(), model_fingerprint, plan_fingerprint + ".json"
+        )
+
+    def get_plan(
+        self, model_fingerprint: str, plan_fingerprint: str
+    ) -> Optional[Dict[str, object]]:
+        """The stored payload of a finished plan, or None.  An unreadable or
+        structurally wrong file is treated as a miss (and removed) — same
+        distrust-and-degrade policy as the verdict shards."""
+        path = self._plan_path(model_fingerprint, plan_fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except OSError:
+            return None
+        except ValueError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("plan_fingerprint") != plan_fingerprint
+            or record.get("model_fingerprint") != model_fingerprint
+            or not isinstance(record.get("payload"), dict)
+        ):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        return record["payload"]
+
+    def put_plan(
+        self,
+        model_fingerprint: str,
+        plan_fingerprint: str,
+        payload: Mapping[str, object],
+    ) -> None:
+        path = self._plan_path(model_fingerprint, plan_fingerprint)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        _atomic_write_json(
+            path,
+            {
+                "model_fingerprint": model_fingerprint,
+                "plan_fingerprint": plan_fingerprint,
+                "payload": dict(payload),
+            },
+        )
+
+    def invalidate_plans(self, model_fingerprint: Optional[str] = None) -> int:
+        """Drop cached plan results — all of them, or one model's.  This is
+        the explicit invalidation path for network sources whose content the
+        model fingerprint cannot see change (workload builders edited in
+        place, regenerated snapshot directories restored with old mtimes)."""
+        removed = 0
+        plan_dir = self._plan_dir()
+        try:
+            model_dirs = sorted(os.listdir(plan_dir))
+        except OSError:
+            return 0
+        for name in model_dirs:
+            if model_fingerprint is not None and name != model_fingerprint:
+                continue
+            model_dir = os.path.join(plan_dir, name)
+            if not os.path.isdir(model_dir):
+                continue
+            for entry in sorted(os.listdir(model_dir)):
+                try:
+                    os.unlink(os.path.join(model_dir, entry))
+                    removed += 1
+                except OSError:
+                    pass
+            try:
+                os.rmdir(model_dir)
+            except OSError:
+                pass
+        return removed
+
+    def plan_count(self) -> int:
+        count = 0
+        plan_dir = self._plan_dir()
+        try:
+            names = os.listdir(plan_dir)
+        except OSError:
+            return 0
+        for name in names:
+            model_dir = os.path.join(plan_dir, name)
+            if os.path.isdir(model_dir):
+                count += sum(
+                    1 for entry in os.listdir(model_dir) if entry.endswith(".json")
+                )
+        return count
+
+    # -- inspection ---------------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-able summary for ``repro.cli store inspect``."""
+        verdicts = self.load(refresh=True)
+        per_shard = {}
+        for index in range(self.shard_count):
+            segments = self._segments_of(index)
+            per_shard[f"{index:02d}"] = {
+                "segments": len(segments),
+                "entries": sum(
+                    1
+                    for fingerprint in verdicts
+                    if shard_index(fingerprint, self.shard_count) == index
+                ),
+            }
+        try:
+            quarantine_files = [
+                name
+                for name in sorted(os.listdir(self._quarantine_dir()))
+                if not name.endswith(".reason")
+            ]
+        except OSError:
+            quarantine_files = []
+        return {
+            "directory": self.directory,
+            "format": STORE_FORMAT,
+            "shards": self.shard_count,
+            "verdicts": len(verdicts),
+            "segments": sum(cell["segments"] for cell in per_shard.values()),
+            "per_shard": per_shard,
+            "plans": self.plan_count(),
+            "quarantined": quarantine_files,
+            "content_token": self.content_token(),
+        }

@@ -318,6 +318,77 @@ class TestPlanner:
             result["bogus"]
 
 
+class TestPerPortNarrowing:
+    """The ROADMAP PR 4 follow-up: per-port fact requirements are the union
+    over the queries that *need that port*, not the whole batch."""
+
+    def _queries(self):
+        # Disjoint ports with disjoint fact needs: the loop query needs no
+        # witness sampling at a:in-entry, the witness query no loop
+        # aggregation at b:in-entry.
+        return [
+            Loop(("a", "in-entry")),
+            AdmittedValues("IpSrc", port=("b", "in-entry"), samples=2),
+        ]
+
+    def test_port_facts_are_per_query_unions(self):
+        model = NetworkModel.from_network(loop_network())
+        plan = compile_plan(model, self._queries())
+        facts = dict(plan.port_facts)
+        a_facts = facts[("a", "in-entry")]
+        b_facts = facts[("b", "in-entry")]
+        assert a_facts.queries == ("loops",)
+        assert a_facts.witness_fields == ()
+        assert b_facts.queries == ()
+        assert b_facts.witness_fields == (("IpSrc", 2),)
+        # The campaign-level union still aggregates everything.
+        assert plan.kinds == ("loops",)
+        assert plan.witness_fields == (("IpSrc", 2),)
+
+    def test_narrowing_reduces_fact_channels_with_identical_answers(self):
+        model = NetworkModel.from_network(loop_network())
+
+        clear_runtime_cache()
+        reset_execution_counters()
+        narrowed = execute_plan(compile_plan(model, self._queries()))
+        narrowed_channels = execution_counters()["fact_channels"]
+
+        clear_runtime_cache()
+        reset_execution_counters()
+        widened = execute_plan(
+            compile_plan(model, self._queries(), narrow_facts=False)
+        )
+        widened_channels = execution_counters()["fact_channels"]
+
+        assert narrowed_channels < widened_channels
+        assert [r.fingerprint for r in narrowed] == [
+            r.fingerprint for r in widened
+        ]
+        assert [r.holds for r in narrowed] == [r.holds for r in widened]
+
+    def test_default_scope_queries_union_over_every_default_port(self):
+        """Queries quantifying over the model's default ports need facts at
+        every one of them, so a whole-batch default-scope query keeps every
+        port's channels — narrowing only removes what no query reads."""
+        model = NetworkModel.from_workload("department", **DEPARTMENT_OPTIONS)
+        plan = compile_plan(model, [Loop(), Invariant("IpSrc")])
+        facts = dict(plan.port_facts)
+        assert set(facts) == set(model.injection_ports())
+        for port_facts in facts.values():
+            assert port_facts.queries == ("loops", "invariants")
+            assert port_facts.invariant_fields == ("IpSrc",)
+
+    def test_narrowed_batch_matches_dedicated_plans(self):
+        """Per-port narrowing must not change a single demuxed answer
+        relative to running each query as its own plan."""
+        model = NetworkModel.from_network(loop_network())
+        batch = execute_plan(compile_plan(model, self._queries()))
+        for query in self._queries():
+            clear_runtime_cache()
+            alone = execute_plan(compile_plan(model, [query]))
+            assert batch[query].fingerprint == alone[query].fingerprint
+
+
 # ---------------------------------------------------------------------------
 # Query semantics on small in-process networks
 # ---------------------------------------------------------------------------

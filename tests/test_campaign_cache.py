@@ -9,6 +9,11 @@ The claims under test, per the verdict-cache design (see README):
 * the merge path works end to end: jobs report their fresh verdict entries,
   the aggregation merges them into ``CampaignResult.verdict_cache``, and a
   later campaign warm-started from that map stops re-solving.
+
+The in-memory ``warm_cache=`` path is deprecated in favour of the
+persistent store (see ``tests/test_store_campaign.py``) but must keep
+working as a shim — these tests pin its behaviour, acknowledging the
+DeprecationWarning explicitly.
 """
 
 from typing import Optional
@@ -39,7 +44,14 @@ def _run(
     # Each run starts from a cold per-process runtime so the measured effect
     # comes from the verdict-cache plumbing, not leftover worker state.
     clear_runtime_cache()
-    campaign = VerificationCampaign(source, shared_cache=shared, warm_cache=warm)
+    if warm is not None:
+        # The in-memory warm-start path is a deprecated shim over the store.
+        with pytest.warns(DeprecationWarning, match="warm_cache"):
+            campaign = VerificationCampaign(
+                source, shared_cache=shared, warm_cache=warm
+            )
+    else:
+        campaign = VerificationCampaign(source, shared_cache=shared)
     return campaign.run(workers=workers)
 
 

@@ -342,3 +342,113 @@ class TestQueryCommand:
             ["query", str(network_dir), "reach(nonexistent:in0, sw)"]
         ) == 1
         assert "failed" in capsys.readouterr().err
+
+
+class TestStoreCommands:
+    def _query(self, network_dir, store_dir, capsys):
+        code = main(
+            ["query", str(network_dir), "loop()", "--store-dir", str(store_dir)]
+        )
+        captured = capsys.readouterr()
+        return code, captured
+
+    def test_two_phase_persistence_via_store_dir(
+        self, network_dir, tmp_path, capsys
+    ):
+        from repro.core.campaign import clear_runtime_cache
+
+        store_dir = tmp_path / "the-store"
+        clear_runtime_cache()
+        code, first = self._query(network_dir, store_dir, capsys)
+        assert code == 0
+        assert "plan-result cache" not in first.err
+        clear_runtime_cache()
+        code, second = self._query(network_dir, store_dir, capsys)
+        assert code == 0
+        assert "plan-result cache" in second.err
+        assert json.loads(first.out) == json.loads(second.out)
+
+    def test_store_inspect_compact_clear_plans(
+        self, network_dir, tmp_path, capsys
+    ):
+        store_dir = tmp_path / "the-store"
+        assert main(
+            ["campaign", str(network_dir), "--store-dir", str(store_dir)]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["store", "inspect", str(store_dir)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["verdicts"] >= 0
+        assert summary["shards"] == 8
+        assert summary["quarantined"] == []
+
+        assert main(["store", "compact", str(store_dir)]) == 0
+        assert "compacted" in capsys.readouterr().out
+
+        assert main(["store", "clear-plans", str(store_dir)]) == 0
+        assert "plan result" in capsys.readouterr().out
+
+    def test_store_inspect_rejects_missing_directory(self, tmp_path):
+        with pytest.raises(SystemExit, match="not a store directory"):
+            main(["store", "inspect", str(tmp_path / "nope")])
+
+    @pytest.mark.parametrize("command", ["query", "campaign"])
+    def test_cache_shards_validated_at_parse_time(
+        self, network_dir, command, capsys
+    ):
+        args = [command, str(network_dir), "--cache-shards", "0"]
+        if command == "query":
+            args.append("loop()")
+        with pytest.raises(SystemExit):
+            main(args)
+        assert "shard count must be >= 1" in capsys.readouterr().err
+
+    def test_unusable_store_fails_cleanly_on_query_and_campaign(
+        self, network_dir, tmp_path
+    ):
+        bad = tmp_path / "bad-store"
+        bad.mkdir()
+        (bad / "STORE.json").write_text('{"format": 99}')
+        with pytest.raises(SystemExit, match="unusable store"):
+            main(["query", str(network_dir), "loop()", "--store-dir", str(bad)])
+        with pytest.raises(SystemExit, match="unusable store"):
+            main(["campaign", str(network_dir), "--store-dir", str(bad)])
+
+    def test_store_commands_never_scaffold_foreign_directories(
+        self, network_dir
+    ):
+        """`store inspect` on a mistyped path (say, the snapshot directory
+        itself) must refuse — not silently create store metadata inside it."""
+        before = sorted(p.name for p in network_dir.iterdir())
+        with pytest.raises(SystemExit, match="no STORE.json"):
+            main(["store", "inspect", str(network_dir)])
+        with pytest.raises(SystemExit, match="no STORE.json"):
+            main(["store", "compact", str(network_dir)])
+        assert sorted(p.name for p in network_dir.iterdir()) == before
+
+    def test_campaign_store_json_counters(self, network_dir, tmp_path, capsys):
+        from repro.core.campaign import clear_runtime_cache
+
+        store_dir = tmp_path / "the-store"
+        report_path = tmp_path / "report.json"
+        clear_runtime_cache()
+        assert main(
+            [
+                "campaign", str(network_dir),
+                "--store-dir", str(store_dir),
+                "-o", str(report_path),
+            ]
+        ) == 0
+        clear_runtime_cache()
+        assert main(
+            [
+                "campaign", str(network_dir),
+                "--store-dir", str(store_dir),
+                "-o", str(report_path),
+            ]
+        ) == 0
+        stats = json.loads(report_path.read_text())["stats"]
+        assert stats["store_entries_loaded"] > 0
+        assert stats["store_entries_published"] == 0
+        assert stats["solver_cache_misses"] == 0

@@ -1,0 +1,518 @@
+"""Mutation/fuzz suite for the persistent store's disk layer.
+
+The claims under test, per the store's trust model (disk is evidence, never
+truth):
+
+* round-trip fidelity: what :meth:`VerificationStore.publish` writes,
+  :meth:`VerificationStore.load` returns — across shard counts, publish
+  batches, compaction and concurrent writers — with exact verdict parity
+  against an in-memory :class:`VerdictCache` fed the same entries;
+* **quarantine, not crash**: truncated segments, bit flips anywhere in a
+  file, re-keyed entries, foreign/garbage files and torn tmp files from a
+  crash mid-flush never raise out of ``load()`` — the poisoned segment is
+  moved to ``quarantine/`` and every *other* segment's entries survive;
+* conflicting segments (definite verdict vs definite verdict for one
+  fingerprint) are refused wholesale via the verdict cache's own
+  conflict-refusing policy, and a re-keyed entry that dodges every
+  structural check is still caught by ``VerdictCache.verify_entry``'s
+  re-solve — the same hook the PR 3 mutation tests exercise.
+
+Fuzz loops are seed-pinned via ``REPRO_CACHE_SEED`` (the cache suites'
+convention) so CI runs are reproducible.
+"""
+
+import hashlib
+import json
+import os
+import random
+import threading
+
+import pytest
+
+from repro.solver.ast import Const, Ge, Le, Var
+from repro.solver.canonical import canonical_fingerprint
+from repro.solver.verdict_cache import CacheCorruptionError, VerdictCache
+from repro.store import (
+    SegmentFormatError,
+    ShardedTier,
+    VerificationStore,
+    read_segment,
+    shard_index,
+    write_segment,
+)
+
+SEED = int(os.environ.get("REPRO_CACHE_SEED", "20260728"))
+
+
+def fake_fingerprint(rng: random.Random) -> str:
+    return hashlib.sha256(str(rng.random()).encode()).hexdigest()
+
+
+def random_entries(rng: random.Random, count: int) -> dict:
+    return {
+        fake_fingerprint(rng): rng.choice(("sat", "unsat"))
+        for _ in range(count)
+    }
+
+
+def all_segments(store: VerificationStore):
+    return [
+        path
+        for index in range(store.shard_count)
+        for path in store._segments_of(index)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Round-trip fidelity
+# ---------------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("shards", [1, 3, 8])
+    def test_publish_load_parity_with_in_memory_cache(self, tmp_path, shards):
+        rng = random.Random(SEED + shards)
+        store = VerificationStore(str(tmp_path), shards=shards)
+        reference = VerdictCache()
+        for round_number in range(5):
+            entries = random_entries(rng, rng.randint(1, 40))
+            reference.merge(entries)
+            store.publish(entries)
+        reopened = VerificationStore(str(tmp_path))
+        assert reopened.shard_count == shards
+        assert reopened.load() == reference.snapshot()
+        assert not reopened.quarantined
+
+    def test_publish_writes_only_the_diff(self, tmp_path):
+        rng = random.Random(SEED)
+        store = VerificationStore(str(tmp_path), shards=4)
+        entries = random_entries(rng, 30)
+        assert store.publish(entries) == 30
+        assert store.publish(entries) == 0  # idempotent, no new segments
+        more = random_entries(rng, 5)
+        assert store.publish({**entries, **more}) == 5
+
+    def test_unknown_verdicts_are_never_persisted(self, tmp_path):
+        rng = random.Random(SEED)
+        store = VerificationStore(str(tmp_path), shards=2)
+        fingerprint = fake_fingerprint(rng)
+        assert store.publish({fingerprint: "unknown"}) == 0
+        assert store.load() == {}
+
+    def test_content_token_tracks_publishes(self, tmp_path):
+        rng = random.Random(SEED)
+        store = VerificationStore(str(tmp_path), shards=2)
+        empty_token = store.content_token()
+        store.publish(random_entries(rng, 8))
+        cold_token = store.content_token()
+        assert cold_token != empty_token
+        assert VerificationStore(str(tmp_path)).content_token() == cold_token
+        store.publish(random_entries(rng, 1))
+        assert store.content_token() != cold_token
+
+    def test_compaction_preserves_every_verdict(self, tmp_path):
+        rng = random.Random(SEED)
+        store = VerificationStore(str(tmp_path), shards=4)
+        expected = {}
+        for _ in range(6):
+            entries = random_entries(rng, 20)
+            expected.update(entries)
+            store.publish(entries)
+        before = len(all_segments(store))
+        outcome = store.compact()
+        assert outcome["entries"] == len(expected)
+        assert outcome["segments_before"] == before
+        assert outcome["segments_after"] <= store.shard_count
+        assert VerificationStore(str(tmp_path)).load() == expected
+
+    def test_compaction_races_with_a_concurrent_publisher(self, tmp_path, monkeypatch):
+        """A segment published while a compaction runs (after the segment
+        snapshot, before the deletions) must survive: compact only deletes
+        the files it folded into the replacement."""
+        rng = random.Random(SEED)
+        store = VerificationStore(str(tmp_path), shards=2)
+        original_entries = random_entries(rng, 12)
+        store.publish(original_entries)
+        racing_entries = random_entries(rng, 4)
+        original_load = VerificationStore._load_segments
+        raced = []
+
+        def load_then_race(self, segment_lists):
+            merged = original_load(self, segment_lists)
+            if not raced:
+                # Another process publishes between the snapshot and the
+                # deletions (once — the publisher's own load must recurse
+                # into the real implementation unmolested).
+                raced.append(True)
+                VerificationStore(str(tmp_path)).publish(racing_entries)
+            return merged
+
+        monkeypatch.setattr(VerificationStore, "_load_segments", load_then_race)
+        store.compact()
+        monkeypatch.undo()
+        final = VerificationStore(str(tmp_path)).load()
+        assert final == {**original_entries, **racing_entries}
+
+    def test_shard_layout_is_pinned_at_creation(self, tmp_path):
+        VerificationStore(str(tmp_path), shards=3)
+        # Re-opening with a different count uses the on-disk layout.
+        assert VerificationStore(str(tmp_path), shards=8).shard_count == 3
+
+    @pytest.mark.parametrize("shards", [0, -4, "abc", None, True, 2.5])
+    def test_tampered_store_metadata_is_rejected_cleanly(self, tmp_path, shards):
+        """STORE.json is untrusted disk input: an unusable shard count must
+        fail as a clean StoreError at open time, never as an untyped crash
+        at the end of a finished campaign."""
+        from repro.store import StoreError
+
+        VerificationStore(str(tmp_path), shards=2)
+        meta_path = os.path.join(str(tmp_path), "STORE.json")
+        json.dump({"format": 1, "shards": shards}, open(meta_path, "w"))
+        with pytest.raises(StoreError, match="shard count"):
+            VerificationStore(str(tmp_path))
+
+    def test_concurrent_writers_lose_nothing(self, tmp_path):
+        """Writers in parallel threads (distinct store handles, same
+        directory — the multi-process publish shape) must never clobber or
+        corrupt each other: segment names are collision-free and every
+        write is tmp-file + atomic rename."""
+        rng = random.Random(SEED)
+        batches = [random_entries(rng, 25) for _ in range(8)]
+        errors = []
+
+        def publish(batch):
+            try:
+                VerificationStore(str(tmp_path), shards=4).publish(batch)
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=publish, args=(b,)) for b in batches]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        merged = {}
+        for batch in batches:
+            merged.update(batch)
+        final = VerificationStore(str(tmp_path))
+        assert final.load() == merged
+        assert not final.quarantined
+
+
+# ---------------------------------------------------------------------------
+# Segment-level integrity
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentFormat:
+    def test_segment_round_trip(self, tmp_path):
+        rng = random.Random(SEED)
+        entries = random_entries(rng, 10)
+        path = str(tmp_path / "segment-00000000-abcdef00.seg")
+        assert write_segment(path, 3, entries) == 10
+        assert read_segment(path, 3) == entries
+
+    def test_wrong_shard_is_rejected(self, tmp_path):
+        rng = random.Random(SEED)
+        path = str(tmp_path / "s.seg")
+        write_segment(path, 1, random_entries(rng, 3))
+        with pytest.raises(SegmentFormatError, match="shard"):
+            read_segment(path, 2)
+
+    def test_writer_validates_its_input(self, tmp_path):
+        path = str(tmp_path / "s.seg")
+        with pytest.raises(ValueError, match="fingerprint"):
+            write_segment(path, 0, {"not-hex": "sat"})
+        with pytest.raises(ValueError, match="verdict"):
+            write_segment(path, 0, {"ab" * 32: "maybe"})
+
+    @pytest.mark.parametrize("case", range(40))
+    def test_fuzzed_corruption_never_parses(self, tmp_path, case):
+        """Seed-pinned fuzz: truncate at a random offset, flip a random
+        byte, or splice random bytes — every mutation must raise
+        SegmentFormatError (never return entries, never crash harder)."""
+        rng = random.Random(SEED * 1000 + case)
+        path = str(tmp_path / "s.seg")
+        write_segment(path, 0, random_entries(rng, rng.randint(1, 12)))
+        raw = bytearray(open(path, "rb").read())
+        mutation = rng.choice(("truncate", "flip", "splice"))
+        if mutation == "truncate":
+            raw = raw[: rng.randrange(1, len(raw))]
+        elif mutation == "flip":
+            index = rng.randrange(len(raw))
+            raw[index] ^= 1 << rng.randrange(8)
+        else:
+            index = rng.randrange(len(raw))
+            raw[index:index] = bytes(
+                rng.randrange(256) for _ in range(rng.randint(1, 9))
+            )
+        open(path, "wb").write(bytes(raw))
+        with pytest.raises(SegmentFormatError):
+            read_segment(path, 0)
+
+
+# ---------------------------------------------------------------------------
+# Quarantine, not crash
+# ---------------------------------------------------------------------------
+
+
+def _corrupt(path: str, rng: random.Random) -> None:
+    raw = bytearray(open(path, "rb").read())
+    raw[rng.randrange(len(raw))] ^= 0xFF
+    open(path, "wb").write(bytes(raw))
+
+
+class TestQuarantine:
+    @pytest.mark.parametrize("case", range(15))
+    def test_one_bad_segment_never_poisons_the_rest(self, tmp_path, case):
+        rng = random.Random(SEED * 77 + case)
+        store = VerificationStore(str(tmp_path), shards=4)
+        batches = [random_entries(rng, rng.randint(3, 15)) for _ in range(4)]
+        for batch in batches:
+            store.publish(batch)
+        segments = all_segments(store)
+        victim = rng.choice(segments)
+        _corrupt(victim, rng)
+        survivor = VerificationStore(str(tmp_path))
+        loaded = survivor.load()
+        # Exactly the victim was quarantined; every entry of every other
+        # segment survived, none of the victim's entries were trusted.
+        assert [path for path, _ in survivor.quarantined] == [victim]
+        assert not os.path.exists(victim)
+        expected = {}
+        for batch in batches:
+            expected.update(batch)
+        victim_entries = set(expected) - set(loaded)
+        assert all(
+            loaded[fingerprint] == expected[fingerprint] for fingerprint in loaded
+        )
+        for fingerprint in victim_entries:
+            assert shard_index(fingerprint, 4) == shard_index(
+                next(iter(victim_entries)), 4
+            )
+        # A second load (and a compaction) of the survivor is clean.
+        assert VerificationStore(str(tmp_path)).load() == loaded
+        VerificationStore(str(tmp_path)).compact()
+
+    def test_truncated_segment_is_quarantined(self, tmp_path):
+        rng = random.Random(SEED)
+        store = VerificationStore(str(tmp_path), shards=1)
+        store.publish(random_entries(rng, 10))
+        (path,) = all_segments(store)
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[: len(raw) // 2])
+        survivor = VerificationStore(str(tmp_path))
+        assert survivor.load() == {}
+        assert survivor.quarantined and "checksum" in survivor.quarantined[0][1]
+
+    def test_crash_mid_flush_leaves_no_torn_segment(self, tmp_path):
+        """The atomic-write contract: a crash between tmp-file write and
+        rename leaves a dot-prefixed tmp file, which the loader must ignore
+        entirely (and the integrity of real segments is unaffected)."""
+        rng = random.Random(SEED)
+        store = VerificationStore(str(tmp_path), shards=2)
+        entries = random_entries(rng, 12)
+        store.publish(entries)
+        shard_dir = store._shard_dir(0)
+        torn = os.path.join(shard_dir, ".tmp-segment-crashed.seg")
+        with open(torn, "wb") as handle:
+            handle.write(b'{"magic": "symnet-verdict-segment", "ver')  # torn
+        survivor = VerificationStore(str(tmp_path))
+        assert survivor.load() == entries
+        assert not survivor.quarantined
+
+    def test_transient_read_error_skips_without_quarantine(
+        self, tmp_path, monkeypatch
+    ):
+        """Failing to *read* a segment (permissions hiccup, transient NFS
+        error) proves nothing about its content: the load must skip it —
+        not destroy a perfectly valid file by quarantining it."""
+        rng = random.Random(SEED)
+        store = VerificationStore(str(tmp_path), shards=1)
+        entries = random_entries(rng, 6)
+        store.publish(entries)
+        (victim,) = store._segments_of(0)
+
+        import repro.store.store as store_module
+
+        original = store_module.read_segment
+
+        def flaky_read(path, shard):
+            if path == victim:
+                raise OSError("transient I/O error")
+            return original(path, shard)
+
+        monkeypatch.setattr(store_module, "read_segment", flaky_read)
+        degraded = VerificationStore(str(tmp_path))
+        assert degraded.load() == {}
+        assert not degraded.quarantined
+        monkeypatch.undo()
+        assert os.path.exists(victim)  # the file survived ...
+        assert VerificationStore(str(tmp_path)).load() == entries  # ... intact
+
+    def test_garbage_file_is_quarantined_not_fatal(self, tmp_path):
+        rng = random.Random(SEED)
+        store = VerificationStore(str(tmp_path), shards=1)
+        entries = random_entries(rng, 5)
+        store.publish(entries)
+        rogue = os.path.join(store._shard_dir(0), "segment-99999999-rogue.seg")
+        open(rogue, "wb").write(b"\x00\x01\x02 not a segment at all")
+        survivor = VerificationStore(str(tmp_path))
+        assert survivor.load() == entries
+        assert [path for path, _ in survivor.quarantined] == [rogue]
+
+    def test_conflicting_segment_is_refused_wholesale(self, tmp_path):
+        """A segment that disagrees with an earlier one on a definite
+        verdict is quarantined in full — including its non-conflicting
+        entries, which can no longer be vouched for."""
+        rng = random.Random(SEED)
+        store = VerificationStore(str(tmp_path), shards=1)
+        entries = random_entries(rng, 6)
+        store.publish(entries)
+        victim = sorted(entries)[0]
+        flipped = {
+            victim: "unsat" if entries[victim] == "sat" else "sat",
+            fake_fingerprint(rng): "sat",  # innocent bystander, also refused
+        }
+        rogue = os.path.join(store._shard_dir(0), "segment-99999999-evil.seg")
+        write_segment(rogue, 0, flipped)
+        survivor = VerificationStore(str(tmp_path))
+        loaded = survivor.load()
+        assert loaded == entries
+        assert survivor.quarantined
+        assert "maps to" in survivor.quarantined[0][1]
+
+    def test_rekeyed_entry_is_caught_by_verify_entry(self, tmp_path):
+        """A re-keyed entry (verdict stored under the wrong fingerprint)
+        that passes every structural check is still caught by the verdict
+        cache's own re-solve hook when the conjuncts are in hand — the
+        store changes where entries live, not the PR 3 soundness net."""
+        x = Var("x", 16)
+        sat_set = [Ge(x, Const(10)), Le(x, Const(20))]  # satisfiable
+        unsat_set = [Ge(x, Const(30)), Le(x, Const(20))]  # empty domain
+        sat_fingerprint = canonical_fingerprint(sat_set)
+        unsat_fingerprint = canonical_fingerprint(unsat_set)
+        store = VerificationStore(str(tmp_path), shards=1)
+        # The attacker swaps the verdicts and rewrites the checksummed
+        # segment from scratch: structurally flawless, semantically wrong.
+        rogue = os.path.join(store._shard_dir(0), "segment-00000000-evil.seg")
+        write_segment(
+            rogue, 0, {sat_fingerprint: "unsat", unsat_fingerprint: "sat"}
+        )
+        loaded = VerificationStore(str(tmp_path)).load()
+        cache = VerdictCache()
+        cache.merge(loaded)
+        with pytest.raises(CacheCorruptionError, match="verdict mismatch"):
+            cache.verify_entry(sat_fingerprint, sat_set)
+
+
+# ---------------------------------------------------------------------------
+# Plan-result cache files
+# ---------------------------------------------------------------------------
+
+
+class TestPlanFiles:
+    def test_put_get_invalidate(self, tmp_path):
+        store = VerificationStore(str(tmp_path))
+        store.put_plan("model-a", "plan-1", {"queries": [1]})
+        store.put_plan("model-a", "plan-2", {"queries": [2]})
+        store.put_plan("model-b", "plan-1", {"queries": [3]})
+        assert store.plan_count() == 3
+        assert store.get_plan("model-a", "plan-2") == {"queries": [2]}
+        assert store.get_plan("model-a", "missing") is None
+        assert store.invalidate_plans("model-a") == 2
+        assert store.get_plan("model-a", "plan-1") is None
+        assert store.get_plan("model-b", "plan-1") == {"queries": [3]}
+        assert store.invalidate_plans() == 1
+        assert store.plan_count() == 0
+
+    def test_corrupt_plan_file_is_a_miss(self, tmp_path):
+        store = VerificationStore(str(tmp_path))
+        store.put_plan("model-a", "plan-1", {"queries": []})
+        path = store._plan_path("model-a", "plan-1")
+        open(path, "w").write("{ not json")
+        assert store.get_plan("model-a", "plan-1") is None
+        assert not os.path.exists(path)  # removed, not retried forever
+
+    def test_mismatched_plan_record_is_a_miss(self, tmp_path):
+        store = VerificationStore(str(tmp_path))
+        store.put_plan("model-a", "plan-1", {"queries": []})
+        path = store._plan_path("model-a", "plan-1")
+        record = json.load(open(path))
+        record["plan_fingerprint"] = "tampered"
+        json.dump(record, open(path, "w"))
+        assert store.get_plan("model-a", "plan-1") is None
+
+
+# ---------------------------------------------------------------------------
+# The sharded tier client
+# ---------------------------------------------------------------------------
+
+
+class TestShardedTier:
+    def test_shard_index_is_stable_and_in_range(self):
+        rng = random.Random(SEED)
+        for _ in range(200):
+            fingerprint = fake_fingerprint(rng)
+            for shards in (1, 2, 8, 13):
+                index = shard_index(fingerprint, shards)
+                assert 0 <= index < shards
+                assert index == shard_index(fingerprint, shards)
+
+    def test_shard_index_covers_large_shard_counts(self):
+        """The prefix must be wide enough that shard counts beyond 256
+        are actually used (a 2-hex-digit prefix would cap at 256)."""
+        rng = random.Random(SEED)
+        for shards in (300, 512):
+            seen = {
+                shard_index(fake_fingerprint(rng), shards) for _ in range(4000)
+            }
+            assert max(seen) >= 256
+            # Uniformity, loosely: a large majority of shards get traffic.
+            assert len(seen) > shards * 0.9
+
+    def test_batched_publish_and_flush(self):
+        rng = random.Random(SEED)
+        tier = ShardedTier([{} for _ in range(4)], batch_size=5)
+        entries = random_entries(rng, 23)
+        for fingerprint, verdict in entries.items():
+            tier[fingerprint] = verdict
+        tier.flush()
+        assert tier.pending() == 0
+        assert len(tier) == len(entries)
+        assert tier.published_entries == len(entries)
+        # Batching means far fewer update round-trips than entries.
+        assert tier.publish_batches < len(entries)
+        for fingerprint, verdict in entries.items():
+            assert tier.get(fingerprint) == verdict
+
+    def test_batch_size_one_publishes_immediately(self):
+        tier = ShardedTier([{}], batch_size=1)
+        tier["ab" * 32] = "sat"
+        assert tier.pending() == 0
+        assert tier.publish_batches == 1
+
+    def test_pickling_ships_shards_not_buffers(self):
+        import pickle
+
+        tier = ShardedTier([{} for _ in range(2)], batch_size=7)
+        tier["ab" * 32] = "sat"  # buffered, below batch size
+        clone = pickle.loads(pickle.dumps(tier))
+        assert clone.batch_size == 7
+        assert clone.pending() == 0
+        assert clone.round_trips == 0
+
+    def test_counters_flow_into_bound_solver_stats(self):
+        from repro.solver.result import SolverStats
+
+        stats = SolverStats()
+        tier = ShardedTier([{} for _ in range(2)], batch_size=2)
+        tier.bind_stats(stats)
+        tier["ab" * 32] = "sat"
+        tier["cd" * 32] = "unsat"
+        tier.flush()
+        tier.get("ef" * 32)
+        assert stats.shared_publish_entries == 2
+        assert stats.shared_publish_batches >= 1
+        assert stats.shared_round_trips >= 2
