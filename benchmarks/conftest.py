@@ -37,6 +37,13 @@ BENCH_STORE_JSON_PATH = os.environ.get(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_store.json"),
 )
 
+#: Machine-readable records for the job-symmetry benchmark: engine runs,
+#: wall time and paths for symmetry off vs on.
+BENCH_SYMMETRY_JSON_PATH = os.environ.get(
+    "SYMNET_BENCH_SYMMETRY_JSON",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_symmetry.json"),
+)
+
 
 def scaled(small, full):
     """Pick a workload size depending on the requested scale."""
@@ -68,6 +75,8 @@ def campaign_record(label: str, result) -> dict:
         "solver_shared_publish_entries": stats.solver_shared_publish_entries,
         "store_entries_loaded": stats.store_entries_loaded,
         "store_entries_published": stats.store_entries_published,
+        "symmetry_classes": stats.symmetry_classes,
+        "jobs_skipped_by_symmetry": stats.jobs_skipped_by_symmetry,
     }
 
 
@@ -119,6 +128,16 @@ def bench_store_json():
     yield records
     if records:
         _merge_bench_records(BENCH_STORE_JSON_PATH, records)
+
+
+@pytest.fixture(scope="session")
+def bench_symmetry_json():
+    """Collect symmetry-reduction benchmark records and merge them into
+    ``BENCH_symmetry.json`` at the end of the session."""
+    records = []
+    yield records
+    if records:
+        _merge_bench_records(BENCH_SYMMETRY_JSON_PATH, records)
 
 
 @pytest.fixture(scope="session")

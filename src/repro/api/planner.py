@@ -66,6 +66,13 @@ class Plan:
     strategy: str = "dfs"
     use_incremental_solver: bool = True
     shared_cache: bool = True
+    #: Job-level symmetry reduction (repro.network.view): the campaign
+    #: executes one engine job per renaming-equivalence class of the plan's
+    #: injections and instantiates the rest, so ``execution_counters()``
+    #: count class representatives, not ports.  Deliberately *excluded* from
+    #: the plan fingerprint: symmetry changes which tier answers, never the
+    #: answer, so symmetric and direct runs share one plan-cache identity.
+    symmetry: bool = True
 
     @property
     def job_count(self) -> int:
@@ -118,6 +125,7 @@ class Plan:
                 for port, facts in self.port_facts
             },
             "jobs": self.job_count,
+            "symmetry": self.symmetry,
             "fingerprint": self.fingerprint(),
         }
 
@@ -134,6 +142,7 @@ def compile_plan(
     use_incremental_solver: bool = True,
     shared_cache: bool = True,
     narrow_facts: bool = True,
+    symmetry: bool = True,
 ) -> Plan:
     """Compile a batch of queries into the minimal shared job set.
 
@@ -218,6 +227,7 @@ def compile_plan(
         strategy=strategy,
         use_incremental_solver=use_incremental_solver,
         shared_cache=shared_cache,
+        symmetry=symmetry,
     )
 
 
@@ -458,6 +468,7 @@ def execute_plan(
         strategy=plan.strategy,
         use_incremental_solver=plan.use_incremental_solver,
         shared_cache=plan.shared_cache,
+        symmetry=plan.symmetry,
         warm_cache=warm_cache,
         store=store,
         validation=plan.model.validate(),

@@ -235,6 +235,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--shared-cache", action=argparse.BooleanOptionalAction, default=True,
         help="share the canonical verdict cache across the plan's jobs",
     )
+    query.add_argument(
+        "--symmetry", action=argparse.BooleanOptionalAction, default=True,
+        help="execute one engine job per renaming-equivalence class of the "
+        "plan's injection ports and instantiate the rest (default: enabled; "
+        "answers are bit-identical either way)",
+    )
     _add_store_options(query)
     query.add_argument(
         "--output", "-o", default=None, help="write the JSON report to a file"
@@ -300,6 +306,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "persistent cache, plus a sharded process-shared tier when "
         "--workers > 1); --no-shared-cache isolates every job "
         "(default: enabled)",
+    )
+    camp.add_argument(
+        "--symmetry", action=argparse.BooleanOptionalAction, default=True,
+        help="execute one engine job per renaming-equivalence class of "
+        "injection ports and instantiate the remaining reports via the "
+        "recorded renaming (default: enabled; answers are bit-identical "
+        "either way)",
+    )
+    camp.add_argument(
+        "--symmetry-audit", action="store_true",
+        help="additionally re-execute one random non-representative job per "
+        "symmetry class and fail unless its directly computed report is "
+        "bit-identical to the instantiated one (soundness self-check)",
+    )
+    camp.add_argument(
+        "--symmetry-audit-seed", type=int, default=0, metavar="N",
+        help="seed for the audit's member choice (default: 0)",
     )
     _add_store_options(camp)
     camp.add_argument(
@@ -448,6 +471,9 @@ def _command_campaign(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         use_incremental_solver=not args.no_incremental,
         shared_cache=args.shared_cache,
+        symmetry=args.symmetry,
+        symmetry_audit=args.symmetry_audit,
+        symmetry_audit_seed=args.symmetry_audit_seed,
         store=_open_store(args),
     )
     if args.cache_shards:
@@ -521,6 +547,7 @@ def _command_query(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         use_incremental_solver=not args.no_incremental,
         shared_cache=args.shared_cache,
+        symmetry=args.symmetry,
     )
     if result.from_cache:
         print(

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import random
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -44,6 +45,13 @@ from repro.core.queries import (
 from repro.core.checks import admitted_values, field_invariant, header_visible
 from repro.models import host as host_models
 from repro.network.topology import Network
+from repro.network.view import (
+    CampaignSymmetryView,
+    SymmetryUnsupported,
+    build_renaming,
+    collect_constants,
+    config_digest,
+)
 from repro.sefl.fields import standard_fields
 from repro.solver.solver import Solver
 from repro.solver.verdict_cache import (
@@ -352,6 +360,13 @@ class JobReport:
     #: (fingerprint, verdict) pairs this job added to its worker's verdict
     #: cache — merged into the campaign-level cache by the aggregation.
     verdict_cache_entries: Tuple[Tuple[str, str], ...] = ()
+    #: Symmetry-class identity (a canonical-form fingerprint prefix), set on
+    #: both class representatives and instantiated members when the campaign
+    #: ran with symmetry reduction.
+    symmetry_class: str = ""
+    #: For instantiated reports: the ``element:port`` of the representative
+    #: job whose engine run this report was derived from.
+    symmetry_instantiated_from: str = ""
 
     @property
     def source_key(self) -> str:
@@ -385,6 +400,11 @@ class JobReport:
         if self.delivered_examples:
             payload["delivered_examples"] = {
                 d: list(trace) for d, trace in sorted(self.delivered_examples.items())
+            }
+        if self.symmetry_class:
+            payload["symmetry"] = {
+                "class": self.symmetry_class,
+                "instantiated_from": self.symmetry_instantiated_from or None,
             }
         payload.update({
             "truncated": self.truncated,
@@ -674,6 +694,10 @@ def execute_job(job: CampaignJob) -> JobReport:
                         "trace": list(path.ports_visited),
                     }
                 )
+            # Canonical order, not discovery order: loop findings must be
+            # comparable across symmetric jobs whose Fork children enumerate
+            # in different (renamed) orders.
+            report.loops.sort(key=_loop_sort_key)
         if QUERY_INVARIANTS in job.queries:
             for path in result.paths:
                 if path.status == PathStatus.DELIVERED:
@@ -694,6 +718,186 @@ def execute_job(job: CampaignJob) -> JobReport:
     except Exception as exc:
         report.error = f"{type(exc).__name__}: {exc}"
     return report
+
+
+# ---------------------------------------------------------------------------
+# Job-level symmetry reduction
+# ---------------------------------------------------------------------------
+#
+# Many campaign jobs are literal renamings of each other (the 16 stanford
+# zones).  The campaign encodes each job's (network, injection port, config)
+# as an entity graph (repro.network.view), partitions jobs into equivalence
+# classes by canonical fingerprint, executes one representative per class and
+# *instantiates* the member reports by applying the recorded bijection to
+# every picklable artifact.  The standing invariant applies: symmetry on/off
+# changes which tier answers, never the answer — anything the renaming
+# machinery cannot prove falls back to direct execution, and
+# ``symmetry_audit`` re-executes one random member per class to assert the
+# instantiated report is bit-identical to a direct run.
+
+
+class SymmetryAuditError(RuntimeError):
+    """An instantiated report differs from direct execution — the symmetry
+    encoding is unsound for this network and must be fixed, not tolerated."""
+
+
+def _loop_sort_key(loop: Mapping[str, object]) -> Tuple:
+    return (
+        str(loop.get("detected_at", "")),
+        str(loop.get("reason", "")),
+        tuple(str(port) for port in loop.get("trace", ())),
+    )
+
+
+def _job_config_digest(job: CampaignJob) -> str:
+    """Digest of everything behaviour-relevant in a job except its injection
+    point: jobs may only share a symmetry class when their packet, fact
+    channels and execution budgets agree exactly.  Cache/store wiring is
+    deliberately absent — it changes which tier answers, never the answer."""
+    return config_digest(
+        (
+            job.packet,
+            job.field_values,
+            job.queries,
+            job.invariant_fields,
+            job.visibility_fields,
+            job.witness_fields,
+            job.record_examples,
+            job.max_hops,
+            job.max_paths,
+            job.strategy,
+            job.use_incremental_solver,
+        )
+    )
+
+
+def _map_keys(mapping: Mapping[str, object], renaming, map_value) -> Dict:
+    mapped: Dict[str, object] = {}
+    for key, value in mapping.items():
+        new_key = renaming.map_text(str(key))
+        if new_key in mapped:
+            raise SymmetryUnsupported(f"renaming collides on key {new_key!r}")
+        mapped[new_key] = map_value(value)
+    return mapped
+
+
+def _instantiate_report(
+    rep: JobReport, member: CampaignJob, renaming, class_id: str
+) -> JobReport:
+    """A member's JobReport, derived from its class representative's run by
+    renaming every port/element/message string.  Solver and timing counters
+    are zeroed: no engine work happened for this job, and the aggregated
+    stats must say so."""
+    report = JobReport(
+        element=member.element,
+        port=member.port,
+        packet=rep.packet,
+        symmetry_class=class_id,
+        symmetry_instantiated_from=rep.source_key,
+    )
+    report.status_counts = dict(rep.status_counts)
+    report.truncated = rep.truncated
+    report.delivered_to = _map_keys(rep.delivered_to, renaming, lambda v: v)
+    report.loops = sorted(
+        (
+            {
+                "detected_at": renaming.map_text(str(loop.get("detected_at", ""))),
+                "reason": renaming.map_text(str(loop.get("reason", ""))),
+                "trace": [
+                    renaming.map_text(str(port)) for port in loop.get("trace", ())
+                ],
+            }
+            for loop in rep.loops
+        ),
+        key=_loop_sort_key,
+    )
+    report.drop_reasons = _map_keys(
+        rep.drop_reasons, renaming, lambda v: v
+    )
+    # Invariant/visibility *field names* are part of the job config (equal
+    # across the class); only destination ports need renaming.
+    report.invariants = {
+        name: dict(cell) for name, cell in rep.invariants.items()
+    }
+    report.visibility = {
+        name: _map_keys(row, renaming, dict)
+        for name, row in rep.visibility.items()
+    }
+    report.witnesses = {
+        name: _map_keys(row, renaming, list)
+        for name, row in rep.witnesses.items()
+    }
+    report.delivered_examples = _map_keys(
+        rep.delivered_examples,
+        renaming,
+        lambda trace: [renaming.map_text(str(port)) for port in trace],
+    )
+    return report
+
+
+def semantic_projection(report: JobReport) -> Dict[str, object]:
+    """The tier-independent content of a job report: what the answer *is*,
+    stripped of who computed it (pids, timings, solver counters, cache
+    entries, symmetry annotations).  Two reports with equal projections are
+    interchangeable for every query aggregation — the equality
+    ``--symmetry-audit`` and the fuzz suite assert."""
+    return {
+        "element": report.element,
+        "port": report.port,
+        "packet": report.packet,
+        "status_counts": dict(sorted(report.status_counts.items())),
+        "delivered_to": dict(sorted(report.delivered_to.items())),
+        "loops": sorted(
+            (
+                str(loop.get("detected_at", "")),
+                str(loop.get("reason", "")),
+                tuple(str(port) for port in loop.get("trace", ())),
+            )
+            for loop in report.loops
+        ),
+        "drop_reasons": dict(sorted(report.drop_reasons.items())),
+        "invariants": {
+            name: dict(sorted(cell.items()))
+            for name, cell in sorted(report.invariants.items())
+        },
+        "visibility": {
+            name: {
+                destination: dict(sorted(cell.items()))
+                for destination, cell in sorted(row.items())
+            }
+            for name, row in sorted(report.visibility.items())
+        },
+        "witnesses": {
+            name: {
+                destination: list(values)
+                for destination, values in sorted(row.items())
+            }
+            for name, row in sorted(report.witnesses.items())
+        },
+        "delivered_examples": {
+            destination: list(trace)
+            for destination, trace in sorted(report.delivered_examples.items())
+        },
+        "truncated": report.truncated,
+        "error": report.error,
+    }
+
+
+@dataclass
+class _SymmetryPlan:
+    """One campaign's job partition: which jobs execute, which instantiate."""
+
+    view: CampaignSymmetryView
+    #: (element, port) -> canonical form, for every job that encoded.
+    forms: Dict[Tuple[str, str], object]
+    #: (representative job, member jobs, class fingerprint) per class with
+    #: at least one member to skip.
+    classes: List[Tuple[CampaignJob, List[CampaignJob], str]]
+    #: Distinct equivalence classes over the whole job set (non-encodable
+    #: jobs count as singletons) — what engine runs drop to.
+    class_count: int
+    #: Injection keys whose jobs are NOT executed (instantiated instead).
+    member_keys: Dict[Tuple[str, str], Tuple[str, str]]
 
 
 # ---------------------------------------------------------------------------
@@ -877,6 +1081,9 @@ class VerificationCampaign:
         cache_shards: int = DEFAULT_SHARD_COUNT,
         publish_batch: int = DEFAULT_PUBLISH_BATCH,
         validation: Optional[Sequence[str]] = None,
+        symmetry: bool = True,
+        symmetry_audit: bool = False,
+        symmetry_audit_seed: int = 0,
     ) -> None:
         if isinstance(source, Network):
             source = NetworkSource.from_network(source)
@@ -912,6 +1119,15 @@ class VerificationCampaign:
         self._cache_shards = cache_shards
         self._publish_batch = publish_batch
         self._shared_cache = shared_cache
+        # Job-level symmetry reduction: execute one engine job per
+        # equivalence class of (network, injection port, config) up to
+        # renaming, instantiate the rest.  ``symmetry_audit`` re-executes
+        # one random member per class (seeded, so CI runs are pinned) and
+        # raises SymmetryAuditError unless the instantiated report is
+        # bit-identical to the direct run.
+        self._symmetry = symmetry
+        self._symmetry_audit = symmetry_audit
+        self._symmetry_audit_seed = symmetry_audit_seed
         self._warm_cache = dict(warm_cache or {})
         warm_entries = tuple(sorted(self._warm_cache.items()))
         warm_token = ""
@@ -1043,20 +1259,151 @@ class VerificationCampaign:
             jobs.append(job)
         return jobs
 
+    # -- symmetry ------------------------------------------------------------------
+
+    def _symmetry_partition(
+        self, jobs: List[CampaignJob]
+    ) -> Optional[_SymmetryPlan]:
+        """Partition the job set into renaming-equivalence classes, or
+        ``None`` when symmetry is off / cannot help / cannot be proven.
+
+        Jobs that record discovery-order-sensitive artifacts (example
+        traces, capped witness samples) never merge: a renamed zone
+        enumerates its Fork children in a different order, so "the first
+        delivered path" is not renaming-stable.  Order-independent artifacts
+        (counts, loop sets, invariant verdicts, visibility tallies) are."""
+        if not self._symmetry or len(jobs) < 2:
+            return None
+        eligible = [
+            job
+            for job in jobs
+            if not job.record_examples and not job.witness_fields
+        ]
+        if len(eligible) < 2:
+            return None
+        try:
+            network = self.network()
+            pinned: set = set()
+            per_program: Dict[Tuple, set] = {}
+            for job in eligible:
+                key = (job.packet, job.field_values)
+                if key not in per_program:
+                    per_program[key] = collect_constants(_packet_program(job))
+                pinned.update(per_program[key])
+            view = CampaignSymmetryView(network, pinned)
+        except SymmetryUnsupported:
+            return None
+        except (ValueError, KeyError):
+            return None  # unknown template etc.: execute_job will report it
+        forms: Dict[Tuple[str, str], object] = {}
+        grouped: Dict[str, List[CampaignJob]] = {}
+        for job in eligible:
+            try:
+                form = view.job_form(
+                    job.element, job.port, _job_config_digest(job)
+                )
+            except SymmetryUnsupported:
+                continue
+            forms[(job.element, job.port)] = form
+            grouped.setdefault(form.fingerprint, []).append(job)
+        classes = []
+        for fingerprint in sorted(grouped):
+            members = grouped[fingerprint]  # already in (element, port) order
+            if len(members) > 1:
+                classes.append((members[0], members[1:], fingerprint))
+        if not classes:
+            return None
+        member_keys = {
+            (member.element, member.port): (rep.element, rep.port)
+            for rep, members, _ in classes
+            for member in members
+        }
+        return _SymmetryPlan(
+            view=view,
+            forms=forms,
+            classes=classes,
+            class_count=len(grouped) + (len(jobs) - len(forms)),
+            member_keys=member_keys,
+        )
+
+    def _instantiate_members(
+        self, plan: _SymmetryPlan, reports: List[JobReport]
+    ) -> Tuple[List[JobReport], int]:
+        """Derive every skipped member's report from its class
+        representative.  Representatives that errored or truncated — and
+        members whose renaming cannot be built — fall back to direct
+        execution: symmetry must never degrade an answer."""
+        by_key = {(report.element, report.port): report for report in reports}
+        rng = random.Random(self._symmetry_audit_seed)
+        out = list(reports)
+        skipped = 0
+        for rep_job, members, fingerprint in plan.classes:
+            class_id = fingerprint[:16]
+            rep_report = by_key.get((rep_job.element, rep_job.port))
+            if (
+                rep_report is None
+                or rep_report.error is not None
+                or rep_report.truncated
+            ):
+                out.extend(execute_job(member) for member in members)
+                continue
+            rep_report.symmetry_class = class_id
+            rep_form = plan.forms[(rep_job.element, rep_job.port)]
+            audit_index = (
+                rng.randrange(len(members)) if self._symmetry_audit else -1
+            )
+            for index, member in enumerate(members):
+                member_form = plan.forms[(member.element, member.port)]
+                try:
+                    renaming = build_renaming(plan.view, rep_form, member_form)
+                    instantiated = _instantiate_report(
+                        rep_report, member, renaming, class_id
+                    )
+                except SymmetryUnsupported:
+                    out.append(execute_job(member))
+                    continue
+                skipped += 1
+                if index == audit_index:
+                    direct = execute_job(member)
+                    if semantic_projection(direct) != semantic_projection(
+                        instantiated
+                    ):
+                        raise SymmetryAuditError(
+                            f"symmetry audit failed for "
+                            f"{member.element}:{member.port} (class "
+                            f"{class_id}, representative "
+                            f"{rep_job.element}:{rep_job.port}): the "
+                            "instantiated report differs from direct "
+                            "execution — the symmetry encoding is unsound "
+                            "for this network"
+                        )
+                out.append(instantiated)
+        return out, skipped
+
     def run(self, workers: int = 1) -> CampaignResult:
         started = time.perf_counter()
         validation_problems = self.validate()
         jobs = self.jobs()
+        plan = self._symmetry_partition(jobs)
+        exec_jobs = (
+            jobs
+            if plan is None
+            else [
+                job
+                for job in jobs
+                if (job.element, job.port) not in plan.member_keys
+            ]
+        )
         reports: Optional[List[JobReport]] = None
         mode = "in-process"
         if (
             workers > 1
             and self.source.picklable
-            and len(jobs) >= self.MIN_JOBS_FOR_POOL
+            and len(exec_jobs) >= self.MIN_JOBS_FOR_POOL
         ):
             manager = None
             try:
-                pool_jobs = jobs
+                pool_jobs = exec_jobs
                 if self._shared_cache:
                     # Process-shared verdict tier: workers publish full-solve
                     # verdicts as they land, so symmetric jobs on *different*
@@ -1077,12 +1424,12 @@ class VerificationCampaign:
                         if self._warm_cache:
                             tier.seed(self._warm_cache)
                         pool_jobs = [
-                            replace(job, shared_cache=tier) for job in jobs
+                            replace(job, shared_cache=tier) for job in exec_jobs
                         ]
                     except (OSError, RuntimeError):
                         manager = None
                 with ProcessPoolExecutor(
-                    max_workers=min(workers, len(jobs))
+                    max_workers=min(workers, len(exec_jobs))
                 ) as pool:
                     reports = list(pool.map(execute_job, pool_jobs))
                 mode = "process-pool"
@@ -1096,7 +1443,10 @@ class VerificationCampaign:
         if reports is None:
             # self.network() above already seeded the runtime cache, so the
             # sequential path executes against this campaign's own build.
-            reports = [execute_job(job) for job in jobs]
+            reports = [execute_job(job) for job in exec_jobs]
+        jobs_skipped = 0
+        if plan is not None:
+            reports, jobs_skipped = self._instantiate_members(plan, reports)
         result = CampaignResult.aggregate(
             self.source.describe(),
             self._job_template.queries,
@@ -1106,6 +1456,10 @@ class VerificationCampaign:
             workers=workers,
             wall_clock_seconds=time.perf_counter() - started,
         )
+        result.stats.symmetry_classes = (
+            plan.class_count if plan is not None else 0
+        )
+        result.stats.jobs_skipped_by_symmetry = jobs_skipped
         if self._warm_cache:
             result.absorb_warm_entries(self._warm_cache)
         if self._store is not None and self._shared_cache:

@@ -380,6 +380,12 @@ class CampaignStats:
     #: verdicts this campaign appended to the store.
     store_entries_loaded: int = 0
     store_entries_published: int = 0
+    #: Job-level symmetry reduction (set by the campaign driver): how many
+    #: renaming-equivalence classes the job set partitioned into (0 when
+    #: symmetry is off or could not be applied), and how many jobs were
+    #: instantiated from a class representative instead of executed.
+    symmetry_classes: int = 0
+    jobs_skipped_by_symmetry: int = 0
     truncated_jobs: int = 0
     failed_jobs: int = 0
     wall_clock_seconds: float = 0.0
@@ -452,6 +458,8 @@ class CampaignStats:
             "solver_shared_publish_entries": self.solver_shared_publish_entries,
             "store_entries_loaded": self.store_entries_loaded,
             "store_entries_published": self.store_entries_published,
+            "symmetry_classes": self.symmetry_classes,
+            "jobs_skipped_by_symmetry": self.jobs_skipped_by_symmetry,
             "cache_hit_rate": self.cache_hit_rate,
             "verdict_cache_entries": self.verdict_cache_entries,
             "truncated_jobs": self.truncated_jobs,

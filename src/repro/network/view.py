@@ -1,0 +1,785 @@
+"""A stable structural view of campaign jobs for symmetry detection.
+
+A campaign running one engine job per injection port re-executes isomorphic
+work whenever the network has renamed copies of the same structure (the 16
+Stanford zones).  This module encodes a ``(network, injection port, job
+config)`` triple as an entity graph — elements, directional ports, constant
+*cells* and string literals related by kind/link/program atoms — and
+canonicalizes it with :func:`repro.solver.canonical.canonical_entity_form`.
+Jobs with equal canonical fingerprints are isomorphic up to
+element/port/constant renaming, and the index-aligned entity orders of the
+two forms *are* the bijection, which :class:`SymmetryRenaming` turns into a
+report-rewriting function.
+
+Constants are abstracted the same way the solver's linear atom normal form
+abstracts variable names: every single-variable comparison/membership atom
+is reduced to its *solution region*, the union of all region boundaries
+partitions the value axis into cells, and cells with identical coverage
+(the same set of program sites constraining them, the same pinned config
+values, the same width-domain membership) collapse into one *cell group*
+entity.  Programs then reference cell groups instead of raw numbers, so two
+zones whose address blocks are renamings of each other encode identically
+even when interval-merging gave their FIB constraints different arities.
+Satisfiability of any boolean combination of the program's atoms is
+determined by which groups exist and which sites cover them — never by how
+many raw values a group happens to contain — so equal encodings imply equal
+engine behaviour modulo the recorded renaming.
+
+Anything the encoder cannot soundly abstract (multi-variable arithmetic
+offsets, opaque ``For`` bodies, unknown-width variables) is encoded
+*literally*: it can only split classes, never merge them wrongly.  Raising
+:class:`SymmetryUnsupported` makes the campaign fall back to executing
+every job directly — symmetry is an optimisation, never a semantics change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sefl import instructions as si
+from repro.sefl.expressions import (
+    And,
+    Condition,
+    ConstantValue,
+    Eq,
+    Expression,
+    Ge,
+    Gt,
+    Le,
+    Lt,
+    Minus,
+    Ne,
+    Not,
+    OneOf,
+    Or,
+    Plus,
+    Reference,
+    SymbolicValue,
+)
+from repro.sefl.fields import HeaderField, TagOffset
+from repro.network.element import NetworkElement
+from repro.solver.canonical import Ent, EntityCanonicalForm, USet, canonical_entity_form
+
+#: Exclusive top of the value axis used for cell construction; safely above
+#: any header-field domain (widths are <= 48 bits in practice).
+_DOMAIN_TOP = 2 ** 64
+
+_CMP_OPS = {Eq: "eq", Ne: "ne", Lt: "lt", Le: "le", Gt: "gt", Ge: "ge"}
+_FLIP = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le", "eq": "eq", "ne": "ne"}
+
+
+class SymmetryUnsupported(RuntimeError):
+    """The network contains a construct the symmetry encoder cannot soundly
+    abstract; the campaign must execute every job directly."""
+
+
+# ---------------------------------------------------------------------------
+# Expression / variable helpers
+# ---------------------------------------------------------------------------
+
+
+def _linear_form(expr) -> Optional[Tuple[Optional[object], int]]:
+    """``expr`` as ``(variable_or_None, offset)`` when it is a constant or a
+    single variable plus a constant offset; ``None`` otherwise (symbolic
+    values, multi-variable sums — the caller encodes those literally)."""
+    if isinstance(expr, bool):
+        return None
+    if isinstance(expr, int):
+        return (None, expr)
+    if isinstance(expr, ConstantValue):
+        return (None, expr.value)
+    if isinstance(expr, Reference):
+        return (expr.variable, 0)
+    if isinstance(expr, (str, TagOffset)):
+        return (expr, 0)
+    if isinstance(expr, Plus):
+        left = _linear_form(expr.left)
+        right = _linear_form(expr.right)
+        if left is None or right is None:
+            return None
+        (lv, lo), (rv, ro) = left, right
+        if lv is not None and rv is not None:
+            return None
+        return (lv if lv is not None else rv, lo + ro)
+    if isinstance(expr, Minus):
+        left = _linear_form(expr.left)
+        right = _linear_form(expr.right)
+        if left is None or right is None:
+            return None
+        (lv, lo), (rv, ro) = left, right
+        if rv is not None:
+            return None  # -variable is not a renaming-stable shape
+        return (lv, lo - ro)
+    return None
+
+
+def _var_width(variable) -> Optional[int]:
+    """Bit width of a variable's value domain, ``None`` when unknown (the
+    encoder then falls back to literal encoding for atoms over it)."""
+    if isinstance(variable, HeaderField):
+        return variable.width
+    if isinstance(variable, str):
+        return 64  # metadata values: effectively unbounded
+    return None
+
+
+def _clamp_region(
+    intervals: Iterable[Tuple[int, int]]
+) -> Tuple[Tuple[int, int], ...]:
+    clamped = []
+    for lo, hi in intervals:
+        lo = max(lo, 0)
+        hi = min(hi, _DOMAIN_TOP - 1)
+        if lo <= hi:
+            clamped.append((lo, hi))
+    return tuple(clamped)
+
+
+def _cmp_region(op: str, bound: int) -> Tuple[Tuple[int, int], ...]:
+    """Solution region of ``var OP bound`` within ``[0, _DOMAIN_TOP)``."""
+    if op == "eq":
+        return _clamp_region([(bound, bound)])
+    if op == "ne":
+        return _clamp_region([(0, bound - 1), (bound + 1, _DOMAIN_TOP - 1)])
+    if op == "lt":
+        return _clamp_region([(0, bound - 1)])
+    if op == "le":
+        return _clamp_region([(0, bound)])
+    if op == "gt":
+        return _clamp_region([(bound + 1, _DOMAIN_TOP - 1)])
+    if op == "ge":
+        return _clamp_region([(bound, _DOMAIN_TOP - 1)])
+    raise SymmetryUnsupported(f"unknown comparison op {op!r}")
+
+
+def collect_constants(instruction) -> set:
+    """Every integer constant a SEFL program can write or test — campaigns
+    pin these so a symmetry renaming can never move a value the job's own
+    configuration refers to (a ``--field IpDst=...`` override must not be
+    paired with a different zone's address block)."""
+    found: set = set()
+    _collect_constants(instruction, found)
+    return found
+
+
+def _collect_constants(node, found: set) -> None:
+    if isinstance(node, bool):
+        return
+    if isinstance(node, int):
+        found.add(node)
+        return
+    if isinstance(node, ConstantValue):
+        found.add(node.value)
+        return
+    if isinstance(node, OneOf):
+        for interval in node.values.intervals:
+            found.add(interval.lo)
+            found.add(interval.hi)
+        _collect_constants(node.expression, found)
+        return
+    if isinstance(node, si.InstructionBlock):
+        for child in node.instructions:
+            _collect_constants(child, found)
+        return
+    if isinstance(node, si.If):
+        _collect_constants(node.condition, found)
+        _collect_constants(node.then_branch, found)
+        _collect_constants(node.else_branch, found)
+        return
+    if isinstance(node, si.Assign):
+        _collect_constants(node.expression, found)
+        return
+    if isinstance(node, si.Constrain):
+        _collect_constants(node.condition, found)
+        return
+    if isinstance(node, si.CreateTag):
+        _collect_constants(node.value, found)
+        return
+    if isinstance(node, (Plus, Minus)):
+        _collect_constants(node.left, found)
+        _collect_constants(node.right, found)
+        return
+    if isinstance(node, (Eq, Ne, Lt, Le, Gt, Ge)):
+        _collect_constants(node.left, found)
+        _collect_constants(node.right, found)
+        return
+    if isinstance(node, (And, Or)):
+        for operand in node.operands:
+            _collect_constants(operand, found)
+        return
+    if isinstance(node, Not):
+        _collect_constants(node.operand, found)
+        return
+    # Allocate sizes, references, symbolic values, tags: no value constants.
+
+
+class _RegionRef:
+    """Placeholder for a coverage site inside a proto-atom; resolved to a
+    USet of cell-group entities once the global cell partition is known."""
+
+    __slots__ = ("site",)
+
+    def __init__(self, site: int) -> None:
+        self.site = site
+
+
+# ---------------------------------------------------------------------------
+# The view
+# ---------------------------------------------------------------------------
+
+
+class CampaignSymmetryView:
+    """Entity-graph encoding of one network (plus campaign-wide pinned
+    values), shared by all of a campaign's jobs.
+
+    ``pinned_values`` are integers the job configuration itself references
+    (packet templates, ``--field`` overrides): their cells are marked with
+    the literal value so no renaming can move them — a job whose answer
+    depends on a concrete configured address can only merge with a job whose
+    structure treats that exact address identically.
+    """
+
+    def __init__(self, network, pinned_values: Iterable[int] = ()) -> None:
+        self.network = network
+        self._sites: List[Tuple[int, Tuple[Tuple[int, int], ...]]] = []
+        self._widths: List[int] = []
+        self._pinned = {int(v) for v in pinned_values if int(v) >= 0}
+        self._strings: Dict[str, None] = {}
+        self._proto_atoms: List = []
+        self._encode_network()
+        self._atoms, self._group_count = self._resolve_cells()
+        self._base_colors, self._fallback_keys = self._entity_tables()
+        self._form_cache: Dict[Tuple, EntityCanonicalForm] = {}
+
+    # -- encoding ------------------------------------------------------------
+
+    def _register_site(
+        self, width: int, region: Tuple[Tuple[int, int], ...]
+    ) -> _RegionRef:
+        self._sites.append((width, region))
+        if width not in self._widths:
+            self._widths.append(width)
+        return _RegionRef(len(self._sites) - 1)
+
+    def _string(self, text: str):
+        self._strings.setdefault(text, None)
+        return Ent(("str", text))
+
+    def _port_token(self, element: str, direction: str, port: str) -> Tuple:
+        return ("port", element, direction, port)
+
+    def _var_literal(self, variable) -> Tuple:
+        if isinstance(variable, HeaderField):
+            return ("field", variable.tag, variable.offset, variable.width, variable.name)
+        if isinstance(variable, TagOffset):
+            return ("addr", variable.tag, variable.offset)
+        if isinstance(variable, int):
+            return ("abs", variable)
+        if isinstance(variable, str):
+            return ("meta", self._string(variable))
+        raise SymmetryUnsupported(f"unsupported variable {variable!r}")
+
+    def _expr_literal(self, expr):
+        if isinstance(expr, bool):
+            raise SymmetryUnsupported(f"boolean in expression position: {expr!r}")
+        if isinstance(expr, int):
+            return ("k", expr)
+        if isinstance(expr, ConstantValue):
+            return ("k", expr.value)
+        if isinstance(expr, Reference):
+            return ("ref", self._var_literal(expr.variable))
+        if isinstance(expr, (str, TagOffset)):
+            return ("ref", self._var_literal(expr))
+        if isinstance(expr, SymbolicValue):
+            return ("sym", expr.label, expr.width)
+        if isinstance(expr, Plus):
+            return ("plus", self._expr_literal(expr.left), self._expr_literal(expr.right))
+        if isinstance(expr, Minus):
+            return ("minus", self._expr_literal(expr.left), self._expr_literal(expr.right))
+        raise SymmetryUnsupported(f"unsupported expression {expr!r}")
+
+    def _encode_condition(self, condition):
+        if isinstance(condition, si.Constrain):
+            # ``If(Constrain(var, cond), ..)`` spelling: unwrap.
+            extra = (
+                None
+                if condition.variable is None
+                else self._var_literal(condition.variable)
+            )
+            return ("cwrap", self._encode_condition(condition.condition), extra)
+        if isinstance(condition, tuple(_CMP_OPS)):
+            op = _CMP_OPS[type(condition)]
+            left = _linear_form(condition.left)
+            right = _linear_form(condition.right)
+            if left is not None and right is not None:
+                (lv, lo), (rv, ro) = left, right
+                if lv is None and rv is None:
+                    return ("cmpkk", op, lo, ro)
+                if (lv is None) != (rv is None):
+                    if lv is not None:
+                        variable, bound = lv, ro - lo
+                        oriented = op
+                    else:
+                        variable, bound = rv, lo - ro
+                        oriented = _FLIP[op]
+                    width = _var_width(variable)
+                    if width is not None:
+                        ref = self._register_site(width, _cmp_region(oriented, bound))
+                        return ("cmp1", self._var_literal(variable), ref)
+            # Multi-variable / symbolic / unknown-width: literal (splits only).
+            return (
+                "cmpL",
+                op,
+                self._expr_literal(condition.left),
+                self._expr_literal(condition.right),
+            )
+        if isinstance(condition, OneOf):
+            linear = _linear_form(condition.expression)
+            if linear is not None and linear[0] is not None:
+                variable, offset = linear
+                width = _var_width(variable)
+                if width is not None:
+                    region = _clamp_region(
+                        (interval.lo - offset, interval.hi - offset)
+                        for interval in condition.values.intervals
+                    )
+                    ref = self._register_site(width, region)
+                    return ("member", self._var_literal(variable), ref)
+            values = tuple(
+                (interval.lo, interval.hi) for interval in condition.values.intervals
+            )
+            return ("memberL", self._expr_literal(condition.expression), values)
+        if isinstance(condition, (And, Or)):
+            tag = "and" if isinstance(condition, And) else "or"
+            return (tag, tuple(self._encode_condition(op) for op in condition.operands))
+        if isinstance(condition, Not):
+            return ("not", self._encode_condition(condition.operand))
+        raise SymmetryUnsupported(f"unsupported condition {condition!r}")
+
+    def _encode_instruction(self, instruction, element: NetworkElement):
+        if isinstance(instruction, si.NoOp):
+            return ("noop",)
+        if isinstance(instruction, si.InstructionBlock):
+            return (
+                "block",
+                tuple(
+                    self._encode_instruction(child, element)
+                    for child in instruction.instructions
+                ),
+            )
+        if isinstance(instruction, si.Forward):
+            name = element.resolve_output_port(instruction.port)
+            if element.has_output_port(name):
+                return ("fwd", Ent(self._port_token(element.name, "out", name)))
+            return ("fwd!", name)
+        if isinstance(instruction, si.Fork):
+            targets = []
+            stray = []
+            for port in instruction.ports:
+                name = element.resolve_output_port(port)
+                if element.has_output_port(name):
+                    targets.append(Ent(self._port_token(element.name, "out", name)))
+                else:
+                    stray.append(name)
+            # Fork semantics are order-independent for everything the
+            # campaign aggregates (sorted loops, counted statuses), so the
+            # children form an unordered collection — declaration-order
+            # differences between renamed zones must not split classes.
+            return ("fork", USet(targets), tuple(sorted(stray)))
+        if isinstance(instruction, si.Fail):
+            return ("fail", self._string(instruction.message))
+        if isinstance(instruction, si.Constrain):
+            extra = (
+                None
+                if instruction.variable is None
+                else self._var_literal(instruction.variable)
+            )
+            return ("constrain", self._encode_condition(instruction.condition), extra)
+        if isinstance(instruction, si.If):
+            return (
+                "if",
+                self._encode_condition(instruction.condition),
+                self._encode_instruction(instruction.then_branch, element),
+                self._encode_instruction(instruction.else_branch, element),
+            )
+        if isinstance(instruction, si.Allocate):
+            return (
+                "alloc",
+                self._var_literal(instruction.variable),
+                instruction.size,
+                instruction.visibility,
+            )
+        if isinstance(instruction, si.Deallocate):
+            return ("dealloc", self._var_literal(instruction.variable))
+        if isinstance(instruction, si.Assign):
+            return (
+                "assign",
+                self._var_literal(instruction.variable),
+                self._encode_assigned(instruction.expression, instruction.variable),
+            )
+        if isinstance(instruction, si.CreateTag):
+            return ("ctag", instruction.name, instruction.value)
+        if isinstance(instruction, si.DestroyTag):
+            return ("dtag", instruction.name)
+        if isinstance(instruction, si.For):
+            # Opaque closure: pin the element to itself by name.  Same-name
+            # pairing is the identity, so same-network jobs still merge.
+            return ("opaque-for", element.name)
+        raise SymmetryUnsupported(f"unsupported instruction {instruction!r}")
+
+    def _encode_assigned(self, expr, variable):
+        """The value written by an Assign.  A pure constant becomes a
+        coverage site over the *assigned* variable's axis (the written value
+        participates in later membership tests exactly like a FIB constant);
+        anything else is literal."""
+        linear = _linear_form(expr)
+        if linear is not None and linear[0] is None:
+            width = _var_width(variable) or 64
+            return ("valS", self._register_site(width, _clamp_region([(linear[1], linear[1])])))
+        return ("valL", self._expr_literal(expr))
+
+    def _encode_network(self) -> None:
+        network = self.network
+        for element in network:
+            elem_ent = Ent(("elem", element.name))
+            self._proto_atoms.append(("element", elem_ent, element.kind))
+            for port in element.input_ports:
+                token = self._port_token(element.name, "in", port)
+                self._proto_atoms.append(("port", Ent(token), "in", elem_ent))
+                self._proto_atoms.append(
+                    (
+                        "program",
+                        Ent(token),
+                        "in",
+                        self._encode_instruction(element.input_program(port), element),
+                    )
+                )
+            for port in element.output_ports:
+                token = self._port_token(element.name, "out", port)
+                self._proto_atoms.append(("port", Ent(token), "out", elem_ent))
+                self._proto_atoms.append(
+                    (
+                        "program",
+                        Ent(token),
+                        "out",
+                        self._encode_instruction(element.output_program(port), element),
+                    )
+                )
+        for link in network.links:
+            src, dst = link.source, link.destination
+            src_ok = network.has_element(src.element) and network.element(
+                src.element
+            ).has_output_port(src.port)
+            dst_ok = network.has_element(dst.element) and network.element(
+                dst.element
+            ).has_input_port(dst.port)
+            self._proto_atoms.append(
+                (
+                    "link",
+                    Ent(self._port_token(src.element, "out", src.port))
+                    if src_ok
+                    else ("dangling", src.element, src.port),
+                    Ent(self._port_token(dst.element, "in", dst.port))
+                    if dst_ok
+                    else ("dangling", dst.element, dst.port),
+                )
+            )
+
+    # -- cells ----------------------------------------------------------------
+
+    def _resolve_cells(self) -> Tuple[List, int]:
+        """Partition the value axis into cells, group cells by coverage, and
+        replace every :class:`_RegionRef` with a USet of cell-group
+        entities."""
+        from bisect import bisect_left
+
+        boundaries = {0, _DOMAIN_TOP}
+        for _, region in self._sites:
+            for lo, hi in region:
+                boundaries.add(lo)
+                boundaries.add(hi + 1)
+        for value in self._pinned:
+            if value < _DOMAIN_TOP:
+                boundaries.add(value)
+                boundaries.add(value + 1)
+        bounds = sorted(b for b in boundaries if 0 <= b <= _DOMAIN_TOP)
+        cells = [(bounds[i], bounds[i + 1] - 1) for i in range(len(bounds) - 1)]
+
+        masks = [0] * len(cells)
+        for bit, (_, region) in enumerate(self._sites):
+            flag = 1 << bit
+            for lo, hi in region:
+                start = bisect_left(bounds, lo)
+                stop = bisect_left(bounds, hi + 1)
+                for index in range(start, stop):
+                    masks[index] |= flag
+
+        widths = sorted(self._widths)
+        group_ids: Dict[Tuple, int] = {}
+        site_groups: List[List[int]] = [[] for _ in self._sites]
+        group_atoms: List = []
+        for index, (lo, hi) in enumerate(cells):
+            mask = masks[index]
+            pin = lo if (lo == hi and lo in self._pinned) else None
+            if mask == 0 and pin is None:
+                continue
+            covered_widths = tuple(w for w in widths if hi < (1 << w))
+            key = (mask, pin, covered_widths)
+            if key not in group_ids:
+                gid = len(group_ids)
+                group_ids[key] = gid
+                group_atoms.append(("cells", Ent(("cells", gid)), pin, covered_widths))
+                bit = 0
+                remaining = mask
+                while remaining:
+                    if remaining & 1:
+                        site_groups[bit].append(gid)
+                    remaining >>= 1
+                    bit += 1
+
+        def resolve(node):
+            if isinstance(node, _RegionRef):
+                return USet(
+                    Ent(("cells", gid)) for gid in site_groups[node.site]
+                )
+            if isinstance(node, Ent) or not isinstance(node, tuple):
+                return node
+            return tuple(resolve(item) for item in node)
+
+        atoms = [resolve(atom) for atom in self._proto_atoms]
+        atoms.extend(group_atoms)
+        return atoms, len(group_ids)
+
+    # -- canonical forms -------------------------------------------------------
+
+    def _entity_tables(self) -> Tuple[Dict, Dict]:
+        base_colors: Dict = {}
+        fallback_keys: Dict = {}
+        for element in self.network:
+            token = ("elem", element.name)
+            base_colors[token] = ("E", element.kind)
+            fallback_keys[token] = token
+            for port in element.input_ports:
+                ptoken = self._port_token(element.name, "in", port)
+                base_colors[ptoken] = ("P", "in")
+                fallback_keys[ptoken] = ptoken
+            for port in element.output_ports:
+                ptoken = self._port_token(element.name, "out", port)
+                base_colors[ptoken] = ("P", "out")
+                fallback_keys[ptoken] = ptoken
+        for gid in range(self._group_count):
+            token = ("cells", gid)
+            base_colors[token] = ("C",)
+            fallback_keys[token] = token
+        for text in self._strings:
+            token = ("str", text)
+            base_colors[token] = ("S",)
+            fallback_keys[token] = token
+        return base_colors, fallback_keys
+
+    def job_form(
+        self, element: str, port: str, config_digest: str
+    ) -> EntityCanonicalForm:
+        """Canonical form of one job: the shared network atoms plus an
+        injection mark and the job-config digest (jobs with different
+        configurations can never share a class)."""
+        key = (element, port, config_digest)
+        cached = self._form_cache.get(key)
+        if cached is not None:
+            return cached
+        elem_token = ("elem", element)
+        port_token = self._port_token(element, "in", port)
+        if elem_token not in self._base_colors or port_token not in self._base_colors:
+            raise SymmetryUnsupported(f"unknown injection port {element}:{port}")
+        atoms = list(self._atoms)
+        atoms.append(("inject", Ent(elem_token), Ent(port_token), config_digest))
+        form = canonical_entity_form(atoms, self._base_colors, self._fallback_keys)
+        self._form_cache[key] = form
+        return form
+
+
+def config_digest(payload) -> str:
+    """Stable digest of a job's behaviour-relevant configuration."""
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The recorded bijection
+# ---------------------------------------------------------------------------
+
+_BOUNDARY_BEFORE = r"(?<![A-Za-z0-9_.-])"
+_BOUNDARY_AFTER = r"(?![A-Za-z0-9_.-])"
+
+
+class SymmetryRenaming:
+    """The explicit bijection between a class representative's job and a
+    member's job, applied to report artifacts as one simultaneous text
+    substitution (longest key first, so swap renamings are safe)."""
+
+    def __init__(
+        self,
+        element_map: Dict[str, str],
+        port_map: Dict[Tuple[str, str, str], str],
+        text_pairs: Dict[str, str],
+    ) -> None:
+        self.element_map = dict(element_map)
+        self.port_map = dict(port_map)
+        pairs = {key: value for key, value in text_pairs.items() if key != value}
+        for (elem, _direction, port), mapped_port in self.port_map.items():
+            mapped_elem = self.element_map.get(elem, elem)
+            compound = f"{elem}:{port}"
+            mapped = f"{mapped_elem}:{mapped_port}"
+            if compound != mapped:
+                pairs[compound] = mapped
+        for elem, mapped_elem in self.element_map.items():
+            if elem != mapped_elem:
+                pairs.setdefault(elem, mapped_elem)
+        self.text_pairs = pairs
+        if pairs:
+            alternation = "|".join(
+                _BOUNDARY_BEFORE + re.escape(key) + _BOUNDARY_AFTER
+                for key in sorted(pairs, key=lambda k: (-len(k), k))
+            )
+            self._pattern: Optional[re.Pattern] = re.compile(alternation)
+        else:
+            self._pattern = None
+
+    def map_text(self, text: str) -> str:
+        if self._pattern is None or not text:
+            return text
+        return self._pattern.sub(lambda m: self.text_pairs[m.group(0)], text)
+
+    def map_port_key(self, key: str) -> str:
+        return self.map_text(key)
+
+
+def _pair_programs(
+    rep_elem: NetworkElement,
+    member_elem: NetworkElement,
+    rep_prog,
+    member_prog,
+    pairs: Dict[str, str],
+) -> None:
+    """Lockstep walk of two paired programs, recording repr/message pairs at
+    every node the engine might quote in a report string.  Only block and
+    branch structure is descended — equal canonical encodings guarantee the
+    shapes line up; any mismatch aborts the renaming (the member then runs
+    directly)."""
+    if type(rep_prog) is not type(member_prog):
+        raise SymmetryUnsupported(
+            f"paired programs diverge: {type(rep_prog).__name__} vs "
+            f"{type(member_prog).__name__}"
+        )
+    if isinstance(rep_prog, si.InstructionBlock):
+        if len(rep_prog.instructions) != len(member_prog.instructions):
+            raise SymmetryUnsupported("paired blocks have different lengths")
+        for rep_child, member_child in zip(
+            rep_prog.instructions, member_prog.instructions
+        ):
+            _pair_programs(rep_elem, member_elem, rep_child, member_child, pairs)
+        return
+    if isinstance(rep_prog, si.If):
+        _record_pair(repr(rep_prog.condition), repr(member_prog.condition), pairs)
+        _pair_programs(
+            rep_elem, member_elem, rep_prog.then_branch, member_prog.then_branch, pairs
+        )
+        _pair_programs(
+            rep_elem, member_elem, rep_prog.else_branch, member_prog.else_branch, pairs
+        )
+        return
+    if isinstance(rep_prog, si.For):
+        return  # closures: only ever paired with themselves
+    if isinstance(rep_prog, si.Fail):
+        _record_pair(rep_prog.message, member_prog.message, pairs)
+        return
+    if isinstance(rep_prog, si.Constrain):
+        _record_pair(repr(rep_prog.condition), repr(member_prog.condition), pairs)
+        return
+    _record_pair(repr(rep_prog), repr(member_prog), pairs)
+
+
+def _record_pair(rep_text: str, member_text: str, pairs: Dict[str, str]) -> None:
+    if rep_text == member_text:
+        return
+    existing = pairs.get(rep_text)
+    if existing is not None and existing != member_text:
+        raise SymmetryUnsupported(
+            f"inconsistent text pairing for {rep_text!r}: "
+            f"{existing!r} vs {member_text!r}"
+        )
+    pairs[rep_text] = member_text
+
+
+def build_renaming(
+    view: CampaignSymmetryView,
+    rep_form: EntityCanonicalForm,
+    member_form: EntityCanonicalForm,
+) -> SymmetryRenaming:
+    """Turn two equal-fingerprint canonical forms over one view into the
+    explicit renaming representative -> member."""
+    if rep_form.fingerprint != member_form.fingerprint:
+        raise SymmetryUnsupported("forms are not in the same symmetry class")
+    if len(rep_form.entities) != len(member_form.entities):
+        raise SymmetryUnsupported("forms disagree on entity count")
+    element_map: Dict[str, str] = {}
+    port_map: Dict[Tuple[str, str, str], str] = {}
+    text_pairs: Dict[str, str] = {}
+    for rep_token, member_token in zip(rep_form.entities, member_form.entities):
+        kind = rep_token[0]
+        if kind != member_token[0]:
+            raise SymmetryUnsupported(
+                f"paired entities of different kinds: {rep_token!r} vs "
+                f"{member_token!r}"
+            )
+        if kind == "elem":
+            element_map[rep_token[1]] = member_token[1]
+        elif kind == "port":
+            _, _elem, direction, port = rep_token
+            if direction != member_token[2]:
+                raise SymmetryUnsupported("paired ports of different directions")
+            port_map[(rep_token[1], direction, port)] = member_token[3]
+        elif kind == "str":
+            _record_pair(rep_token[1], member_token[1], text_pairs)
+    network = view.network
+    for rep_name, member_name in element_map.items():
+        mapped_elem_of_rep_ports = {
+            member_elem_name
+            for (elem, _d, _p), _mp in port_map.items()
+            if elem == rep_name
+            for member_elem_name in (element_map[elem],)
+        }
+        if mapped_elem_of_rep_ports - {member_name}:
+            raise SymmetryUnsupported("port map crosses element boundaries")
+        rep_elem = network.element(rep_name)
+        member_elem = network.element(member_name)
+        if rep_elem.kind != member_elem.kind:
+            raise SymmetryUnsupported("paired elements of different kinds")
+        for port in rep_elem.input_ports:
+            member_port = port_map.get((rep_name, "in", port))
+            if member_port is None:
+                raise SymmetryUnsupported(f"unpaired input port {rep_name}:{port}")
+            _pair_programs(
+                rep_elem,
+                member_elem,
+                rep_elem.input_program(port),
+                member_elem.input_program(member_port),
+                text_pairs,
+            )
+        for port in rep_elem.output_ports:
+            member_port = port_map.get((rep_name, "out", port))
+            if member_port is None:
+                raise SymmetryUnsupported(f"unpaired output port {rep_name}:{port}")
+            _pair_programs(
+                rep_elem,
+                member_elem,
+                rep_elem.output_program(port),
+                member_elem.output_program(member_port),
+                text_pairs,
+            )
+    port_name_map = {
+        (elem, direction, port): member_port
+        for (elem, direction, port), member_port in port_map.items()
+    }
+    return SymmetryRenaming(element_map, port_name_map, text_pairs)

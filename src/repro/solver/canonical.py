@@ -340,3 +340,313 @@ def canonical_form(conjuncts: Iterable[Formula]) -> CanonicalForm:
 def canonical_fingerprint(conjuncts: Iterable[Formula]) -> str:
     """The alpha-renaming-invariant cache key of a conjunct set."""
     return canonical_form(conjuncts).fingerprint
+
+
+# ---------------------------------------------------------------------------
+# Generic entity-graph canonicalization (the job symmetry layer)
+# ---------------------------------------------------------------------------
+#
+# The machinery above is specialised to conjunct sets whose only renameable
+# objects are solver variables.  The campaign symmetry layer needs the same
+# WL-refinement + individualise-and-refine idea over an arbitrary relational
+# structure: a set of *entities* (network elements, ports, constant cells,
+# string literals) related by *atoms* — nested tuples in which entity
+# occurrences are wrapped in :class:`Ent` and unordered sub-collections in
+# :class:`USet`.  Everything not wrapped is treated as a literal and must
+# match exactly.
+#
+# The soundness argument is the same as for conjunct sets: the canonical
+# index assignment is always a bijection from entities onto ``0..n-1``, and
+# the final rendering replaces every entity occurrence by its canonical
+# index, so equal renderings imply the index-aligned entity pairing is an
+# isomorphism of the two atom structures.  Ties the refinement cannot break
+# within :data:`ENTITY_SYMMETRY_BUDGET` leaves fall back to a greedy
+# individualise-and-refine pass ordered by the caller's ``fallback_keys`` —
+# still a bijection (any deterministic tie-break is sound), and whenever the
+# surviving tied classes are full symmetric orbits (interchangeable campaign
+# zones), the greedy pass produces aligned renderings for automorphic jobs,
+# which a flat name sort does not: relative name order shifts with the
+# focused port (``zr10`` sorts before ``zr2``), while orbit-transitivity
+# guarantees an automorphism matching any greedy choice sequence.
+
+#: Leaf budget for entity-graph individualise-and-refine.  Campaign
+#: topologies routinely keep large automorphism groups even after the
+#: injection port is individualised (the 15 unmarked Stanford zones), so a
+#: deep search is pointless: the greedy fallback below is cheap and still
+#: merges same-network jobs.
+ENTITY_SYMMETRY_BUDGET = 24
+
+
+class Ent:
+    """Marks an entity occurrence inside an atom tree."""
+
+    __slots__ = ("token",)
+
+    def __init__(self, token) -> None:
+        self.token = token
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Ent({self.token!r})"
+
+
+class USet:
+    """Marks an unordered sub-collection inside an atom tree (rendered as a
+    sorted tuple, so member order never influences the canonical form)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items) -> None:
+        self.items = tuple(items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"USet({self.items!r})"
+
+
+@dataclass(frozen=True)
+class EntityCanonicalForm:
+    """Canonical form of an entity-graph structure."""
+
+    #: SHA-256 hex digest of ``rendering``.
+    fingerprint: str
+    #: The canonical rendering (nested tuples of literals and entity
+    #: indices).
+    rendering: Tuple
+    #: Entity tokens in canonical-index order: ``entities[i]`` was renamed
+    #: to index ``i``.  Two forms with equal renderings are isomorphic via
+    #: ``A.entities[i] -> B.entities[i]`` — the recorded bijection.
+    entities: Tuple
+    #: True when the symmetry search fell back to ``fallback_keys`` order.
+    used_name_fallback: bool = False
+
+
+def _render_atom(atom, colors: Dict, focus) -> Tuple:
+    """Slow, fully general render used for final renderings (once per form)."""
+    if isinstance(atom, Ent):
+        if focus is not None and atom.token == focus:
+            return ("ent*",)
+        return ("ent", colors[atom.token])
+    if isinstance(atom, USet):
+        return (
+            "set",
+            tuple(sorted((_render_atom(i, colors, focus) for i in atom.items), key=repr)),
+        )
+    if isinstance(atom, tuple):
+        return tuple(_render_atom(item, colors, focus) for item in atom)
+    return atom
+
+
+def _atom_entities(atom, into: Dict) -> None:
+    if isinstance(atom, Ent):
+        into.setdefault(atom.token, None)
+    elif isinstance(atom, USet):
+        for item in atom.items:
+            _atom_entities(item, into)
+    elif isinstance(atom, tuple):
+        for item in atom:
+            _atom_entities(item, into)
+
+
+class _FlatAtom:
+    """An atom compiled for fast refinement renders: a literal *template*
+    (entity slots and unordered groups replaced by positional markers), the
+    ordered entity slots, and the unordered all-entity groups.  ``complex``
+    flags USets with non-entity members, which keep the slow render path."""
+
+    __slots__ = ("tree", "template", "slots", "groups", "complex", "template_id")
+
+    def __init__(self, tree) -> None:
+        self.tree = tree
+        self.slots: List = []
+        self.groups: List[List] = []
+        self.complex = False
+        self.template = self._compile(tree)
+        self.template_id = -1  # assigned deterministically by the caller
+
+    def _compile(self, node):
+        if isinstance(node, Ent):
+            self.slots.append(node.token)
+            return ("slot#", len(self.slots) - 1)
+        if isinstance(node, USet):
+            if all(isinstance(item, Ent) for item in node.items):
+                self.groups.append([item.token for item in node.items])
+                return ("uset#", len(self.groups) - 1)
+            self.complex = True
+            return ("uset!",)
+        if isinstance(node, tuple):
+            return tuple(self._compile(item) for item in node)
+        return node
+
+    def render(self, colors: Dict, focus) -> Tuple:
+        if self.complex:
+            # -1 keeps the first component an int so mixed fast/slow renders
+            # stay mutually comparable when sorted.
+            return (-1, repr(_render_atom(self.tree, colors, focus)), ())
+        slot_colors = tuple(
+            _FOCUS if (focus is not None and token == focus) else colors[token]
+            for token in self.slots
+        )
+        group_colors = tuple(
+            tuple(
+                sorted(
+                    _FOCUS if (focus is not None and token == focus) else colors[token]
+                    for token in group
+                )
+            )
+            for group in self.groups
+        )
+        return (self.template_id, slot_colors, group_colors)
+
+
+def _entity_refine(flats_of: Dict, colors: Dict) -> Dict:
+    """Iterate WL occurrence-signature colouring over entities to fixpoint."""
+    for _ in range(len(colors) + 1):
+        signatures: Dict = {}
+        for token in colors:
+            occ = sorted(flat.render(colors, token) for flat in flats_of[token])
+            signatures[token] = (colors[token], tuple(occ))
+        ranked = sorted(set(signatures.values()))
+        rank = {sig: index for index, sig in enumerate(ranked)}
+        new_colors = {token: rank[signatures[token]] for token in colors}
+        if len(ranked) == len(set(colors.values())):
+            return new_colors
+        colors = new_colors
+    return colors
+
+
+def _entity_rendering(atoms: Sequence, indices: Dict) -> Tuple:
+    rendered = sorted((_render_atom(atom, indices, None) for atom in atoms), key=repr)
+    return ("ecf1", tuple(rendered))
+
+
+def _entity_indices(
+    atoms: Sequence, flats_of: Dict, colors: Dict, budget: List[int]
+) -> Optional[Dict]:
+    colors = _entity_refine(flats_of, colors)
+    classes: Dict[int, List] = {}
+    for token, color in colors.items():
+        classes.setdefault(color, []).append(token)
+    tied = sorted(color for color, members in classes.items() if len(members) > 1)
+    if not tied:
+        order = sorted(colors, key=colors.get)
+        return {token: index for index, token in enumerate(order)}
+    # A residual symmetry bigger than the whole budget cannot be searched;
+    # bail out immediately instead of burning the budget on a lost cause
+    # (campaign topologies keep 10!-sized automorphism groups).
+    residual = sum(len(classes[color]) - 1 for color in tied)
+    if residual > budget[0]:
+        return None
+    members = sorted(classes[tied[0]], key=repr)
+    fresh = max(colors.values()) + 1
+    best_map: Optional[Dict] = None
+    best_key: Optional[str] = None
+    for candidate in members:
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+        individualized = dict(colors)
+        individualized[candidate] = fresh
+        submap = _entity_indices(atoms, flats_of, individualized, budget)
+        if submap is None:
+            return None
+        key = repr(_entity_rendering(atoms, submap))
+        if best_key is None or key < best_key:
+            best_key = key
+            best_map = submap
+    return best_map
+
+
+def _aligned_fallback_indices(
+    atoms: Sequence, flats_of: Dict, colors: Dict, fallback_keys: Dict
+) -> Dict:
+    """Greedy individualise-and-refine used when the exact search exceeds
+    its budget.  Each round batch-individualises the smallest surviving
+    tied colour class (members ordered by ``fallback_keys``) and
+    re-refines until the colouring is discrete.
+
+    Any deterministic tie-break keeps merging sound — equal renderings
+    still certify an isomorphism — so the only question is *alignment*:
+    do two automorphic structures end up with corresponding orders?  When
+    every surviving tied class is a full symmetric orbit (interchangeable
+    zones — the campaign case), yes: orbit transitivity supplies an
+    automorphism matching any pair of greedy choice sequences.  A flat
+    name sort lacks this property because relative name order shifts with
+    the focused port (``zr10`` sorts before ``zr2``)."""
+    colors = _entity_refine(flats_of, colors)
+    for _ in range(len(colors) + 1):
+        classes: Dict[int, List] = {}
+        for token, color in colors.items():
+            classes.setdefault(color, []).append(token)
+        tied = sorted(
+            color for color, members in classes.items() if len(members) > 1
+        )
+        if not tied:
+            break
+        members = sorted(classes[tied[0]], key=lambda t: fallback_keys[t])
+        fresh = max(colors.values()) + 1
+        colors = dict(colors)
+        for offset, token in enumerate(members):
+            colors[token] = fresh + offset
+        colors = _entity_refine(flats_of, colors)
+    order = sorted(colors, key=lambda t: (colors[t], fallback_keys[t]))
+    return {token: index for index, token in enumerate(order)}
+
+
+def canonical_entity_form(
+    atoms: Sequence,
+    base_colors: Dict,
+    fallback_keys: Dict,
+    budget: int = ENTITY_SYMMETRY_BUDGET,
+) -> EntityCanonicalForm:
+    """Canonicalize an entity-graph structure.
+
+    ``atoms`` is a sequence of nested tuples with :class:`Ent` / :class:`USet`
+    wrappers; ``base_colors`` maps every entity token to its initial colour
+    (entities with distinct base colours can never be identified — this is
+    how callers pin roles and config-referenced objects); ``fallback_keys``
+    maps every entity token to a *unique* orderable key consulted only when
+    the symmetry search exceeds its budget.
+    """
+    entity_table: Dict = {}
+    for atom in atoms:
+        _atom_entities(atom, entity_table)
+    for token in base_colors:
+        entity_table.setdefault(token, None)
+    tokens = list(entity_table)
+
+    flats = [_FlatAtom(atom) for atom in atoms]
+    templates = sorted({repr(flat.template) for flat in flats})
+    template_rank = {template: index for index, template in enumerate(templates)}
+    for flat in flats:
+        flat.template_id = template_rank[repr(flat.template)]
+
+    flats_of: Dict = {token: [] for token in tokens}
+    for flat in flats:
+        seen: Dict = {}
+        _atom_entities(flat.tree, seen)
+        for token in seen:
+            flats_of[token].append(flat)
+
+    used_fallback = False
+    if tokens:
+        ranked = sorted({repr(base_colors[t]) for t in tokens})
+        rank = {key: index for index, key in enumerate(ranked)}
+        colors = {t: rank[repr(base_colors[t])] for t in tokens}
+        search_budget = [budget]
+        indices = _entity_indices(atoms, flats_of, colors, search_budget)
+        if indices is None:
+            indices = _aligned_fallback_indices(
+                atoms, flats_of, colors, fallback_keys
+            )
+            used_fallback = True
+    else:
+        indices = {}
+
+    rendering = _entity_rendering(atoms, indices)
+    digest = hashlib.sha256(repr(rendering).encode("utf-8")).hexdigest()
+    ordered = tuple(sorted(indices, key=indices.get))
+    return EntityCanonicalForm(
+        fingerprint=digest,
+        rendering=rendering,
+        entities=ordered,
+        used_name_fallback=used_fallback,
+    )

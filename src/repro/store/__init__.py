@@ -27,7 +27,7 @@ from repro.store.sharding import (
     ShardedTier,
     shard_index,
 )
-from repro.store.store import StoreError, VerificationStore
+from repro.store.store import StoreError, VerificationStore, clear_load_cache
 
 __all__ = [
     "DEFAULT_PUBLISH_BATCH",
@@ -36,6 +36,7 @@ __all__ = [
     "ShardedTier",
     "StoreError",
     "VerificationStore",
+    "clear_load_cache",
     "read_segment",
     "shard_index",
     "write_segment",

@@ -42,7 +42,14 @@ import hashlib
 import json
 import os
 import uuid
+from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Dict, List, Mapping, Optional, Tuple
+
+try:  # POSIX-only advisory locks; the store degrades gracefully without.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.solver.verdict_cache import (
     CacheConflictError,
@@ -65,6 +72,21 @@ _META_NAME = "STORE.json"
 
 class StoreError(RuntimeError):
     """The store directory is unusable (bad metadata, wrong format)."""
+
+
+# Read-through cache in front of ``VerificationStore.load()``, keyed by
+# (directory, content token): campaign workers construct a fresh store
+# instance per job, and without this every one of them re-read and
+# re-validated every segment on disk.  The content token changes whenever
+# any segment does, so a publish (from this or another process) naturally
+# invalidates — stale entries just age out of the LRU.
+_LOAD_CACHE: "OrderedDict[Tuple[str, str], Dict[str, str]]" = OrderedDict()
+_LOAD_CACHE_LIMIT = 8
+
+
+def clear_load_cache() -> None:
+    """Drop this process's cached store loads (tests, memory pressure)."""
+    _LOAD_CACHE.clear()
 
 
 def _atomic_write_json(path: str, payload: Dict[str, object]) -> None:
@@ -120,6 +142,8 @@ class VerificationStore:
         self._verdicts: Optional[Dict[str, str]] = None
         #: (segment path, reason) pairs quarantined by the last load.
         self.quarantined: List[Tuple[str, str]] = []
+        #: Segments the last load skipped on transient read errors.
+        self._transient_skips = 0
 
     # -- layout ----------------------------------------------------------------
 
@@ -159,6 +183,39 @@ class VerificationStore:
         name = f"segment-{counter:08d}-{uuid.uuid4().hex[:8]}{SEGMENT_SUFFIX}"
         return os.path.join(self._shard_dir(index), name)
 
+    @contextmanager
+    def _shard_lock(self, index: int):
+        """Advisory per-shard file lock held around choosing a segment name
+        and writing the segment, so two processes publishing into one store
+        directory cannot race ``_segment_path``'s counter scan and interleave
+        (or clobber) each other's appends.  Locking is best-effort: platforms
+        without ``fcntl`` (and lock-file I/O errors) fall back to the old
+        uuid-suffix collision avoidance instead of failing the publish."""
+        if fcntl is None:
+            yield
+            return
+        lock_path = os.path.join(self._shard_dir(index), ".lock")
+        try:
+            handle = open(lock_path, "a+b")
+        except OSError:
+            yield
+            return
+        try:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            except OSError:
+                yield
+                return
+            try:
+                yield
+            finally:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+                except OSError:
+                    pass
+        finally:
+            handle.close()
+
     # -- integrity / quarantine ------------------------------------------------
 
     def _quarantine(self, path: str, reason: str) -> None:
@@ -187,18 +244,35 @@ class VerificationStore:
         """
         if self._verdicts is not None and not refresh:
             return dict(self._verdicts)
+        cache_key = (self.directory, self.content_token())
+        if not refresh:
+            cached = _LOAD_CACHE.get(cache_key)
+            if cached is not None:
+                _LOAD_CACHE.move_to_end(cache_key)
+                self._verdicts = dict(cached)
+                return dict(self._verdicts)
         self._verdicts = self._load_segments(
             {
                 index: self._segments_of(index)
                 for index in range(self.shard_count)
             }
         )
+        if not self.quarantined and not self._transient_skips:
+            # A load that quarantined segments changed the directory out
+            # from under its own key, and one that skipped an unreadable
+            # segment saw less than the key describes; only clean,
+            # complete loads are reusable.
+            _LOAD_CACHE[cache_key] = dict(self._verdicts)
+            _LOAD_CACHE.move_to_end(cache_key)
+            while len(_LOAD_CACHE) > _LOAD_CACHE_LIMIT:
+                _LOAD_CACHE.popitem(last=False)
         return dict(self._verdicts)
 
     def _load_segments(self, segment_lists: Dict[int, List[str]]) -> Dict[str, str]:
         """Validate-and-merge exactly the listed segment files (quarantining
         failures), returning the surviving verdict map."""
         accepted = VerdictCache(max_entries=2**31)
+        self._transient_skips = 0
         for index in sorted(segment_lists):
             for path in segment_lists[index]:
                 try:
@@ -211,6 +285,7 @@ class VerificationStore:
                     # Could not *read* the file (permissions hiccup,
                     # transient I/O error): proves nothing about its
                     # content — skip it for this load, never quarantine.
+                    self._transient_skips += 1
                     continue
                 # Probe the whole segment against everything accepted so
                 # far, then commit: a conflicting segment is refused
@@ -279,7 +354,8 @@ class VerificationStore:
                 added += 1
         for index, batch in enumerate(fresh):
             if batch:
-                write_segment(self._segment_path(index), index, batch)
+                with self._shard_lock(index):
+                    write_segment(self._segment_path(index), index, batch)
         if added:
             self._verdicts = None  # next load() sees the new segments
         return added
@@ -303,15 +379,17 @@ class VerificationStore:
         for fingerprint, verdict in merged.items():
             per_shard[shard_index(fingerprint, self.shard_count)][fingerprint] = verdict
         for index, batch in enumerate(per_shard):
-            if batch:
-                write_segment(self._segment_path(index), index, batch)
-            # Quarantined files are already gone; a concurrently deleted
-            # segment (another compactor) is not this compaction's problem.
-            for path in listed[index]:
-                try:
-                    os.unlink(path)
-                except OSError:
-                    pass
+            with self._shard_lock(index):
+                if batch:
+                    write_segment(self._segment_path(index), index, batch)
+                # Quarantined files are already gone; a concurrently deleted
+                # segment (another compactor) is not this compaction's
+                # problem.
+                for path in listed[index]:
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
         self._verdicts = None
         return {
             "entries": len(merged),

@@ -516,3 +516,140 @@ class TestShardedTier:
         assert stats.shared_publish_entries == 2
         assert stats.shared_publish_batches >= 1
         assert stats.shared_round_trips >= 2
+
+
+# ---------------------------------------------------------------------------
+# Read-through load cache + shard lock
+# ---------------------------------------------------------------------------
+
+
+class TestLoadCache:
+    def _counting_read(self, monkeypatch):
+        import repro.store.store as store_module
+
+        calls = {"n": 0}
+        original = store_module.read_segment
+
+        def counted(path, shard):
+            calls["n"] += 1
+            return original(path, shard)
+
+        monkeypatch.setattr(store_module, "read_segment", counted)
+        return calls
+
+    def test_second_open_serves_from_cache(self, tmp_path, monkeypatch):
+        from repro.store import clear_load_cache
+
+        clear_load_cache()
+        rng = random.Random(SEED)
+        store = VerificationStore(str(tmp_path), shards=2)
+        entries = random_entries(rng, 12)
+        store.publish(entries)
+
+        calls = self._counting_read(monkeypatch)
+        first = VerificationStore(str(tmp_path)).load()
+        assert first == entries
+        assert calls["n"] > 0
+        after_first = calls["n"]
+        second = VerificationStore(str(tmp_path)).load()
+        assert second == entries
+        assert calls["n"] == after_first  # served from the process cache
+
+    def test_publish_invalidates_by_content_token(self, tmp_path, monkeypatch):
+        from repro.store import clear_load_cache
+
+        clear_load_cache()
+        rng = random.Random(SEED + 1)
+        store = VerificationStore(str(tmp_path))
+        entries = random_entries(rng, 6)
+        store.publish(entries)
+        assert VerificationStore(str(tmp_path)).load() == entries
+
+        more = random_entries(rng, 3)
+        VerificationStore(str(tmp_path)).publish(more)
+        merged = VerificationStore(str(tmp_path)).load()
+        assert merged == {**entries, **more}
+
+    def test_quarantining_load_is_not_cached(self, tmp_path, monkeypatch):
+        from repro.store import clear_load_cache
+
+        clear_load_cache()
+        rng = random.Random(SEED + 2)
+        store = VerificationStore(str(tmp_path), shards=1)
+        store.publish(random_entries(rng, 8))
+        (victim,) = store._segments_of(0)
+        _corrupt(victim, rng)
+
+        poisoned = VerificationStore(str(tmp_path))
+        assert poisoned.load() == {}
+        assert poisoned.quarantined
+
+        calls = self._counting_read(monkeypatch)
+        clean = VerificationStore(str(tmp_path))
+        assert clean.load() == {}  # re-read the (now empty) directory
+        assert not clean.quarantined
+
+    def test_cache_is_bounded(self, tmp_path):
+        import repro.store.store as store_module
+        from repro.store import clear_load_cache
+
+        clear_load_cache()
+        rng = random.Random(SEED + 3)
+        for index in range(store_module._LOAD_CACHE_LIMIT + 3):
+            directory = str(tmp_path / f"store{index}")
+            store = VerificationStore(directory)
+            store.publish(random_entries(rng, 2))
+            VerificationStore(directory).load()
+        assert len(store_module._LOAD_CACHE) <= store_module._LOAD_CACHE_LIMIT
+
+    def test_refresh_bypasses_cache(self, tmp_path, monkeypatch):
+        from repro.store import clear_load_cache
+
+        clear_load_cache()
+        rng = random.Random(SEED + 4)
+        store = VerificationStore(str(tmp_path))
+        entries = random_entries(rng, 5)
+        store.publish(entries)
+        VerificationStore(str(tmp_path)).load()
+
+        calls = self._counting_read(monkeypatch)
+        fresh = VerificationStore(str(tmp_path))
+        assert fresh.load(refresh=True) == entries
+        assert calls["n"] > 0  # refresh went to disk despite the cache
+
+
+class TestShardLock:
+    def test_publish_creates_lock_files(self, tmp_path):
+        rng = random.Random(SEED + 5)
+        store = VerificationStore(str(tmp_path), shards=2)
+        store.publish(random_entries(rng, 16))
+        locks = [
+            os.path.join(store._shard_dir(index), ".lock")
+            for index in range(2)
+        ]
+        assert any(os.path.exists(path) for path in locks)
+
+    def test_publish_degrades_without_fcntl(self, tmp_path, monkeypatch):
+        import repro.store.store as store_module
+
+        monkeypatch.setattr(store_module, "fcntl", None)
+        rng = random.Random(SEED + 6)
+        store = VerificationStore(str(tmp_path), shards=2)
+        entries = random_entries(rng, 10)
+        store.publish(entries)
+        from repro.store import clear_load_cache
+
+        clear_load_cache()
+        assert VerificationStore(str(tmp_path)).load() == entries
+
+    def test_lock_files_are_not_segments(self, tmp_path):
+        rng = random.Random(SEED + 7)
+        store = VerificationStore(str(tmp_path), shards=1)
+        entries = random_entries(rng, 4)
+        store.publish(entries)
+        store.compact()
+        from repro.store import clear_load_cache
+
+        clear_load_cache()
+        assert VerificationStore(str(tmp_path)).load() == entries
+        assert not VerificationStore(str(tmp_path)).quarantined
