@@ -44,6 +44,14 @@ BENCH_SYMMETRY_JSON_PATH = os.environ.get(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_symmetry.json"),
 )
 
+#: Machine-readable records for the delta-verification benchmark: engine
+#: runs, wall time and solver work for a full campaign vs a one-device-edit
+#: delta rerun over the same snapshot directory.
+BENCH_DELTA_JSON_PATH = os.environ.get(
+    "SYMNET_BENCH_DELTA_JSON",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_delta.json"),
+)
+
 
 def scaled(small, full):
     """Pick a workload size depending on the requested scale."""
@@ -138,6 +146,16 @@ def bench_symmetry_json():
     yield records
     if records:
         _merge_bench_records(BENCH_SYMMETRY_JSON_PATH, records)
+
+
+@pytest.fixture(scope="session")
+def bench_delta_json():
+    """Collect delta-verification benchmark records and merge them into
+    ``BENCH_delta.json`` at the end of the session."""
+    records = []
+    yield records
+    if records:
+        _merge_bench_records(BENCH_DELTA_JSON_PATH, records)
 
 
 @pytest.fixture(scope="session")

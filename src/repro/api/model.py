@@ -38,6 +38,18 @@ from repro.network.topology import Network
 SourceLike = Union[NetworkSource, Network, str]
 
 
+def _error_nonce() -> str:
+    """A never-repeating token for identity keys of *broken* state.  An
+    unreadable topology or a stat-failed device file has no observable
+    identity, so collapsing it to a constant would make two different
+    broken directories — or the same directory before and after a file was
+    swapped while unreadable — compare equal and serve each other's cached
+    plans.  A fresh nonce makes every degenerate key unequal to every
+    other (including a recomputation of itself), which disables plan
+    caching for exactly the states we cannot identify."""
+    return os.urandom(16).hex()
+
+
 def _directory_stat_key(directory: str) -> tuple:
     """Cheap (stat-only) snapshot of the referenced device files, taken at
     network-build time so a later :meth:`NetworkModel.fingerprint` can tell
@@ -48,14 +60,14 @@ def _directory_stat_key(directory: str) -> tuple:
         with open(os.path.join(directory, "topology.txt"), encoding="utf-8") as handle:
             topology_text = handle.read()
     except OSError:
-        return ("unreadable-topology",)
+        return ("unreadable-topology", os.path.abspath(directory), _error_nonce())
     stats = []
     for name in sorted(referenced_snapshot_files(topology_text)):
         try:
             stat = os.stat(os.path.join(directory, name))
             stats.append((name, stat.st_size, stat.st_mtime_ns))
         except OSError:
-            stats.append((name, -1, -1))
+            stats.append((name, "unstatable", _error_nonce()))
     return ("stats", topology_text, tuple(stats))
 
 
@@ -75,15 +87,21 @@ def _directory_content_key(directory: str) -> tuple:
         with open(topology_path, encoding="utf-8") as handle:
             topology_text = handle.read()
     except OSError:
-        # No readable topology: fall back to the coarse every-file key.
-        return ("directory-all-files", NetworkSource.from_directory(directory).fingerprint)
+        # No readable topology: this directory's content has no observable
+        # identity — produce a key that never matches anything (see
+        # _error_nonce) instead of a constant two broken directories share.
+        return (
+            "unreadable-topology",
+            os.path.abspath(directory),
+            _error_nonce(),
+        )
     digests = []
     for name in sorted(referenced_snapshot_files(topology_text)):
         try:
             with open(os.path.join(directory, name), "rb") as handle:
                 digest = hashlib.sha256(handle.read()).hexdigest()
         except OSError:
-            digest = "<unreadable>"
+            digest = f"<unreadable:{_error_nonce()}>"
         digests.append((name, digest))
     # Content only — no directory path — so byte-identical snapshots at
     # different paths (copied checkouts, run-numbered CI workspaces) share
@@ -117,6 +135,7 @@ class NetworkModel:
         self._fingerprint: Optional[str] = None
         self._fingerprint_known = False
         self._build_stat_key: Optional[tuple] = None
+        self._build_manifest: Optional[dict] = None
 
     # -- constructors -----------------------------------------------------------
 
@@ -150,8 +169,21 @@ class NetworkModel:
                 # holds the bytes this build executed.
                 self._build_stat_key = _directory_stat_key(self.source.directory)
             self._network, self._registered_injections = self.source.build_full()
+            # Directory builds attach their per-element content manifest
+            # (see load_network_directory): the digests of the exact bytes
+            # this model executes, which delta verification diffs against a
+            # stored baseline.
+            self._build_manifest = getattr(
+                self._network, "source_manifest", None
+            )
             _seed_runtime(self.source, self._network)
         return self._network
+
+    def build_manifest(self) -> Optional[dict]:
+        """The per-element content manifest recorded at build time
+        (directory sources only; see :mod:`repro.core.delta`)."""
+        self.network()
+        return self._build_manifest
 
     def validate(self) -> List[str]:
         """``Network.validate()`` findings, computed exactly once per model."""
@@ -230,6 +262,8 @@ class NetworkModel:
         warm_cache=None,
         store=None,
         cache_shards=None,
+        baseline=None,
+        delta: bool = True,
         **settings,
     ):
         """Compile a batch of declarative queries onto one shared plan and
@@ -248,6 +282,8 @@ class NetworkModel:
             warm_cache=warm_cache,
             store=store,
             cache_shards=cache_shards,
+            baseline=baseline,
+            delta=delta,
         )
 
     def __repr__(self) -> str:

@@ -427,6 +427,8 @@ def execute_plan(
     warm_cache: Optional[Mapping[str, str]] = None,
     store: Optional[object] = None,
     cache_shards: Optional[int] = None,
+    baseline: Optional[object] = None,
+    delta: bool = True,
 ) -> PlanResult:
     """Run a compiled plan on the campaign machinery and demultiplex the
     per-query answers.
@@ -438,6 +440,15 @@ def execute_plan(
     campaign that does run warm-starts from (and publishes back to) the
     store's verdict shards.  ``warm_cache`` is the deprecated in-memory
     predecessor (the campaign constructor emits the DeprecationWarning).
+
+    ``baseline`` hands the campaign an explicit delta baseline (a
+    :class:`repro.core.delta.CampaignBaseline` or its payload dict); with
+    ``delta`` left on, directory models also auto-detect the store's
+    recorded baseline, so an edited directory on a plan-cache miss only
+    re-executes the injection ports the edit could have touched (see
+    :mod:`repro.core.delta`).  Neither knob is part of the plan
+    fingerprint: like symmetry, delta changes which tier answers, never
+    the answer.
     """
     # The whole persistence stack — plan cache included — is gated on the
     # plan's shared_cache flag: a --no-shared-cache run is the isolated
@@ -471,6 +482,8 @@ def execute_plan(
         symmetry=plan.symmetry,
         warm_cache=warm_cache,
         store=store,
+        delta=delta,
+        baseline=baseline,
         validation=plan.model.validate(),
         **campaign_kwargs,
     )

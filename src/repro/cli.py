@@ -241,6 +241,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "plan's injection ports and instantiate the rest (default: enabled; "
         "answers are bit-identical either way)",
     )
+    query.add_argument(
+        "--delta", action=argparse.BooleanOptionalAction, default=True,
+        help="when the store holds a recorded baseline for this directory, "
+        "re-execute only the injection ports the directory diff could have "
+        "touched and splice the rest from the baseline (default: enabled; "
+        "answers are bit-identical either way)",
+    )
     _add_store_options(query)
     query.add_argument(
         "--output", "-o", default=None, help="write the JSON report to a file"
@@ -321,8 +328,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "bit-identical to the instantiated one (soundness self-check)",
     )
     camp.add_argument(
-        "--symmetry-audit-seed", type=int, default=0, metavar="N",
-        help="seed for the audit's member choice (default: 0)",
+        "--symmetry-audit-seed", type=int, default=None, metavar="N",
+        help="seed for the audit's member choice (default: 0; only "
+        "meaningful together with --symmetry-audit)",
+    )
+    camp.add_argument(
+        "--delta", action=argparse.BooleanOptionalAction, default=True,
+        help="when a baseline is available (--delta-from, or recorded in "
+        "the store), re-execute only the injection ports the directory "
+        "diff could have touched and splice the rest from the baseline "
+        "(default: enabled; answers are bit-identical either way)",
+    )
+    camp.add_argument(
+        "--delta-from", default=None, metavar="FILE",
+        help="use FILE (written by a previous --save-baseline) as the "
+        "delta baseline instead of the store's recorded one",
+    )
+    camp.add_argument(
+        "--save-baseline", default=None, metavar="FILE",
+        help="after the run, write this campaign's delta baseline "
+        "(element manifest + per-port reports) to FILE",
     )
     _add_store_options(camp)
     camp.add_argument(
@@ -459,6 +484,19 @@ def _command_campaign(args: argparse.Namespace) -> int:
         )
     if "all" in queries:
         queries = CAMPAIGN_QUERIES
+    if args.symmetry_audit_seed is not None and not args.symmetry_audit:
+        print(
+            "warning: --symmetry-audit-seed has no effect without "
+            "--symmetry-audit",
+            file=sys.stderr,
+        )
+    baseline = None
+    if args.delta_from:
+        try:
+            with open(args.delta_from, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"unusable baseline {args.delta_from}: {exc}")
     overrides = _parse_overrides(args.field)
     # The model validated exactly once; the campaign inherits those findings.
     campaign_kwargs = dict(
@@ -473,7 +511,9 @@ def _command_campaign(args: argparse.Namespace) -> int:
         shared_cache=args.shared_cache,
         symmetry=args.symmetry,
         symmetry_audit=args.symmetry_audit,
-        symmetry_audit_seed=args.symmetry_audit_seed,
+        symmetry_audit_seed=args.symmetry_audit_seed or 0,
+        delta=args.delta,
+        baseline=baseline,
         store=_open_store(args),
     )
     if args.cache_shards:
@@ -484,6 +524,30 @@ def _command_campaign(args: argparse.Namespace) -> int:
         campaign.add_injections(_parse_injection(text) for text in args.inject)
 
     result = campaign.run(workers=args.workers)
+    if result.stats.jobs_spliced_by_delta:
+        print(
+            f"note: delta verification spliced "
+            f"{result.stats.jobs_spliced_by_delta} of {result.stats.jobs} "
+            f"ports from the recorded baseline "
+            f"({result.delta_info.get('executed', 0)} executed)",
+            file=sys.stderr,
+        )
+    if args.save_baseline:
+        if result.baseline_payload is None:
+            print(
+                "warning: --save-baseline needs a snapshot-directory "
+                "network; no baseline written",
+                file=sys.stderr,
+            )
+        else:
+            with open(args.save_baseline, "w", encoding="utf-8") as handle:
+                json.dump(result.baseline_payload, handle, indent=2)
+                handle.write("\n")
+            print(
+                f"wrote delta baseline to {args.save_baseline} "
+                f"({len(result.baseline_payload['reports'])} ports)",
+                file=sys.stderr,
+            )
     report = result.to_json()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -548,6 +612,7 @@ def _command_query(args: argparse.Namespace) -> int:
         use_incremental_solver=not args.no_incremental,
         shared_cache=args.shared_cache,
         symmetry=args.symmetry,
+        delta=args.delta,
     )
     if result.from_cache:
         print(

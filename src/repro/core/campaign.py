@@ -31,6 +31,14 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.core.delta import (
+    CampaignBaseline,
+    ElementManifest,
+    affected_injections,
+    baseline_payload,
+    diff_manifests,
+    report_from_payload,
+)
 from repro.core.engine import ExecutionSettings, SymbolicExecutor
 from repro.core.errors import MemorySafetyError
 from repro.core.paths import ExecutionResult, PathStatus
@@ -367,6 +375,9 @@ class JobReport:
     #: For instantiated reports: the ``element:port`` of the representative
     #: job whose engine run this report was derived from.
     symmetry_instantiated_from: str = ""
+    #: Set when delta verification spliced this report from a stored
+    #: baseline instead of executing it ("store" or "file").
+    delta_spliced_from: str = ""
 
     @property
     def source_key(self) -> str:
@@ -406,6 +417,8 @@ class JobReport:
                 "class": self.symmetry_class,
                 "instantiated_from": self.symmetry_instantiated_from or None,
             }
+        if self.delta_spliced_from:
+            payload["delta"] = {"spliced_from": self.delta_spliced_from}
         payload.update({
             "truncated": self.truncated,
             "error": self.error,
@@ -922,6 +935,15 @@ class CampaignResult:
     #: Canonical verdict-cache entries merged from every job — pass as
     #: ``warm_cache`` to a later campaign to start it warm.
     verdict_cache: Dict[str, str] = field(default_factory=dict)
+    #: How delta verification partitioned this run (spliced/executed counts,
+    #: touched files/elements, or a fallback reason); empty when no baseline
+    #: was in play.
+    delta_info: Dict[str, object] = field(default_factory=dict)
+    #: This run packaged as the next run's delta baseline (directory
+    #: sources only) — what ``--save-baseline`` writes and the store keeps.
+    baseline_payload: Optional[Dict[str, object]] = field(
+        default=None, repr=False
+    )
 
     @classmethod
     def aggregate(
@@ -1028,6 +1050,8 @@ class CampaignResult:
             "verdict_cache": {"entries": len(self.verdict_cache)},
             "jobs": [job.to_dict() for job in self.jobs],
         }
+        if self.delta_info:
+            payload["delta"] = dict(self.delta_info)
         if QUERY_REACHABILITY in self.queries:
             payload["reachability"] = self.reachability.to_dict()
         if QUERY_LOOPS in self.queries:
@@ -1084,6 +1108,8 @@ class VerificationCampaign:
         symmetry: bool = True,
         symmetry_audit: bool = False,
         symmetry_audit_seed: int = 0,
+        delta: bool = True,
+        baseline: Optional[object] = None,
     ) -> None:
         if isinstance(source, Network):
             source = NetworkSource.from_network(source)
@@ -1128,6 +1154,18 @@ class VerificationCampaign:
         self._symmetry = symmetry
         self._symmetry_audit = symmetry_audit
         self._symmetry_audit_seed = symmetry_audit_seed
+        # Delta verification: splice a previous run's answers for injection
+        # ports the directory diff provably did not touch, and execute only
+        # the rest.  ``baseline`` is an explicit CampaignBaseline (or its
+        # payload dict, e.g. a ``--save-baseline`` file); with ``delta``
+        # left on, directory campaigns also auto-detect a baseline from the
+        # store.  Like every other tier this changes who answers, never the
+        # answer — anything unprovable falls back to executing the job.
+        self._delta = delta
+        if baseline is not None and not isinstance(baseline, CampaignBaseline):
+            baseline = CampaignBaseline.from_payload(baseline)
+        self._baseline: Optional[CampaignBaseline] = baseline
+        self._baseline_origin = "file"
         self._warm_cache = dict(warm_cache or {})
         warm_entries = tuple(sorted(self._warm_cache.items()))
         warm_token = ""
@@ -1328,15 +1366,21 @@ class VerificationCampaign:
 
     def _instantiate_members(
         self, plan: _SymmetryPlan, reports: List[JobReport]
-    ) -> Tuple[List[JobReport], int]:
+    ) -> Tuple[List[JobReport], int, int]:
         """Derive every skipped member's report from its class
         representative.  Representatives that errored or truncated — and
         members whose renaming cannot be built — fall back to direct
-        execution: symmetry must never degrade an answer."""
+        execution: symmetry must never degrade an answer.
+
+        Returns ``(reports, jobs_skipped, audit_runs)``: audit re-executions
+        are real engine runs whose reports are discarded after comparison,
+        so they are counted separately instead of silently skewing the
+        classes-plus-skipped accounting."""
         by_key = {(report.element, report.port): report for report in reports}
         rng = random.Random(self._symmetry_audit_seed)
         out = list(reports)
         skipped = 0
+        audit_runs = 0
         for rep_job, members, fingerprint in plan.classes:
             class_id = fingerprint[:16]
             rep_report = by_key.get((rep_job.element, rep_job.port))
@@ -1365,6 +1409,7 @@ class VerificationCampaign:
                 skipped += 1
                 if index == audit_index:
                     direct = execute_job(member)
+                    audit_runs += 1
                     if semantic_projection(direct) != semantic_projection(
                         instantiated
                     ):
@@ -1378,19 +1423,82 @@ class VerificationCampaign:
                             "for this network"
                         )
                 out.append(instantiated)
-        return out, skipped
+        return out, skipped, audit_runs
+
+    # -- delta ---------------------------------------------------------------------
+
+    def _delta_partition(
+        self, jobs: List[CampaignJob]
+    ) -> Tuple[List[CampaignJob], List[JobReport], Dict[str, object]]:
+        """Split the job set against the baseline: ``(jobs to execute,
+        spliced reports, delta info)``.
+
+        A job is spliced — answered from the baseline without touching the
+        engine — only when every link in the proof holds: the topology is
+        unchanged, the job's element cannot reach any touched element along
+        the link graph, and the baseline holds a report for this exact port
+        under this exact job config.  Any gap puts the job back on the
+        execute list; delta never degrades an answer."""
+        baseline = self._baseline
+        origin = self._baseline_origin
+        if (
+            baseline is None
+            and self._delta
+            and self._store is not None
+            and self._shared_cache
+            and self.source.kind == "directory"
+            and self.source.directory
+        ):
+            baseline = CampaignBaseline.from_payload(
+                self._store.get_baseline(self.source.directory)
+            )
+            origin = "store"
+        if baseline is None:
+            return jobs, [], {}
+        manifest = ElementManifest.of_network(self.network())
+        if manifest is None:
+            return jobs, [], {"spliced": 0, "reason": "no build manifest"}
+        diff = diff_manifests(baseline.manifest, manifest)
+        if not diff.compatible:
+            return jobs, [], {"spliced": 0, "reason": diff.reason}
+        affected = affected_injections(
+            self.network(),
+            [(job.element, job.port) for job in jobs],
+            diff.touched_elements,
+        )
+        exec_jobs: List[CampaignJob] = []
+        spliced: List[JobReport] = []
+        for job in jobs:
+            payload = None
+            if (job.element, job.port) not in affected:
+                payload = baseline.report_for(
+                    port_key(job.element, job.port), _job_config_digest(job)
+                )
+            if payload is None:
+                exec_jobs.append(job)
+            else:
+                spliced.append(report_from_payload(payload, spliced_from=origin))
+        info: Dict[str, object] = {
+            "spliced": len(spliced),
+            "executed": len(exec_jobs),
+            "baseline": origin,
+            "touched_files": list(diff.touched_files),
+            "touched_elements": list(diff.touched_elements),
+        }
+        return exec_jobs, spliced, info
 
     def run(self, workers: int = 1) -> CampaignResult:
         started = time.perf_counter()
         validation_problems = self.validate()
         jobs = self.jobs()
-        plan = self._symmetry_partition(jobs)
+        delta_jobs, spliced_reports, delta_info = self._delta_partition(jobs)
+        plan = self._symmetry_partition(delta_jobs)
         exec_jobs = (
-            jobs
+            delta_jobs
             if plan is None
             else [
                 job
-                for job in jobs
+                for job in delta_jobs
                 if (job.element, job.port) not in plan.member_keys
             ]
         )
@@ -1445,8 +1553,12 @@ class VerificationCampaign:
             # sequential path executes against this campaign's own build.
             reports = [execute_job(job) for job in exec_jobs]
         jobs_skipped = 0
+        audit_runs = 0
         if plan is not None:
-            reports, jobs_skipped = self._instantiate_members(plan, reports)
+            reports, jobs_skipped, audit_runs = self._instantiate_members(
+                plan, reports
+            )
+        reports = reports + spliced_reports
         result = CampaignResult.aggregate(
             self.source.describe(),
             self._job_template.queries,
@@ -1460,6 +1572,10 @@ class VerificationCampaign:
             plan.class_count if plan is not None else 0
         )
         result.stats.jobs_skipped_by_symmetry = jobs_skipped
+        result.stats.symmetry_audit_runs = audit_runs
+        result.stats.jobs_spliced_by_delta = len(spliced_reports)
+        if delta_info:
+            result.delta_info = dict(delta_info)
         if self._warm_cache:
             result.absorb_warm_entries(self._warm_cache)
         if self._store is not None and self._shared_cache:
@@ -1485,4 +1601,30 @@ class VerificationCampaign:
                     stacklevel=2,
                 )
                 result.stats.store_entries_published = 0
+        if self.source.kind == "directory" and self.source.directory:
+            # Record this run as the directory's delta baseline: the build
+            # manifest plus every non-errored report (executed, instantiated
+            # or itself spliced — all carry the same semantic content a
+            # fresh run would).  Attached to the result for --save-baseline;
+            # persisted in the store so the next campaign auto-detects it.
+            manifest = ElementManifest.of_network(self.network())
+            if manifest is not None:
+                configs = {
+                    port_key(job.element, job.port): _job_config_digest(job)
+                    for job in jobs
+                }
+                result.baseline_payload = baseline_payload(
+                    manifest,
+                    configs,
+                    result.jobs,
+                    source=os.path.abspath(self.source.directory),
+                )
+                if (
+                    self._delta
+                    and self._store is not None
+                    and self._shared_cache
+                ):
+                    self._store.put_baseline(
+                        self.source.directory, result.baseline_payload
+                    )
         return result

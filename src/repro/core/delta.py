@@ -1,0 +1,285 @@
+"""Delta verification: re-verify only what a change touched.
+
+The paper's operational pitch is verification fast enough to run on every
+network change — but a naive rerun after editing one device file re-executes
+every injection port.  This module closes that gap for snapshot-directory
+networks:
+
+* :class:`ElementManifest` is the per-element content identity a build
+  records (``topology.txt`` digest + per-snapshot-file digest + the element
+  names each file expanded into) — see
+  :func:`repro.parsers.topology_file.load_network_directory`, which attaches
+  it to the network it returns at zero extra I/O.
+* :func:`diff_manifests` compares the manifest a previous campaign ran
+  against with the manifest of the directory as it stands now, yielding the
+  *touched element set* (or "incompatible" when the topology itself changed
+  and a full rerun is the only sound answer).
+* :func:`affected_injections` maps touched elements to the injection ports
+  whose answers could depend on them, via the element-level reverse link
+  closure (:func:`repro.network.view.elements_reaching`) — a sound
+  over-approximation of anything the engine can traverse.
+* :class:`CampaignBaseline` packages a previous run's manifest plus its
+  per-port :class:`~repro.core.campaign.JobReport` payloads; the campaign
+  splices baseline reports for unaffected ports into the fresh result and
+  executes only the rest (one edited ACL on a wide network ≈ one engine
+  job, and symmetry still collapses whatever does rerun).
+
+The standing invariant applies: delta on/off changes which tier answers,
+never the answer — a spliced result is bit-identical to a full rerun.
+Anything malformed, stale or unprovable therefore degrades to "execute the
+job", never to "trust the baseline".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.network.view import elements_reaching
+
+#: Baseline payload format version; bump on incompatible layout changes
+#: (readers reject unknown versions and fall back to a full rerun).
+BASELINE_FORMAT = 1
+
+#: The JobReport fields a baseline persists: exactly the semantic content
+#: (what the answer is), none of the provenance (who computed it, how fast).
+_REPORT_FIELDS = (
+    "element",
+    "port",
+    "packet",
+    "status_counts",
+    "delivered_to",
+    "loops",
+    "drop_reasons",
+    "invariants",
+    "visibility",
+    "witnesses",
+    "delivered_examples",
+    "truncated",
+)
+
+
+@dataclass
+class ElementManifest:
+    """Per-element content identity of one snapshot directory build."""
+
+    #: sha256 of the exact ``topology.txt`` bytes the build parsed.
+    topology_digest: str
+    #: snapshot file name -> {"digest": sha256 hex, "elements": [names]}.
+    files: Dict[str, Dict[str, object]]
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "topology_digest": self.topology_digest,
+            "files": {
+                name: {
+                    "digest": str(entry.get("digest", "")),
+                    "elements": sorted(str(e) for e in entry.get("elements", ())),
+                }
+                for name, entry in self.files.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> Optional["ElementManifest"]:
+        """Parse a manifest payload, ``None`` on anything malformed."""
+        if not isinstance(payload, Mapping):
+            return None
+        digest = payload.get("topology_digest")
+        files = payload.get("files")
+        if not isinstance(digest, str) or not isinstance(files, Mapping):
+            return None
+        parsed: Dict[str, Dict[str, object]] = {}
+        for name, entry in files.items():
+            if not isinstance(entry, Mapping) or not isinstance(
+                entry.get("digest"), str
+            ):
+                return None
+            parsed[str(name)] = {
+                "digest": entry["digest"],
+                "elements": [str(e) for e in entry.get("elements", ())],
+            }
+        return cls(topology_digest=digest, files=parsed)
+
+    @classmethod
+    def of_network(cls, network: object) -> Optional["ElementManifest"]:
+        """The manifest a directory build attached to its network
+        (``None`` for networks that did not come from a directory)."""
+        return cls.from_payload(getattr(network, "source_manifest", None))
+
+
+@dataclass(frozen=True)
+class ManifestDiff:
+    """What changed between two builds of the same directory."""
+
+    compatible: bool
+    reason: str = ""
+    touched_files: Tuple[str, ...] = ()
+    touched_elements: Tuple[str, ...] = ()
+
+
+def diff_manifests(old: ElementManifest, new: ElementManifest) -> ManifestDiff:
+    """The touched element set between two manifests, or "incompatible"
+    when the link structure itself may have changed (topology edit,
+    referenced-file set change): element-level splicing is only sound when
+    both builds share one link graph, which an identical ``topology.txt``
+    guarantees."""
+    if old.topology_digest != new.topology_digest:
+        return ManifestDiff(False, "topology.txt changed")
+    if set(old.files) != set(new.files):
+        return ManifestDiff(False, "referenced snapshot set changed")
+    touched_files = sorted(
+        name
+        for name in new.files
+        if new.files[name]["digest"] != old.files[name]["digest"]
+    )
+    touched: Set[str] = set()
+    for name in touched_files:
+        # Union of both sides: an edit can change which elements a file
+        # expands into (click configs), and an element present in either
+        # build taints every port that could reach its name.
+        touched.update(str(e) for e in old.files[name].get("elements", ()))
+        touched.update(str(e) for e in new.files[name].get("elements", ()))
+    return ManifestDiff(True, "", tuple(touched_files), tuple(sorted(touched)))
+
+
+def affected_injections(
+    network: object,
+    injections: Iterable[Tuple[str, str]],
+    touched_elements: Iterable[str],
+) -> Set[Tuple[str, str]]:
+    """The injection ports whose answers could depend on a touched element:
+    every port whose element reaches a touched name along the link graph."""
+    touched = set(touched_elements)
+    if not touched:
+        return set()
+    reaching = elements_reaching(network, touched)
+    return {(elem, port) for elem, port in injections if elem in reaching}
+
+
+def report_to_payload(report: object) -> Dict[str, object]:
+    """One JobReport's semantic content as a JSON-able payload (the
+    inverse of :func:`report_from_payload`)."""
+    return {name: getattr(report, name) for name in _REPORT_FIELDS}
+
+
+def report_from_payload(payload: Mapping[str, object], spliced_from: str):
+    """Rebuild a JobReport from a baseline payload.  Solver and timing
+    counters stay zero — no engine work happened for this port — and the
+    report is marked with where it was spliced from, so JSON consumers can
+    tell a reused answer from a recomputed one."""
+    from repro.core.campaign import JobReport
+
+    report = JobReport(
+        element=str(payload["element"]),
+        port=str(payload["port"]),
+        packet=str(payload["packet"]),
+        delta_spliced_from=spliced_from,
+    )
+    report.status_counts = {str(k): int(v) for k, v in payload["status_counts"].items()}
+    report.delivered_to = {str(k): int(v) for k, v in payload["delivered_to"].items()}
+    report.loops = [
+        {
+            "detected_at": str(loop.get("detected_at", "")),
+            "reason": str(loop.get("reason", "")),
+            "trace": [str(port) for port in loop.get("trace", ())],
+        }
+        for loop in payload["loops"]
+    ]
+    report.drop_reasons = {str(k): int(v) for k, v in payload["drop_reasons"].items()}
+    report.invariants = {
+        str(name): {str(k): int(v) for k, v in cell.items()}
+        for name, cell in payload["invariants"].items()
+    }
+    report.visibility = {
+        str(name): {
+            str(dest): {str(k): int(v) for k, v in cell.items()}
+            for dest, cell in row.items()
+        }
+        for name, row in payload["visibility"].items()
+    }
+    report.witnesses = {
+        str(name): {str(dest): [int(v) for v in vals] for dest, vals in row.items()}
+        for name, row in payload["witnesses"].items()
+    }
+    report.delivered_examples = {
+        str(dest): [str(port) for port in trace]
+        for dest, trace in payload["delivered_examples"].items()
+    }
+    report.truncated = bool(payload["truncated"])
+    return report
+
+
+@dataclass
+class CampaignBaseline:
+    """A previous campaign's manifest plus its per-port report payloads —
+    what delta verification splices unaffected answers from."""
+
+    manifest: ElementManifest
+    #: ``element:port`` -> {"config": job config digest, "report": payload}.
+    reports: Dict[str, Dict[str, object]]
+    #: Directory the baseline was recorded for (informational).
+    source: str = ""
+
+    def report_for(
+        self, key: str, config: str
+    ) -> Optional[Mapping[str, object]]:
+        """The stored payload for one port, but only when the job that
+        produced it ran under exactly the same behaviour-relevant config
+        (packet, queries, budgets — see ``_job_config_digest``)."""
+        entry = self.reports.get(key)
+        if not isinstance(entry, Mapping) or entry.get("config") != config:
+            return None
+        payload = entry.get("report")
+        return payload if isinstance(payload, Mapping) else None
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "format": BASELINE_FORMAT,
+            "source": self.source,
+            "manifest": self.manifest.to_payload(),
+            "reports": self.reports,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> Optional["CampaignBaseline"]:
+        """Parse a baseline payload; ``None`` on anything malformed (the
+        caller falls back to a full rerun — baselines are an accelerator,
+        never a prerequisite)."""
+        if not isinstance(payload, Mapping):
+            return None
+        if payload.get("format") != BASELINE_FORMAT:
+            return None
+        manifest = ElementManifest.from_payload(payload.get("manifest"))
+        reports = payload.get("reports")
+        if manifest is None or not isinstance(reports, Mapping):
+            return None
+        return cls(
+            manifest=manifest,
+            reports={str(k): dict(v) for k, v in reports.items()},
+            source=str(payload.get("source", "")),
+        )
+
+
+def baseline_payload(
+    manifest: ElementManifest,
+    configs: Mapping[str, str],
+    reports: Iterable[object],
+    source: str = "",
+) -> Dict[str, object]:
+    """Package a finished campaign as the next run's baseline.  Errored
+    reports are left out (their answer is not an answer); everything else —
+    executed, symmetry-instantiated or itself spliced — carries the same
+    semantic content a fresh run would produce, so all of it is reusable."""
+    entries: Dict[str, Dict[str, object]] = {}
+    for report in reports:
+        if getattr(report, "error", None) is not None:
+            continue
+        key = report.source_key
+        config = configs.get(key)
+        if config is None:
+            continue
+        entries[key] = {"config": config, "report": report_to_payload(report)}
+    return CampaignBaseline(
+        manifest=manifest, reports=entries, source=source
+    ).to_payload()

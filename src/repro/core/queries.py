@@ -386,6 +386,15 @@ class CampaignStats:
     #: instantiated from a class representative instead of executed.
     symmetry_classes: int = 0
     jobs_skipped_by_symmetry: int = 0
+    #: ``--symmetry-audit`` re-executions: real engine runs whose reports
+    #: are discarded after comparing against the instantiated member, so
+    #: they count here and never in ``jobs`` / ``jobs_skipped_by_symmetry``
+    #: (``jobs == symmetry_classes + jobs_skipped_by_symmetry`` stays true
+    #: with auditing on).
+    symmetry_audit_runs: int = 0
+    #: Delta verification (set by the campaign driver): jobs answered by
+    #: splicing a stored baseline report instead of executing anything.
+    jobs_spliced_by_delta: int = 0
     truncated_jobs: int = 0
     failed_jobs: int = 0
     wall_clock_seconds: float = 0.0
@@ -460,6 +469,8 @@ class CampaignStats:
             "store_entries_published": self.store_entries_published,
             "symmetry_classes": self.symmetry_classes,
             "jobs_skipped_by_symmetry": self.jobs_skipped_by_symmetry,
+            "symmetry_audit_runs": self.symmetry_audit_runs,
+            "jobs_spliced_by_delta": self.jobs_spliced_by_delta,
             "cache_hit_rate": self.cache_hit_rate,
             "verdict_cache_entries": self.verdict_cache_entries,
             "truncated_jobs": self.truncated_jobs,

@@ -783,3 +783,30 @@ def build_renaming(
         for (elem, direction, port), member_port in port_map.items()
     }
     return SymmetryRenaming(element_map, port_name_map, text_pairs)
+
+
+def elements_reaching(network, targets: Iterable[str]) -> set:
+    """Every element name that can reach any of ``targets`` along the
+    network's link graph (the targets themselves included).
+
+    This is the element-level neighbourhood relation the symmetry view's
+    entity graph encodes structurally, exposed as a plain reverse closure
+    for delta verification: an injection port's answer can only depend on
+    elements its element reaches, so a port whose element is *not* in the
+    closure of the touched set is provably unaffected by the touch.  The
+    walk runs over link endpoints *by name* — dangling links included — and
+    ignores programs entirely, so it is a sound over-approximation of
+    anything the engine (which only follows links) can traverse.
+    """
+    reverse: Dict[str, set] = {}
+    for link in network.links:
+        reverse.setdefault(link.destination.element, set()).add(link.source.element)
+    seen = set(targets)
+    frontier = list(seen)
+    while frontier:
+        node = frontier.pop()
+        for upstream in reverse.get(node, ()):
+            if upstream not in seen:
+                seen.add(upstream)
+                frontier.append(upstream)
+    return seen

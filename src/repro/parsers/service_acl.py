@@ -1,0 +1,84 @@
+"""Service-ACL snapshot parser: a zone-edge port-blocking ACL as a file.
+
+The snapshot format is one rule per line::
+
+    # lines starting with '#' are comments
+    block 23
+    block 445
+
+Each ``block P`` rule drops any packet whose TCP source *or* destination
+port equals ``P``; packets matching no rule are forwarded from ``in0`` to
+``out0``.  This is the on-disk form of the synthetic zone-edge service ACL
+the Stanford-style workload builds in process
+(:func:`repro.workloads.stanford.build_service_acl`): both construct their
+element through :func:`service_acl_element` so the SEFL programs — and
+therefore campaign fingerprints — are identical whichever path built them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence
+
+from repro.network.element import NetworkElement
+from repro.sefl.expressions import Eq, Or
+from repro.sefl.fields import TcpDst, TcpSrc
+from repro.sefl.instructions import Fail, Forward, If, InstructionBlock, NoOp
+
+_RULE = re.compile(r"^block\s+(?P<port>\d+)$")
+
+
+class ServiceAclParseError(Exception):
+    """Raised when a service-ACL snapshot cannot be parsed."""
+
+
+def parse_service_acl(text: str) -> List[int]:
+    """Parse a service-ACL snapshot into its blocked-port list (in file
+    order — rule order is part of the element's identity)."""
+    ports: List[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        rule = _RULE.match(line)
+        if not rule:
+            raise ServiceAclParseError(f"cannot parse service-acl line: {line!r}")
+        ports.append(int(rule.group("port")))
+    return ports
+
+
+def format_service_acl(ports: Sequence[int]) -> str:
+    """Render a blocked-port list back into the snapshot format (the
+    inverse of :func:`parse_service_acl`)."""
+    lines = [f"block {port}" for port in ports]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def service_acl_element(name: str, ports: Sequence[int]) -> NetworkElement:
+    """The service-ACL network element: one ``TcpSrc == p or TcpDst == p``
+    drop check per blocked port, then forward ``in0`` → ``out0``.
+
+    Each rule's match mixes two symbolic variables, so probing it falls
+    outside the interval-domain fast path and costs a real solve — the
+    constraint shape whose repetition across symmetric zones the canonical
+    verdict cache exists to absorb.
+    """
+    element = NetworkElement(
+        name, input_ports=["in0"], output_ports=["out0"], kind="service-acl"
+    )
+    checks = [
+        If(
+            Or(Eq(TcpSrc, port), Eq(TcpDst, port)),
+            Fail(f"blocked service port {port}"),
+            NoOp(),
+        )
+        for port in ports
+    ]
+    element.set_input_program("in0", InstructionBlock(*checks, Forward("out0")))
+    return element
+
+
+def service_acl_from_snapshot(name: str, text: str) -> NetworkElement:
+    """Build the element for one parsed snapshot (topology-file entry
+    point for ``device NAME service-acl FILE`` lines)."""
+    return service_acl_element(name, parse_service_acl(text))

@@ -8,6 +8,7 @@ topology file format accepted here::
     device sw1 switch sw1.mac
     device r1  router r1.fib
     device fw1 asa    fw1.conf
+    device a1  service-acl a1.acl
     device p1  click  pipeline.click
 
     # unidirectional links: element:port -> element:port
@@ -22,6 +23,7 @@ topology file then refers to those inner element names directly.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import re
 from typing import Dict, List, Optional, Tuple
@@ -32,6 +34,7 @@ from repro.network.topology import Network
 from repro.parsers.asa_config import parse_asa_config
 from repro.parsers.mac_table import switch_from_mac_table
 from repro.parsers.routing_table import router_from_routing_table
+from repro.parsers.service_acl import service_acl_from_snapshot
 
 _DEVICE = re.compile(r"^device\s+(?P<name>\S+)\s+(?P<kind>\S+)\s+(?P<file>\S+)$")
 _LINK = re.compile(
@@ -48,12 +51,18 @@ def parse_topology_file(
     text: str,
     snapshots: Dict[str, str],
     network: Optional[Network] = None,
+    provenance: Optional[Dict[str, List[str]]] = None,
 ) -> Network:
     """Parse a topology description.
 
     ``snapshots`` maps file names referenced in the description to their
     contents, which keeps the parser independent of the filesystem (the
     directory-based entry point below populates it from disk).
+
+    ``provenance``, when given, is filled with snapshot-file → element-names
+    entries: exactly the elements each device file's contents expanded into
+    (a ``click`` snapshot may contribute many).  Delta verification uses
+    this to map an edited file back to the network elements it defines.
     """
     network = network if network is not None else Network("parsed-topology")
     links: List[Tuple[str, str, str, str]] = []
@@ -64,6 +73,7 @@ def parse_topology_file(
             continue
         device = _DEVICE.match(line)
         if device:
+            before = set(network._elements) if provenance is not None else ()
             _build_device(
                 network,
                 device.group("name"),
@@ -71,6 +81,9 @@ def parse_topology_file(
                 device.group("file"),
                 snapshots,
             )
+            if provenance is not None:
+                created = [name for name in network._elements if name not in before]
+                provenance.setdefault(device.group("file"), []).extend(created)
             continue
         link = _LINK.match(line)
         if link:
@@ -112,6 +125,8 @@ def _build_device(
         network.add_element(router_from_routing_table(name, content))
     elif kind == "asa":
         build_asa(network, name, parse_asa_config(content))
+    elif kind == "service-acl":
+        network.add_element(service_acl_from_snapshot(name, content))
     elif kind == "click":
         parse_click_config(content, network)
     else:
@@ -133,15 +148,42 @@ def referenced_snapshot_files(topology_text: str) -> List[str]:
 
 def load_network_directory(directory: str) -> Network:
     """Load a network from a directory containing ``topology.txt`` plus the
-    per-device snapshot files it references."""
+    per-device snapshot files it references.
+
+    The returned network carries a ``source_manifest`` attribute: the
+    per-element content manifest (``topology.txt`` digest plus, for every
+    referenced snapshot file, a digest of the exact bytes this build parsed
+    and the element names they expanded into).  Digesting happens on the
+    bytes already in hand, so the manifest adds no extra I/O — it is what
+    lets :mod:`repro.core.delta` later tell *which* elements an edited
+    directory actually touched.
+    """
     topology_path = os.path.join(directory, "topology.txt")
-    with open(topology_path, encoding="utf-8") as handle:
-        topology_text = handle.read()
+    with open(topology_path, "rb") as handle:
+        topology_bytes = handle.read()
+    topology_text = topology_bytes.decode("utf-8")
     snapshots: Dict[str, str] = {}
+    raw: Dict[str, bytes] = {}
     for entry in os.listdir(directory):
         path = os.path.join(directory, entry)
         if entry == "topology.txt" or not os.path.isfile(path):
             continue
-        with open(path, encoding="utf-8") as handle:
-            snapshots[entry] = handle.read()
-    return parse_topology_file(topology_text, snapshots)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        raw[entry] = data
+        snapshots[entry] = data.decode("utf-8")
+    provenance: Dict[str, List[str]] = {}
+    network = parse_topology_file(topology_text, snapshots, provenance=provenance)
+    network.source_manifest = {
+        "topology_digest": hashlib.sha256(topology_bytes).hexdigest(),
+        "files": {
+            name: {
+                "digest": hashlib.sha256(raw[name]).hexdigest(),
+                "elements": sorted(provenance.get(name, [])),
+            }
+            for name in referenced_snapshot_files(topology_text)
+            if name in raw
+        },
+    }
+    return network
+

@@ -195,26 +195,29 @@ class VerificationStore:
             yield
             return
         lock_path = os.path.join(self._shard_dir(index), ".lock")
-        try:
-            handle = open(lock_path, "a+b")
-        except OSError:
-            yield
-            return
+        # One flat acquire/yield/release: whatever happens — open failure,
+        # flock failure, an exception out of the caller's body — the single
+        # ``finally`` below releases the lock iff it was taken and closes
+        # the handle iff it was opened, so no branch can leak the file
+        # handle or leave the shard locked.
+        handle = None
+        locked = False
         try:
             try:
+                handle = open(lock_path, "a+b")
                 fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                locked = True
             except OSError:
-                yield
-                return
-            try:
-                yield
-            finally:
-                try:
-                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
-                except OSError:
-                    pass
+                pass  # best-effort: uuid-suffixed segment names still avoid clobbers
+            yield
         finally:
-            handle.close()
+            if handle is not None:
+                if locked:
+                    try:
+                        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+                    except OSError:
+                        pass
+                handle.close()
 
     # -- integrity / quarantine ------------------------------------------------
 
@@ -498,6 +501,51 @@ class VerificationStore:
                 )
         return count
 
+    # -- delta baselines ---------------------------------------------------------
+
+    def _baseline_dir(self) -> str:
+        return os.path.join(self.directory, "baselines")
+
+    def _baseline_path(self, directory: str) -> str:
+        key = hashlib.sha256(os.path.abspath(directory).encode()).hexdigest()
+        return os.path.join(self._baseline_dir(), key + ".json")
+
+    def get_baseline(self, directory: str) -> Optional[Dict[str, object]]:
+        """The recorded delta baseline for one snapshot directory (element
+        manifest + per-port job reports), or ``None``.  Unreadable or
+        structurally wrong files are a miss, never an error — baselines
+        only ever accelerate, and :mod:`repro.core.delta` re-validates the
+        payload anyway."""
+        path = self._baseline_path(directory)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def put_baseline(
+        self, directory: str, payload: Mapping[str, object]
+    ) -> None:
+        """Record a campaign's baseline payload for its directory, replacing
+        any previous one (the payload already merges spliced-forward ports,
+        so chains of edits keep a complete baseline)."""
+        os.makedirs(self._baseline_dir(), exist_ok=True)
+        try:
+            _atomic_write_json(self._baseline_path(directory), dict(payload))
+        except OSError:
+            pass  # best-effort: losing a baseline only costs a full rerun
+
+    def baseline_count(self) -> int:
+        try:
+            return sum(
+                1
+                for name in os.listdir(self._baseline_dir())
+                if name.endswith(".json")
+            )
+        except OSError:
+            return 0
+
     # -- inspection ---------------------------------------------------------------
 
     def describe(self) -> Dict[str, object]:
@@ -530,6 +578,7 @@ class VerificationStore:
             "segments": sum(cell["segments"] for cell in per_shard.values()),
             "per_shard": per_shard,
             "plans": self.plan_count(),
+            "baselines": self.baseline_count(),
             "quarantined": quarantine_files,
             "content_token": self.content_token(),
         }

@@ -1,0 +1,117 @@
+"""Export synthetic workloads as §7.1 snapshot directories.
+
+The synthetic builders (:mod:`repro.workloads.stanford`,
+:mod:`repro.workloads.department`) construct their networks in process.
+Delta verification, however, is about directories: its manifest diffs the
+on-disk device files a build parsed.  This module writes the workloads out
+in exactly the format ``topology.txt`` + per-device snapshots the parser
+reads back (:func:`repro.parsers.topology_file.load_network_directory`),
+so tests and benchmarks can edit one device file and measure what a rerun
+re-executes.
+
+The exported network is parse(format(x)) of the in-process one: routers
+round-trip through :func:`repro.parsers.routing_table.format_routing_table`,
+switches through :func:`repro.parsers.mac_table.format_mac_table` and
+service ACLs through :func:`repro.parsers.service_acl.format_service_acl`,
+all of which are exact inverses of their parsers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from repro.parsers.mac_table import format_mac_table
+from repro.parsers.routing_table import format_routing_table
+from repro.parsers.service_acl import format_service_acl
+from repro.sefl.util import ip_to_number
+from repro.workloads.stanford import SERVICE_ACL_PORTS, build_stanford_like_backbone
+
+
+def _write(directory: str, name: str, content: str) -> None:
+    with open(os.path.join(directory, name), "w", encoding="utf-8") as handle:
+        handle.write(content)
+
+
+def export_stanford_directory(
+    directory: str,
+    zones: int = 16,
+    internal_prefixes_per_zone: int = 200,
+    service_acl_rules: int = 4,
+    seed: int = 11,
+) -> List[Tuple[str, str]]:
+    """Write the Stanford-style backbone (zone routers dual-homed to two
+    cores, each zone fronted by a service ACL) as a snapshot directory.
+
+    Returns the campaign injection ports: one per zone-edge ACL — the same
+    vantage points :func:`repro.workloads.stanford.campaign_network` uses,
+    so campaigns over the directory and over the in-process workload ask
+    the same question.
+    """
+    workload = build_stanford_like_backbone(
+        zones=zones,
+        internal_prefixes_per_zone=internal_prefixes_per_zone,
+        seed=seed,
+    )
+    lines: List[str] = ["# Stanford-style backbone exported as device snapshots"]
+    for name in list(workload.zone_routers) + list(workload.core_routers):
+        _write(directory, f"{name}.fib", format_routing_table(workload.fibs[name]))
+        lines.append(f"device {name} router {name}.fib")
+    injections: List[Tuple[str, str]] = []
+    acl_text = format_service_acl(SERVICE_ACL_PORTS[:service_acl_rules])
+    for index, router in enumerate(workload.zone_routers):
+        acl = f"acl{index}"
+        _write(directory, f"{acl}.acl", acl_text)
+        lines.append(f"device {acl} service-acl {acl}.acl")
+        lines.append(f"link {acl}:out0 -> {router}:in-hosts")
+        injections.append((acl, "in0"))
+    for link in workload.network.links:
+        lines.append(
+            f"link {link.source.element}:{link.source.port} -> "
+            f"{link.destination.element}:{link.destination.port}"
+        )
+    _write(directory, "topology.txt", "\n".join(lines) + "\n")
+    return injections
+
+
+def export_department_style_directory(
+    directory: str,
+    switches: int = 2,
+    macs_per_port: int = 3,
+    seed: int = 23,
+) -> List[Tuple[str, str]]:
+    """Write a small department-style access network (MAC-table switches
+    uplinked to one gateway router behind a service ACL) as a snapshot
+    directory, mixing all three snapshot kinds the delta fuzz edits.
+
+    Returns the injection ports: every switch's host-facing input plus the
+    ACL-guarded WAN entry.
+    """
+    lines: List[str] = ["# department-style access network"]
+    injections: List[Tuple[str, str]] = []
+    fib = []
+    for index in range(switches):
+        name = f"sw{index}"
+        base = 0x02_00_00_00_00_00 + (seed * 251 + index) * 0x100
+        table: Dict[str, List[int]] = {
+            "uplink": [base + 0x40 + i for i in range(macs_per_port)],
+            "hosts": [base + i for i in range(macs_per_port)],
+        }
+        _write(directory, f"{name}.mac", format_mac_table(table, vlan=302))
+        lines.append(f"device {name} switch {name}.mac")
+        lines.append(f"link {name}:uplink -> gw:in-{name}")
+        # Downlinks land on a dedicated port so the parser-default ``in0``
+        # stays free — that's the host-side injection vantage.
+        lines.append(f"link gw:{name} -> {name}:in-uplink")
+        injections.append((name, "in0"))
+        fib.append((ip_to_number(f"10.{40 + index}.0.0"), 16, name))
+    fib.append((0, 0, "wan"))
+    _write(directory, "gw.fib", format_routing_table(fib))
+    lines.append("device gw router gw.fib")
+    _write(directory, "edge.acl", format_service_acl(SERVICE_ACL_PORTS[:2]))
+    lines.append("device edge service-acl edge.acl")
+    lines.append("link edge:out0 -> gw:in-wan")
+    lines.append("link gw:wan -> edge:in-wan")
+    injections.append(("edge", "in0"))
+    _write(directory, "topology.txt", "\n".join(lines) + "\n")
+    return injections

@@ -19,9 +19,7 @@ from repro.baselines.hsa import HsaNetwork, TransferFunction, TransferRule, Wild
 from repro.models.router import FibEntry, RouterModelStyle, build_router
 from repro.network.element import NetworkElement
 from repro.network.topology import Network
-from repro.sefl.expressions import Eq, Or
-from repro.sefl.fields import TcpDst, TcpSrc
-from repro.sefl.instructions import Fail, Forward, If, InstructionBlock, NoOp
+from repro.parsers.service_acl import service_acl_element
 from repro.sefl.util import ip_to_number
 
 #: Campus-wide blocked service ports, most infamous first.  Every zone edge
@@ -145,21 +143,7 @@ def build_service_acl(name: str, rules: int) -> NetworkElement:
         raise ValueError(
             f"at most {len(SERVICE_ACL_PORTS)} service ACL rules available"
         )
-    element = NetworkElement(
-        name, input_ports=["in0"], output_ports=["out0"], kind="service-acl"
-    )
-    checks = [
-        If(
-            Or(Eq(TcpSrc, port), Eq(TcpDst, port)),
-            Fail(f"blocked service port {port}"),
-            NoOp(),
-        )
-        for port in SERVICE_ACL_PORTS[:rules]
-    ]
-    element.set_input_program(
-        "in0", InstructionBlock(*checks, Forward("out0"))
-    )
-    return element
+    return service_acl_element(name, SERVICE_ACL_PORTS[:rules])
 
 
 def campaign_network(

@@ -452,3 +452,120 @@ class TestStoreCommands:
         assert stats["store_entries_loaded"] > 0
         assert stats["store_entries_published"] == 0
         assert stats["solver_cache_misses"] == 0
+
+
+class TestDeltaCli:
+    """``--delta`` / ``--delta-from`` / ``--save-baseline`` plumbing, plus
+    the ``--symmetry-audit-seed`` misuse warning."""
+
+    def _export(self, tmp_path):
+        from repro.workloads.export import export_stanford_directory
+
+        net = tmp_path / "net"
+        net.mkdir()
+        export_stanford_directory(
+            str(net), zones=3, internal_prefixes_per_zone=6,
+            service_acl_rules=3,
+        )
+        return net
+
+    def _inject_acls(self):
+        args = []
+        for index in range(3):
+            args += ["--inject", f"acl{index}:in0"]
+        return args
+
+    def test_audit_seed_without_audit_warns(self, network_dir, capsys):
+        assert main(
+            ["campaign", str(network_dir), "--symmetry-audit-seed", "3"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "--symmetry-audit-seed has no effect" in err
+        assert main(
+            [
+                "campaign", str(network_dir),
+                "--symmetry-audit", "--symmetry-audit-seed", "3",
+            ]
+        ) == 0
+        assert "has no effect" not in capsys.readouterr().err
+
+    def test_store_delta_splices_and_matches_scratch(self, tmp_path, capsys):
+        from repro.core.campaign import clear_runtime_cache
+
+        net = self._export(tmp_path)
+        store = tmp_path / "store"
+        inject = self._inject_acls()
+        clear_runtime_cache()
+        assert main(
+            [
+                "campaign", str(net), "--store-dir", str(store), *inject,
+                "-o", str(tmp_path / "cold.json"),
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        (net / "acl1.acl").write_text("block 22\n")
+        clear_runtime_cache()
+        assert main(
+            [
+                "campaign", str(net), "--store-dir", str(store), *inject,
+                "-o", str(tmp_path / "delta.json"),
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "delta verification spliced 2 of 3" in err
+        delta = json.loads((tmp_path / "delta.json").read_text())
+        assert delta["delta"]["spliced"] == 2
+        assert delta["delta"]["executed"] == 1
+        assert delta["delta"]["baseline"] == "store"
+        assert delta["delta"]["touched_files"] == ["acl1.acl"]
+        assert delta["stats"]["jobs_spliced_by_delta"] == 2
+
+        clear_runtime_cache()
+        assert main(
+            [
+                "campaign", str(net), "--no-shared-cache", "--no-delta",
+                *inject, "-o", str(tmp_path / "scratch.json"),
+            ]
+        ) == 0
+        capsys.readouterr()
+        scratch = json.loads((tmp_path / "scratch.json").read_text())
+        for section in ("reachability", "loops", "invariants"):
+            assert delta[section] == scratch[section]
+
+    def test_save_baseline_delta_from_round_trip(self, tmp_path, capsys):
+        from repro.core.campaign import clear_runtime_cache
+
+        net = self._export(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        inject = self._inject_acls()
+        clear_runtime_cache()
+        assert main(
+            ["campaign", str(net), *inject, "--save-baseline", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(baseline.read_text())
+        assert payload["format"] == 1
+        assert payload["manifest"]["files"]
+
+        (net / "acl0.acl").write_text("block 22\nblock 443\n")
+        clear_runtime_cache()
+        assert main(
+            [
+                "campaign", str(net), *inject,
+                "--delta-from", str(baseline),
+                "-o", str(tmp_path / "out.json"),
+            ]
+        ) == 0
+        capsys.readouterr()
+        out = json.loads((tmp_path / "out.json").read_text())
+        assert out["delta"]["baseline"] == "file"
+        assert out["delta"]["spliced"] == 2
+        assert out["delta"]["executed"] == 1
+
+    def test_unusable_delta_from_fails_cleanly(self, tmp_path):
+        net = self._export(tmp_path)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="unusable baseline"):
+            main(["campaign", str(net), "--delta-from", str(bad)])

@@ -642,6 +642,53 @@ class TestShardLock:
         clear_load_cache()
         assert VerificationStore(str(tmp_path)).load() == entries
 
+    def test_publish_survives_forced_lock_acquire_failure(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: when ``flock`` itself fails, both publishes must
+        still land (best-effort degradation) and no lock-file handle may
+        leak from the failure branch."""
+        import builtins
+
+        import repro.store.store as store_module
+
+        class BrokenFlock:
+            LOCK_EX = getattr(store_module.fcntl, "LOCK_EX", 2)
+            LOCK_UN = getattr(store_module.fcntl, "LOCK_UN", 8)
+
+            @staticmethod
+            def flock(fd, op):
+                raise OSError("flock refused")
+
+        monkeypatch.setattr(store_module, "fcntl", BrokenFlock)
+
+        lock_handles = []
+        real_open = builtins.open
+
+        def tracking_open(file, *args, **kwargs):
+            handle = real_open(file, *args, **kwargs)
+            if isinstance(file, str) and file.endswith(".lock"):
+                lock_handles.append(handle)
+            return handle
+
+        monkeypatch.setattr(builtins, "open", tracking_open)
+
+        rng = random.Random(SEED + 11)
+        first = random_entries(rng, 8)
+        second = random_entries(rng, 8)
+        store = VerificationStore(str(tmp_path), shards=2)
+        store.publish(first)
+        store.publish(second)
+
+        assert lock_handles, "the lock path was never exercised"
+        assert all(handle.closed for handle in lock_handles)
+        from repro.store import clear_load_cache
+
+        clear_load_cache()
+        merged = dict(first)
+        merged.update(second)
+        assert VerificationStore(str(tmp_path)).load() == merged
+
     def test_lock_files_are_not_segments(self, tmp_path):
         rng = random.Random(SEED + 7)
         store = VerificationStore(str(tmp_path), shards=1)

@@ -311,6 +311,37 @@ def test_symmetry_audit_detects_corrupted_instantiation(monkeypatch):
         campaign.run()
 
 
+def test_symmetry_audit_accounting_stays_consistent():
+    """Regression: audit re-executions are real engine runs whose reports
+    are discarded — they must land in ``symmetry_audit_runs``, not skew
+    ``jobs == symmetry_classes + jobs_skipped_by_symmetry``."""
+    from repro.core.campaign import execution_counters, reset_execution_counters
+
+    network, injections = build_symmetric_case(SEED + 9, zones=5)
+    campaign = _campaign(
+        network, injections, symmetry=True, symmetry_audit=True
+    )
+    reset_execution_counters()
+    result = campaign.run()
+    stats = result.stats
+    assert stats.symmetry_classes == 1
+    assert stats.jobs_skipped_by_symmetry == 4
+    assert stats.symmetry_audit_runs == 1
+    assert stats.jobs == stats.symmetry_classes + stats.jobs_skipped_by_symmetry
+    # Engine-run accounting: one run per class plus exactly the audits.
+    assert (
+        execution_counters()["engine_runs"]
+        == stats.symmetry_classes + stats.symmetry_audit_runs
+    )
+    assert result.to_dict()["stats"]["symmetry_audit_runs"] == 1
+
+    # Without auditing the counter stays zero.
+    network, injections = build_symmetric_case(SEED + 9, zones=5)
+    plain = _campaign(network, injections, symmetry=True).run()
+    assert plain.stats.symmetry_audit_runs == 0
+    assert _fingerprints(plain) == _fingerprints(result)
+
+
 def test_symmetry_audit_is_seed_pinned():
     """Two audited runs under one seed re-execute the same member."""
     for _ in range(2):
