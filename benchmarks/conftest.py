@@ -53,6 +53,15 @@ BENCH_DELTA_JSON_PATH = os.environ.get(
 )
 
 
+#: Machine-readable records for the resident-service benchmark: batch wall
+#: time vs time-to-first-result under the streaming demux, and the merged
+#: cost of two concurrent clients vs two standalone runs.
+BENCH_SERVE_JSON_PATH = os.environ.get(
+    "SYMNET_BENCH_SERVE_JSON",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_serve.json"),
+)
+
+
 def scaled(small, full):
     """Pick a workload size depending on the requested scale."""
     return full if FULL_SCALE else small
@@ -156,6 +165,16 @@ def bench_delta_json():
     yield records
     if records:
         _merge_bench_records(BENCH_DELTA_JSON_PATH, records)
+
+
+@pytest.fixture(scope="session")
+def bench_serve_json():
+    """Collect resident-service streaming benchmark records and merge them
+    into ``BENCH_serve.json`` at the end of the session."""
+    records = []
+    yield records
+    if records:
+        _merge_bench_records(BENCH_SERVE_JSON_PATH, records)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,108 @@
+"""Resident verification service: a session server with streamed answers.
+
+``python -m repro.cli serve`` keeps network models, the worker pool and
+the verification store hot across requests, merges compatible concurrent
+query batches into one shared plan (two clients asking about the same
+injection port share one engine job), and streams each query's answer the
+moment its own jobs have reported — bit-identical to a batch run.
+
+This example starts the service in-process on an ephemeral port, then
+speaks the line-delimited JSON protocol through the blocking client: one
+request scoped to a single port (answered early, while the rest of the
+network is still executing) and one whole-network sweep.
+
+Run with::
+
+    python examples/resident_service.py
+"""
+
+import asyncio
+import json
+import queue
+import threading
+
+from repro.serve import ServiceClient, VerificationService, run_server
+
+NETWORK = {"workload": "department"}
+
+
+def start_background_service():
+    """The service on its own event-loop thread; returns (host, port, stop)."""
+    service = VerificationService(workers=1, batch_window=0.05)
+    ready = queue.Queue()
+    loop = asyncio.new_event_loop()
+    holder = {}
+
+    class ReadyStream:
+        def write(self, text):
+            ready.put(json.loads(text))
+
+        def flush(self):
+            pass
+
+    async def main():
+        holder["task"] = asyncio.current_task()
+        await run_server(service, port=0, ready_stream=ReadyStream())
+
+    def runner():
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(main())
+        except asyncio.CancelledError:
+            pass
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    info = ready.get(timeout=60)
+
+    def stop():
+        loop.call_soon_threadsafe(holder["task"].cancel)
+        thread.join(timeout=60)
+
+    return info["host"], info["port"], stop
+
+
+def main() -> None:
+    host, port, stop = start_background_service()
+    print(f"service listening on {host}:{port}\n")
+    try:
+        with ServiceClient(host, port) as client:
+            # One batch mixing a port-scoped question with whole-network
+            # sweeps: the scoped answer streams as soon as its one port's
+            # job reports, while the other jobs are still executing.
+            print("== scoped + whole-network batch, answers streamed")
+            for message in client.query(
+                NETWORK,
+                ["loop(cluster:in-node)", "loop()", "forall_pairs(reach)"],
+            ):
+                if message["type"] == "result":
+                    print(
+                        f"  {message['query']} -> holds={message['holds']} "
+                        f"(at {message['jobs_reported']}/"
+                        f"{message['jobs_total']} jobs)"
+                    )
+
+            # A second request over the (now-resident) model: the network
+            # is not rebuilt, and with a --store-dir the repeated batch
+            # would come straight from the plan cache.
+            print("== second request, model already resident")
+            for message in client.query(NETWORK, ["invariant(IpSrc)"]):
+                if message["type"] == "result":
+                    print(f"  {message['query']} -> holds={message['holds']}")
+                elif message["type"] == "done":
+                    print(f"  done (digest {message['fingerprint'][:16]}...)")
+
+            stats = client.stats()["service"]
+            print(
+                f"\nresident models: {stats['models_resident']} "
+                f"(built {stats['model_builds']}x for "
+                f"{stats['plans_executed']} executed plans)"
+            )
+    finally:
+        stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,7 @@ from repro.api.planner import (
     PlanResult,
     compile_plan,
     execute_plan,
+    execute_plan_streaming,
 )
 from repro.api.queries import (
     AdmittedValues,
@@ -69,6 +70,7 @@ __all__ = [
     "checks",
     "compile_plan",
     "execute_plan",
+    "execute_plan_streaming",
     "normalize_port",
     "parse_query",
 ]

@@ -243,15 +243,35 @@ class PlanContext:
     ``subreport`` rebuilds a query's aggregation backend from the filtered
     job reports **with the campaign's own aggregation code**, so a demuxed
     answer is bit-identical to a dedicated legacy campaign over the same
-    ports."""
+    ports.
 
-    def __init__(self, plan: Plan, campaign: CampaignResult) -> None:
+    Constructed either over a finished :class:`CampaignResult` (the batch
+    path) or — for the incremental demux — directly over whichever
+    :class:`JobReport` s have completed so far (``source``/``reports``): a
+    query only ever reads the jobs in its own scope, so evaluating it the
+    moment that scope is fully reported is bit-identical to evaluating it
+    after the barrier."""
+
+    def __init__(
+        self,
+        plan: Plan,
+        campaign: Optional[CampaignResult] = None,
+        *,
+        source: Optional[str] = None,
+        reports: Optional[Iterable[JobReport]] = None,
+    ) -> None:
         self.plan = plan
         self.campaign = campaign
+        if campaign is not None:
+            self._source = campaign.source
+            job_list: Iterable[JobReport] = campaign.jobs
+        else:
+            self._source = source if source is not None else plan.model.describe()
+            job_list = reports if reports is not None else ()
         self._default_keys = tuple(
             sorted(port_key(*port) for port in plan.model.injection_ports())
         )
-        self._jobs = {job.source_key: job for job in campaign.jobs}
+        self._jobs = {job.source_key: job for job in job_list}
 
     def default_scope(self) -> Tuple[str, ...]:
         return self._default_keys
@@ -288,7 +308,7 @@ class PlanContext:
                 )
                 for job in jobs
             ]
-        sub = CampaignResult.aggregate(self.campaign.source, (kind,), jobs)
+        sub = CampaignResult.aggregate(self._source, (kind,), jobs)
         return {
             "reachability": sub.reachability,
             "loops": sub.loop_report,
@@ -462,6 +482,37 @@ def execute_plan(
             restored = PlanResult.from_cached(plan, cached)
             if restored is not None:
                 return restored
+    campaign = _campaign_for(
+        plan,
+        warm_cache=warm_cache,
+        store=store,
+        cache_shards=cache_shards,
+        baseline=baseline,
+        delta=delta,
+    )
+    result = campaign.run(workers=workers)
+    ctx = PlanContext(plan, result)
+    plan_result = PlanResult(
+        plan=plan,
+        campaign=result,
+        results=tuple(query.evaluate(ctx) for query in plan.queries),
+    )
+    if model_fingerprint and plan_fingerprint and not result.job_errors:
+        store.put_plan(model_fingerprint, plan_fingerprint, plan_result.to_dict())
+    return plan_result
+
+
+def _campaign_for(
+    plan: Plan,
+    *,
+    warm_cache: Optional[Mapping[str, str]] = None,
+    store: Optional[object] = None,
+    cache_shards: Optional[int] = None,
+    baseline: Optional[object] = None,
+    delta: bool = True,
+) -> VerificationCampaign:
+    """One fully-injected campaign for a compiled plan (shared by the batch
+    and streaming executors, so both run the exact same job set)."""
     campaign_kwargs = {}
     if cache_shards is not None:
         campaign_kwargs["cache_shards"] = cache_shards
@@ -490,12 +541,106 @@ def execute_plan(
     facts = dict(plan.port_facts)
     for element, port in plan.injections:
         campaign.add_injection(element, port, facts=facts.get((element, port)))
-    result = campaign.run(workers=workers)
+    return campaign
+
+
+def execute_plan_streaming(
+    plan: Plan,
+    *,
+    workers: int = 1,
+    store: Optional[object] = None,
+    cache_shards: Optional[int] = None,
+    baseline: Optional[object] = None,
+    delta: bool = True,
+    pool: Optional[object] = None,
+    on_result=None,
+) -> PlanResult:
+    """:func:`execute_plan` with **incremental demultiplexing**: each
+    query's :class:`QueryResult` is computed — and handed to ``on_result``
+    — the moment the jobs in *its* port scope have all reported, instead of
+    after the whole campaign's barrier.
+
+    ``on_result(index, result, jobs_reported, jobs_total)`` receives the
+    query's position in ``plan.queries``, its finished result, and how many
+    of the plan's jobs had reported when it was emitted (a streamed answer
+    has ``jobs_reported < jobs_total`` whenever other jobs were still
+    outstanding — the resident service forwards these so clients see
+    answers before the slowest job lands).  ``pool`` lends the campaign an
+    already-running process pool (see
+    :meth:`~repro.core.campaign.VerificationCampaign.run`).
+
+    Invariant: every streamed result is bit-identical to what the batch
+    :func:`execute_plan` produces for the same plan — a query only ever
+    aggregates the jobs in its own scope, so nothing it reads changes after
+    its scope completes.  Plan-cache hits short-circuit exactly like the
+    batch path (every result is emitted immediately), and the returned
+    :class:`PlanResult` is built from the streamed results themselves.
+    """
+    use_store = store is not None and plan.shared_cache
+    model_fingerprint = plan.model.fingerprint() if use_store else None
+    plan_fingerprint = plan.fingerprint() if model_fingerprint else None
+    jobs_total = plan.job_count
+    if model_fingerprint and plan_fingerprint:
+        cached = store.get_plan(model_fingerprint, plan_fingerprint)
+        if cached is not None:
+            restored = PlanResult.from_cached(plan, cached)
+            if restored is not None:
+                if on_result is not None:
+                    for index, cached_result in enumerate(restored.results):
+                        on_result(index, cached_result, jobs_total, jobs_total)
+                return restored
+    campaign = _campaign_for(
+        plan,
+        store=store,
+        cache_shards=cache_shards,
+        baseline=baseline,
+        delta=delta,
+    )
+    source_description = campaign.source.describe()
+    default_keys = tuple(
+        sorted(port_key(*port) for port in plan.model.injection_ports())
+    )
+    pending: List[Tuple[int, frozenset]] = []
+    for index, query in enumerate(plan.queries):
+        keys = set()
+        if query.needs_default_injections():
+            keys.update(default_keys)
+        keys.update(port_key(*port) for port in query.injections())
+        pending.append((index, frozenset(keys)))
+    reports: Dict[str, JobReport] = {}
+    streamed: Dict[int, QueryResult] = {}
+
+    def on_report(report: JobReport) -> None:
+        reports[report.source_key] = report
+        ready = [item for item in pending if item[1] <= reports.keys()]
+        if not ready:
+            return
+        ctx = PlanContext(
+            plan, source=source_description, reports=reports.values()
+        )
+        for item in ready:
+            pending.remove(item)
+            index, _ = item
+            result = plan.queries[index].evaluate(ctx)
+            streamed[index] = result
+            if on_result is not None:
+                on_result(index, result, len(reports), jobs_total)
+
+    result = campaign.run(workers=workers, on_report=on_report, pool=pool)
     ctx = PlanContext(plan, result)
+    results: List[QueryResult] = []
+    for index, query in enumerate(plan.queries):
+        if index in streamed:
+            results.append(streamed[index])
+            continue
+        # A scope referencing ports outside the plan (defensive: compile
+        # and demux disagreeing) still gets its barrier-time answer.
+        late = query.evaluate(ctx)
+        results.append(late)
+        if on_result is not None:
+            on_result(index, late, len(result.jobs), jobs_total)
     plan_result = PlanResult(
-        plan=plan,
-        campaign=result,
-        results=tuple(query.evaluate(ctx) for query in plan.queries),
+        plan=plan, campaign=result, results=tuple(results)
     )
     if model_fingerprint and plan_fingerprint and not result.job_errors:
         store.put_plan(model_fingerprint, plan_fingerprint, plan_result.to_dict())

@@ -354,6 +354,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", "-o", default=None, help="write the JSON report to a file"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the resident verification service: a line-delimited JSON "
+        "session server that keeps models, the worker pool and the store "
+        "hot across requests, merges compatible concurrent query batches "
+        "into one shared plan, and streams each answer as soon as its own "
+        "engine jobs have reported",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port; 0 (the default) binds an ephemeral port — read the "
+        "actual one from the printed JSON ready line",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="persistent process-pool size shared by every request "
+        "(default: 1, in-process)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=8, metavar="N",
+        help="admission control: refuse (with an explicit 'overloaded' "
+        "response) when N requests are already queued (default: 8)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.05, metavar="SECONDS",
+        help="how long the scheduler keeps collecting concurrent requests "
+        "into one merged plan after the first arrives (default: 0.05)",
+    )
+    _add_store_options(serve)
+
     store = sub.add_parser(
         "store",
         help="inspect or maintain a persistent verification store directory "
@@ -679,6 +712,25 @@ def _command_store(args: argparse.Namespace) -> int:
     raise SystemExit(2)
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import VerificationService, run_server
+
+    store = _open_store(args)
+    service = VerificationService(
+        workers=args.workers,
+        store=store,
+        max_pending=args.max_pending,
+        batch_window=args.batch_window,
+    )
+    try:
+        asyncio.run(run_server(service, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args, extras = parser.parse_known_args(argv)
@@ -701,6 +753,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_query(args)
     if args.command == "store":
         return _command_store(args)
+    if args.command == "serve":
+        return _command_serve(args)
     raise SystemExit(2)
 
 

@@ -27,9 +27,20 @@ import os
 import random
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.delta import (
     CampaignBaseline,
@@ -365,6 +376,7 @@ class JobReport:
     solver_shared_round_trips: int = 0
     solver_shared_publish_batches: int = 0
     solver_shared_publish_entries: int = 0
+    solver_degraded_operations: int = 0
     #: (fingerprint, verdict) pairs this job added to its worker's verdict
     #: cache — merged into the campaign-level cache by the aggregation.
     verdict_cache_entries: Tuple[Tuple[str, str], ...] = ()
@@ -435,6 +447,7 @@ class JobReport:
                 "solver_shared_round_trips": self.solver_shared_round_trips,
                 "solver_shared_publish_batches": self.solver_shared_publish_batches,
                 "solver_shared_publish_entries": self.solver_shared_publish_entries,
+                "solver_degraded_operations": self.solver_degraded_operations,
                 "verdict_cache_entries": len(self.verdict_cache_entries),
             },
         })
@@ -689,6 +702,7 @@ def execute_job(job: CampaignJob) -> JobReport:
     report.solver_shared_round_trips = result.solver_shared_round_trips
     report.solver_shared_publish_batches = result.solver_shared_publish_batches
     report.solver_shared_publish_entries = result.solver_shared_publish_entries
+    report.solver_degraded_operations = result.solver_degraded_operations
     report.verdict_cache_entries = tuple(sorted(cache.fresh_entries().items()))
 
     try:
@@ -981,6 +995,7 @@ class CampaignResult:
                 solver_shared_cache_hits=job.solver_shared_cache_hits,
                 solver_cache_merged=job.solver_cache_merged,
                 solver_shared_round_trips=job.solver_shared_round_trips,
+                solver_degraded_operations=job.solver_degraded_operations,
                 solver_shared_publish_batches=job.solver_shared_publish_batches,
                 solver_shared_publish_entries=job.solver_shared_publish_entries,
             )
@@ -1364,65 +1379,73 @@ class VerificationCampaign:
             member_keys=member_keys,
         )
 
-    def _instantiate_members(
-        self, plan: _SymmetryPlan, reports: List[JobReport]
+    def _audit_choices(self, plan: _SymmetryPlan) -> Dict[Tuple[str, str], int]:
+        """Pre-draw the audited member index for every class, in
+        ``plan.classes`` order.  Drawing everything upfront keeps the seeded
+        choice independent of the order in which representatives *complete*
+        (streamed pool execution reports them as they land), so audit runs
+        stay reproducible under ``--symmetry-audit-seed``."""
+        if not self._symmetry_audit:
+            return {}
+        rng = random.Random(self._symmetry_audit_seed)
+        return {
+            (rep.element, rep.port): rng.randrange(len(members))
+            for rep, members, _ in plan.classes
+        }
+
+    def _expand_representative(
+        self,
+        plan: _SymmetryPlan,
+        rep_job: CampaignJob,
+        members: List[CampaignJob],
+        fingerprint: str,
+        rep_report: JobReport,
+        audit_index: int,
     ) -> Tuple[List[JobReport], int, int]:
-        """Derive every skipped member's report from its class
-        representative.  Representatives that errored or truncated — and
-        members whose renaming cannot be built — fall back to direct
+        """Derive every skipped member's report from its just-completed
+        class representative.  Representatives that errored or truncated —
+        and members whose renaming cannot be built — fall back to direct
         execution: symmetry must never degrade an answer.
 
-        Returns ``(reports, jobs_skipped, audit_runs)``: audit re-executions
-        are real engine runs whose reports are discarded after comparison,
-        so they are counted separately instead of silently skewing the
-        classes-plus-skipped accounting."""
-        by_key = {(report.element, report.port): report for report in reports}
-        rng = random.Random(self._symmetry_audit_seed)
-        out = list(reports)
+        Returns ``(member_reports, jobs_skipped, audit_runs)``: audit
+        re-executions are real engine runs whose reports are discarded
+        after comparison, so they are counted separately instead of
+        silently skewing the classes-plus-skipped accounting."""
+        class_id = fingerprint[:16]
+        if rep_report.error is not None or rep_report.truncated:
+            return [execute_job(member) for member in members], 0, 0
+        rep_report.symmetry_class = class_id
+        rep_form = plan.forms[(rep_job.element, rep_job.port)]
+        out: List[JobReport] = []
         skipped = 0
         audit_runs = 0
-        for rep_job, members, fingerprint in plan.classes:
-            class_id = fingerprint[:16]
-            rep_report = by_key.get((rep_job.element, rep_job.port))
-            if (
-                rep_report is None
-                or rep_report.error is not None
-                or rep_report.truncated
-            ):
-                out.extend(execute_job(member) for member in members)
+        for index, member in enumerate(members):
+            member_form = plan.forms[(member.element, member.port)]
+            try:
+                renaming = build_renaming(plan.view, rep_form, member_form)
+                instantiated = _instantiate_report(
+                    rep_report, member, renaming, class_id
+                )
+            except SymmetryUnsupported:
+                out.append(execute_job(member))
                 continue
-            rep_report.symmetry_class = class_id
-            rep_form = plan.forms[(rep_job.element, rep_job.port)]
-            audit_index = (
-                rng.randrange(len(members)) if self._symmetry_audit else -1
-            )
-            for index, member in enumerate(members):
-                member_form = plan.forms[(member.element, member.port)]
-                try:
-                    renaming = build_renaming(plan.view, rep_form, member_form)
-                    instantiated = _instantiate_report(
-                        rep_report, member, renaming, class_id
+            skipped += 1
+            if index == audit_index:
+                direct = execute_job(member)
+                audit_runs += 1
+                if semantic_projection(direct) != semantic_projection(
+                    instantiated
+                ):
+                    raise SymmetryAuditError(
+                        f"symmetry audit failed for "
+                        f"{member.element}:{member.port} (class "
+                        f"{class_id}, representative "
+                        f"{rep_job.element}:{rep_job.port}): the "
+                        "instantiated report differs from direct "
+                        "execution — the symmetry encoding is unsound "
+                        "for this network"
                     )
-                except SymmetryUnsupported:
-                    out.append(execute_job(member))
-                    continue
-                skipped += 1
-                if index == audit_index:
-                    direct = execute_job(member)
-                    audit_runs += 1
-                    if semantic_projection(direct) != semantic_projection(
-                        instantiated
-                    ):
-                        raise SymmetryAuditError(
-                            f"symmetry audit failed for "
-                            f"{member.element}:{member.port} (class "
-                            f"{class_id}, representative "
-                            f"{rep_job.element}:{rep_job.port}): the "
-                            "instantiated report differs from direct "
-                            "execution — the symmetry encoding is unsound "
-                            "for this network"
-                        )
-                out.append(instantiated)
+            out.append(instantiated)
         return out, skipped, audit_runs
 
     # -- delta ---------------------------------------------------------------------
@@ -1487,9 +1510,147 @@ class VerificationCampaign:
         }
         return exec_jobs, spliced, info
 
-    def run(self, workers: int = 1) -> CampaignResult:
+    # -- execution ------------------------------------------------------------------
+
+    def _execute_jobs(
+        self,
+        exec_jobs: List[CampaignJob],
+        workers: int,
+        pool: Optional[ProcessPoolExecutor],
+        finish: Callable[[JobReport], None],
+    ) -> str:
+        """Run every job, calling ``finish`` as each report completes.
+        Returns the execution mode string for the result.
+
+        Failure taxonomy (the old ``except (OSError, RuntimeError)`` around
+        ``pool.map`` conflated all three and silently re-ran everything
+        sequentially, masking genuine job errors and doubling work):
+
+        * pool *startup* failure — no usable multiprocessing in this
+          environment (restricted sandbox, missing semaphores).  Detected
+          by a probe submit before any job runs; degrade to in-process.
+        * pool *breakage* mid-run — a worker died (OOM kill, segfault).
+          ``BrokenProcessPool``; completed reports are kept and only the
+          missing jobs re-execute in-process, with a warning.
+        * *job-level* exception — ``execute_job`` already folds expected
+          failures into ``report.error``, so anything escaping it is an
+          infrastructure or invariant bug the caller must see: propagate.
+        """
+        if not exec_jobs:
+            return "in-process"
+        if not (
+            workers > 1
+            and self.source.picklable
+            and len(exec_jobs) >= self.MIN_JOBS_FOR_POOL
+        ):
+            # self.network() during planning already seeded the runtime
+            # cache, so the sequential path executes against this
+            # campaign's own build.
+            for job in exec_jobs:
+                finish(execute_job(job))
+            return "in-process"
+        import multiprocessing
+
+        manager = None
+        own_pool = None
+        active_pool = None
+        try:
+            pool_jobs = exec_jobs
+            if self._shared_cache:
+                # Process-shared verdict tier: workers publish full-solve
+                # verdicts as they land, so symmetric jobs on *different*
+                # workers stop re-solving each other's constraint sets.
+                # The fingerprint space is prefix-sharded across
+                # ``cache_shards`` Manager dicts and publishes are
+                # batched per worker (repro.store.sharding), so misses
+                # contend shard-wise instead of on one proxy lock.
+                # Manager failure only loses the shared tier, not the run.
+                try:
+                    manager = multiprocessing.Manager()
+                    tier = ShardedTier(
+                        [manager.dict() for _ in range(self._cache_shards)],
+                        batch_size=self._publish_batch,
+                    )
+                    if self._warm_cache:
+                        tier.seed(self._warm_cache)
+                    pool_jobs = [
+                        replace(job, shared_cache=tier) for job in exec_jobs
+                    ]
+                except (OSError, RuntimeError):
+                    manager = None
+            try:
+                if pool is not None:
+                    active_pool = pool
+                else:
+                    own_pool = ProcessPoolExecutor(
+                        max_workers=min(workers, len(exec_jobs))
+                    )
+                    active_pool = own_pool
+                # Startup probe: force a worker to spawn before any job is
+                # submitted, so this except provably means "no usable
+                # multiprocessing" and never swallows a job failure.
+                active_pool.submit(os.getpid).result()
+            except (OSError, RuntimeError):
+                active_pool = None
+                if own_pool is not None:
+                    own_pool.shutdown(wait=False)
+                    own_pool = None
+            if active_pool is None:
+                for job in exec_jobs:
+                    finish(execute_job(job))
+                return "in-process"
+            done_keys = set()
+            futures = {}
+            try:
+                for pool_job, job in zip(pool_jobs, exec_jobs):
+                    futures[active_pool.submit(execute_job, pool_job)] = job
+                for future in as_completed(futures):
+                    report = future.result()
+                    done_keys.add((report.element, report.port))
+                    finish(report)
+                return "process-pool"
+            except BrokenProcessPool:
+                warnings.warn(
+                    "a campaign worker process died mid-run; completed "
+                    f"reports are kept and the remaining "
+                    f"{len(exec_jobs) - len(done_keys)} job(s) re-execute "
+                    "in-process",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                for job in exec_jobs:
+                    if (job.element, job.port) in done_keys:
+                        continue
+                    finish(execute_job(job))
+                return "process-pool-recovered"
+        finally:
+            if own_pool is not None:
+                own_pool.shutdown()
+            if manager is not None:
+                manager.shutdown()
+
+    def run(
+        self,
+        workers: int = 1,
+        on_report: Optional[Callable[[JobReport], None]] = None,
+        pool: Optional[ProcessPoolExecutor] = None,
+    ) -> CampaignResult:
+        """Execute the campaign.
+
+        ``on_report`` streams every final :class:`JobReport` — spliced from
+        a delta baseline, executed, or symmetry-instantiated — to the
+        caller the moment it is known, before the rest of the campaign
+        finishes (the resident service answers queries from these before
+        the slowest job lands).  ``pool`` lends an already-running
+        :class:`ProcessPoolExecutor` (service-owned, reused across
+        requests); a borrowed pool is never shut down here.  Either way the
+        aggregated result is bit-identical to the default barrier run.
+        """
         started = time.perf_counter()
         validation_problems = self.validate()
+        store_degraded_before = (
+            self._store.degraded_operations if self._store is not None else 0
+        )
         jobs = self.jobs()
         delta_jobs, spliced_reports, delta_info = self._delta_partition(jobs)
         plan = self._symmetry_partition(delta_jobs)
@@ -1502,67 +1663,57 @@ class VerificationCampaign:
                 if (job.element, job.port) not in plan.member_keys
             ]
         )
-        reports: Optional[List[JobReport]] = None
-        mode = "in-process"
-        if (
-            workers > 1
-            and self.source.picklable
-            and len(exec_jobs) >= self.MIN_JOBS_FOR_POOL
-        ):
-            manager = None
-            try:
-                pool_jobs = exec_jobs
-                if self._shared_cache:
-                    # Process-shared verdict tier: workers publish full-solve
-                    # verdicts as they land, so symmetric jobs on *different*
-                    # workers stop re-solving each other's constraint sets.
-                    # The fingerprint space is prefix-sharded across
-                    # ``cache_shards`` Manager dicts and publishes are
-                    # batched per worker (repro.store.sharding), so misses
-                    # contend shard-wise instead of on one proxy lock.
-                    # Manager failure only loses the shared tier, not the run.
-                    import multiprocessing
-
-                    try:
-                        manager = multiprocessing.Manager()
-                        tier = ShardedTier(
-                            [manager.dict() for _ in range(self._cache_shards)],
-                            batch_size=self._publish_batch,
-                        )
-                        if self._warm_cache:
-                            tier.seed(self._warm_cache)
-                        pool_jobs = [
-                            replace(job, shared_cache=tier) for job in exec_jobs
-                        ]
-                    except (OSError, RuntimeError):
-                        manager = None
-                with ProcessPoolExecutor(
-                    max_workers=min(workers, len(exec_jobs))
-                ) as pool:
-                    reports = list(pool.map(execute_job, pool_jobs))
-                mode = "process-pool"
-            except (OSError, RuntimeError):
-                # No usable multiprocessing in this environment (restricted
-                # sandboxes, missing semaphores, ...): degrade gracefully.
-                reports = None
-            finally:
-                if manager is not None:
-                    manager.shutdown()
-        if reports is None:
-            # self.network() above already seeded the runtime cache, so the
-            # sequential path executes against this campaign's own build.
-            reports = [execute_job(job) for job in exec_jobs]
+        rep_classes: Dict[Tuple[str, str], Tuple] = {}
+        audit_choices: Dict[Tuple[str, str], int] = {}
+        if plan is not None:
+            rep_classes = {
+                (rep.element, rep.port): (rep, members, fingerprint)
+                for rep, members, fingerprint in plan.classes
+            }
+            audit_choices = self._audit_choices(plan)
+        final_reports: List[JobReport] = []
         jobs_skipped = 0
         audit_runs = 0
-        if plan is not None:
-            reports, jobs_skipped, audit_runs = self._instantiate_members(
-                plan, reports
+
+        def finish(report: JobReport) -> None:
+            """Account one executed report — and, when it represents a
+            symmetry class, every member report derived from it — the
+            moment it completes."""
+            nonlocal jobs_skipped, audit_runs
+            final_reports.append(report)
+            if on_report is not None:
+                on_report(report)
+            entry = rep_classes.get((report.element, report.port))
+            if entry is None:
+                return
+            rep_job, members, fingerprint = entry
+            derived, skipped, audits = self._expand_representative(
+                plan,
+                rep_job,
+                members,
+                fingerprint,
+                report,
+                audit_choices.get((rep_job.element, rep_job.port), -1),
             )
-        reports = reports + spliced_reports
+            jobs_skipped += skipped
+            audit_runs += audits
+            for member_report in derived:
+                final_reports.append(member_report)
+                if on_report is not None:
+                    on_report(member_report)
+
+        # Spliced reports are already final: stream them first, they cost
+        # nothing (aggregation is order-independent, so this cannot move
+        # any answer).
+        for report in spliced_reports:
+            final_reports.append(report)
+            if on_report is not None:
+                on_report(report)
+        mode = self._execute_jobs(exec_jobs, workers, pool, finish)
         result = CampaignResult.aggregate(
             self.source.describe(),
             self._job_template.queries,
-            reports,
+            final_reports,
             validation_problems=validation_problems,
             execution_mode=mode,
             workers=workers,
@@ -1627,4 +1778,11 @@ class VerificationCampaign:
                     self._store.put_baseline(
                         self.source.directory, result.baseline_payload
                     )
+        if self._store is not None:
+            # Driver-side store failures (failed quarantine moves, baseline
+            # writes, ...) during this run join the job-side tier failures
+            # already absorbed from the reports.
+            result.stats.degraded_operations += (
+                self._store.degraded_operations - store_degraded_before
+            )
         return result

@@ -108,6 +108,7 @@ class SymbolicExecutor:
         shared_trips_before = stats.shared_round_trips
         publish_batches_before = stats.shared_publish_batches
         publish_entries_before = stats.shared_publish_entries
+        degraded_before = stats.degraded_operations
 
         result = ExecutionResult(injected_at=PortId(element, port))
         state = initial_state if initial_state is not None else ExecutionState(self.symbols)
@@ -152,10 +153,13 @@ class SymbolicExecutor:
         # for them).  A broken proxy only loses the shared tier.
         shared = self.incremental.shared
         if shared is not None and hasattr(shared, "flush"):
+            # ShardedTier.flush never raises (it degrades itself and counts
+            # the failure); the guard covers duck-typed tiers that do.
             try:
                 shared.flush()
             except Exception:
                 self.incremental.shared = None
+                stats.record_degraded_operation()
 
         result.elapsed_seconds = time.perf_counter() - start
         result.solver_calls = stats.calls - solver_calls_before
@@ -174,6 +178,9 @@ class SymbolicExecutor:
         )
         result.solver_shared_publish_entries = (
             stats.shared_publish_entries - publish_entries_before
+        )
+        result.solver_degraded_operations = (
+            stats.degraded_operations - degraded_before
         )
         return result
 

@@ -102,6 +102,9 @@ class ExecutionResult:
     solver_shared_round_trips: int = 0
     solver_shared_publish_batches: int = 0
     solver_shared_publish_entries: int = 0
+    #: Best-effort operations (shared-tier publishes, store moves) that
+    #: failed and were absorbed by a degrade path during this run.
+    solver_degraded_operations: int = 0
     #: True when ``max_paths`` stopped exploration with frontier states
     #: still pending — the path list is a prefix, not the full set.
     truncated: bool = False

@@ -372,6 +372,11 @@ class CampaignStats:
     solver_shared_round_trips: int = 0
     solver_shared_publish_batches: int = 0
     solver_shared_publish_entries: int = 0
+    #: Best-effort operations that failed and were absorbed by a degrade
+    #: path (dead shared-cache proxy, failed store quarantine move, ...)
+    #: across every job plus the campaign driver's own store traffic.  The
+    #: answers stay correct; a non-zero count means some tier ran degraded.
+    degraded_operations: int = 0
     #: Distinct verdict-cache entries merged back into the campaign report
     #: (set by the aggregation, not absorbed per job).
     verdict_cache_entries: int = 0
@@ -416,6 +421,7 @@ class CampaignStats:
         solver_shared_round_trips: int = 0,
         solver_shared_publish_batches: int = 0,
         solver_shared_publish_entries: int = 0,
+        solver_degraded_operations: int = 0,
     ) -> None:
         self.jobs += 1
         self.paths += paths
@@ -430,6 +436,7 @@ class CampaignStats:
         self.solver_shared_round_trips += solver_shared_round_trips
         self.solver_shared_publish_batches += solver_shared_publish_batches
         self.solver_shared_publish_entries += solver_shared_publish_entries
+        self.degraded_operations += solver_degraded_operations
         if truncated:
             self.truncated_jobs += 1
         if failed:
@@ -465,6 +472,7 @@ class CampaignStats:
             "solver_shared_round_trips": self.solver_shared_round_trips,
             "solver_shared_publish_batches": self.solver_shared_publish_batches,
             "solver_shared_publish_entries": self.solver_shared_publish_entries,
+            "degraded_operations": self.degraded_operations,
             "store_entries_loaded": self.store_entries_loaded,
             "store_entries_published": self.store_entries_published,
             "symmetry_classes": self.symmetry_classes,

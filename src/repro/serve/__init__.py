@@ -1,0 +1,27 @@
+"""The resident verification service (``python -m repro.cli serve``).
+
+A long-lived session server over the campaign engine: hot
+:class:`~repro.api.NetworkModel` s, one persistent worker pool, one
+shared :class:`~repro.store.VerificationStore`.  Clients speak
+line-delimited JSON (:mod:`repro.serve.protocol`); compatible concurrent
+requests merge into one shared plan (cross-client injection-port dedup)
+and every answer streams the moment its own jobs have reported — always
+bit-identical to a standalone batch run of the same queries.
+"""
+
+from repro.serve.client import ServiceClient, read_ready_line
+from repro.serve.protocol import ProtocolError
+from repro.serve.scheduler import Request, VerificationService, results_digest
+from repro.serve.server import run_server
+from repro.serve.session import Session
+
+__all__ = [
+    "ProtocolError",
+    "Request",
+    "Session",
+    "ServiceClient",
+    "VerificationService",
+    "read_ready_line",
+    "results_digest",
+    "run_server",
+]

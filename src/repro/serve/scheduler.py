@@ -1,0 +1,445 @@
+"""The resident verification service: hot models, one pool, one store.
+
+:class:`VerificationService` is the long-lived object behind ``repro.cli
+serve``.  It owns exactly the state a batch CLI run pays to rebuild on
+every invocation:
+
+* **resident models** — built :class:`~repro.api.NetworkModel` s keyed by
+  their network spec, so the second request over a network skips the
+  build.  Directory models re-check the directory's stat snapshot on every
+  reuse and rebuild when the files drifted — a resident service must never
+  answer for bytes it is no longer looking at.
+* **one worker pool** — a persistent :class:`ProcessPoolExecutor` lent to
+  every campaign (``workers > 1``), so requests stop paying process
+  start-up.
+* **one store** — a single :class:`~repro.store.VerificationStore` shared
+  by every request: plan-cache hits, verdict warm starts and delta
+  baselines accumulate across clients.
+
+Scheduling: admitted requests land on a bounded queue.  A scheduler task
+drains the queue in **groups** — it takes the first waiting request, then
+keeps collecting for ``batch_window`` seconds — and partitions each group
+by compatibility key (same network, same execution settings).  Every
+partition is compiled into **one** :func:`~repro.api.planner.compile_plan`
+call: the plan compiler dedups injection ports across the merged batch, so
+two clients asking about the same port share one engine job.  Requests
+that arrive while a group is executing wait on the queue and merge into
+the next group.
+
+Results stream: the merged plan runs through
+:func:`~repro.api.planner.execute_plan_streaming`, and each query's answer
+is forwarded to its owning client the moment its port scope has reported —
+before the slowest job of the merged plan lands.  Streamed answers are
+bit-identical to the batch path by construction (see the planner module).
+
+Admission control is a bounded queue: when ``max_pending`` requests are
+already waiting, new queries get an explicit ``overloaded`` response.  The
+service never silently drops or degrades an admitted request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.api import NetworkModel, compile_plan, execute_plan_streaming, parse_query
+from repro.api.model import _directory_stat_key
+from repro.api.queries import Query
+from repro.core.campaign import execution_counters
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+
+def results_digest(fingerprints: Iterable[str]) -> str:
+    """Order-independent digest over a request's per-query result
+    fingerprints — the ``fingerprint`` of a ``done`` message.  Computed
+    from result fingerprints only (no plan identity), so a client can
+    reproduce it from a standalone batch run of the same queries and
+    compare bit-for-bit, no matter which other requests the service merged
+    into the shared plan."""
+    payload = tuple(sorted(fingerprints))
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+@dataclass
+class Request:
+    """One admitted ``query`` request, parsed and ready to merge."""
+
+    request_id: str
+    session: object  # anything with send_nowait(message)
+    network: Dict[str, object]
+    model_key: Tuple
+    queries: Tuple[Query, ...]
+    texts: Tuple[str, ...]
+    compile_kwargs: Dict[str, object]
+    delta: bool
+    compat_key: Tuple = field(default=())
+
+
+_SETTING_TYPES = {
+    "packet": str,
+    "max_hops": int,
+    "max_paths": int,
+    "strategy": str,
+    "shared_cache": bool,
+    "symmetry": bool,
+}
+
+
+def _parse_request(request_id: str, session, message: Dict[str, object]) -> Request:
+    network = message.get("network")
+    if not isinstance(network, dict):
+        raise ProtocolError("query needs a 'network' object")
+    if "directory" in network:
+        import os
+
+        directory = network["directory"]
+        if not isinstance(directory, str):
+            raise ProtocolError("'network.directory' must be a string")
+        model_key: Tuple = ("directory", os.path.abspath(directory))
+    elif "workload" in network:
+        name = network["workload"]
+        if not isinstance(name, str):
+            raise ProtocolError("'network.workload' must be a string")
+        options = network.get("options", {})
+        if not isinstance(options, dict):
+            raise ProtocolError("'network.options' must be an object")
+        model_key = ("workload", name, tuple(sorted(options.items())))
+    else:
+        raise ProtocolError("'network' needs a 'directory' or 'workload' key")
+
+    texts = message.get("queries")
+    if not isinstance(texts, list) or not texts:
+        raise ProtocolError("query needs a non-empty 'queries' list")
+    queries = []
+    for text in texts:
+        if not isinstance(text, str):
+            raise ProtocolError(f"queries must be strings, got {type(text).__name__}")
+        try:
+            queries.append(parse_query(text))
+        except Exception as exc:
+            raise ProtocolError(f"bad query {text!r}: {exc}")
+
+    compile_kwargs: Dict[str, object] = {}
+    for key, expected in _SETTING_TYPES.items():
+        if key in message:
+            value = message[key]
+            if expected is int and isinstance(value, bool):
+                raise ProtocolError(f"'{key}' must be {expected.__name__}")
+            if not isinstance(value, expected):
+                raise ProtocolError(f"'{key}' must be {expected.__name__}")
+            compile_kwargs[key] = value
+    fields = message.get("fields", {})
+    if not isinstance(fields, dict):
+        raise ProtocolError("'fields' must be an object")
+    if fields:
+        try:
+            compile_kwargs["field_values"] = {
+                str(name): int(value) for name, value in fields.items()
+            }
+        except (TypeError, ValueError):
+            raise ProtocolError("'fields' values must be integers")
+    delta = message.get("delta", True)
+    if not isinstance(delta, bool):
+        raise ProtocolError("'delta' must be a boolean")
+
+    request = Request(
+        request_id=request_id,
+        session=session,
+        network=dict(network),
+        model_key=model_key,
+        queries=tuple(queries),
+        texts=tuple(str(t) for t in texts),
+        compile_kwargs=compile_kwargs,
+        delta=delta,
+    )
+    request.compat_key = (
+        model_key,
+        tuple(sorted(compile_kwargs.get("field_values", {}).items())),
+        tuple(
+            (key, compile_kwargs.get(key, default))
+            for key, default in (
+                ("packet", "tcp"),
+                ("max_hops", 128),
+                ("max_paths", 1_000_000),
+                ("strategy", "dfs"),
+                ("shared_cache", True),
+                ("symmetry", True),
+            )
+        ),
+        delta,
+    )
+    return request
+
+
+class VerificationService:
+    """Resident state plus the batch-window scheduler (see module docs)."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        store=None,
+        max_pending: int = 8,
+        batch_window: float = 0.05,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.workers = workers
+        self.store = store
+        self.max_pending = max_pending
+        self.batch_window = batch_window
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "groups": 0,
+            "merged_requests": 0,
+            "plans_executed": 0,
+            "plan_cache_hits": 0,
+            "results_streamed": 0,
+            "model_builds": 0,
+            "model_rebuilds": 0,
+            "overloaded": 0,
+            "errors": 0,
+        }
+        self._models: Dict[Tuple, NetworkModel] = {}
+        self._queue: Optional[asyncio.Queue] = None
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._scheduler_task = self._loop.create_task(self._scheduler())
+
+    async def stop(self) -> None:
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except asyncio.CancelledError:
+                pass
+            self._scheduler_task = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    def _pool_for_run(self) -> Optional[ProcessPoolExecutor]:
+        """The persistent pool, created on first multi-worker run.  The
+        campaign probes a borrowed pool before trusting it and falls back
+        to in-process execution if it is broken, so a pool that dies stays
+        a performance problem, never a correctness one."""
+        if self.workers <= 1:
+            return None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    # -- request entry ----------------------------------------------------------
+
+    async def handle(self, session, message: Dict[str, object]) -> None:
+        """Dispatch one decoded client message (called by the session read
+        loop, on the event loop)."""
+        op = message.get("op")
+        request_id = str(message.get("id", ""))
+        if op == "ping":
+            session.send_nowait(protocol.pong(request_id))
+            return
+        if op == "stats":
+            session.send_nowait(self._stats_message(request_id))
+            return
+        if op != "query":
+            session.send_nowait(
+                protocol.error(request_id, f"unknown op {op!r}")
+            )
+            return
+        self.counters["requests"] += 1
+        # Admission control: a full queue refuses loudly instead of letting
+        # latency (or memory) grow without bound.
+        if self._queue.qsize() >= self.max_pending:
+            self.counters["overloaded"] += 1
+            session.send_nowait(
+                protocol.overloaded(
+                    request_id, self._queue.qsize(), self.max_pending
+                )
+            )
+            return
+        try:
+            request = _parse_request(request_id, session, message)
+        except ProtocolError as exc:
+            self.counters["errors"] += 1
+            session.send_nowait(protocol.error(request_id, str(exc)))
+            return
+        self._queue.put_nowait(request)
+
+    def _stats_message(self, request_id: str) -> Dict[str, object]:
+        message: Dict[str, object] = {"type": "stats", "id": request_id}
+        message["service"] = dict(self.counters)
+        message["service"]["models_resident"] = len(self._models)
+        message["service"]["pending"] = (
+            self._queue.qsize() if self._queue is not None else 0
+        )
+        message["service"]["workers"] = self.workers
+        # Engine-run counters of *this* process: with workers=1 every merged
+        # job executes here, so cross-client dedup is directly observable
+        # (pool workers count their runs in their own processes).
+        message["execution"] = execution_counters()
+        return message
+
+    # -- the scheduler ----------------------------------------------------------
+
+    async def _scheduler(self) -> None:
+        while True:
+            group = [await self._queue.get()]
+            deadline = self._loop.time() + self.batch_window
+            while True:
+                remaining = deadline - self._loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    group.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            buckets: Dict[Tuple, List[Request]] = {}
+            for request in group:
+                buckets.setdefault(request.compat_key, []).append(request)
+            for bucket in buckets.values():
+                await self._run_group(bucket)
+
+    def _resident_model(self, request: Request) -> NetworkModel:
+        """The hot model for a request's network spec, rebuilt when a
+        directory spec's files no longer stat the way they did at build
+        time (a resident model must answer for the bytes on disk *now*)."""
+        key = request.model_key
+        model = self._models.get(key)
+        if (
+            model is not None
+            and key[0] == "directory"
+            and (
+                model._build_stat_key is None
+                or model._build_stat_key != _directory_stat_key(key[1])
+            )
+        ):
+            self.counters["model_rebuilds"] += 1
+            model = None
+        if model is None:
+            if key[0] == "directory":
+                model = NetworkModel.from_directory(key[1])
+            else:
+                name = request.network["workload"]
+                options = request.network.get("options", {})
+                model = NetworkModel.from_workload(name, **options)
+            model.network()  # build now: residency means paying this once
+            self.counters["model_builds"] += 1
+            self._models[key] = model
+        return model
+
+    async def _run_group(self, requests: List[Request]) -> None:
+        """Merge one compatible request group into a single plan, execute
+        it streaming, and route each answer to its owning session."""
+        self.counters["groups"] += 1
+        self.counters["merged_requests"] += len(requests)
+        loop = self._loop
+
+        def post(session, message: Dict[str, object]) -> None:
+            # Called from the executor thread: hop to the event loop.
+            loop.call_soon_threadsafe(session.send_nowait, message)
+
+        def work():
+            model = self._resident_model(requests[0])
+            # Merge: one plan entry per distinct query text across the
+            # group; routes maps each merged index back to every
+            # (request, local index) that asked it.
+            merged: List[Query] = []
+            index_of: Dict[str, int] = {}
+            routes: Dict[int, List[Tuple[Request, int]]] = {}
+            for request in requests:
+                for local, (query, text) in enumerate(
+                    zip(request.queries, request.texts)
+                ):
+                    if text not in index_of:
+                        index_of[text] = len(merged)
+                        merged.append(query)
+                    routes.setdefault(index_of[text], []).append(
+                        (request, local)
+                    )
+            plan = compile_plan(
+                model, merged, **requests[0].compile_kwargs
+            )
+            for request in requests:
+                post(
+                    request.session,
+                    protocol.accepted(
+                        request.request_id,
+                        plan.job_count,
+                        len(request.queries),
+                        len(requests),
+                    ),
+                )
+            # Keyed by request identity, not request id: ids are chosen by
+            # clients and two merged sessions may well have picked the
+            # same one.
+            streamed_fingerprints: Dict[int, List[str]] = {
+                id(request): [] for request in requests
+            }
+
+            def on_result(index, query_result, jobs_reported, jobs_total):
+                payload = query_result.to_dict()
+                for request, local in routes.get(index, ()):
+                    self.counters["results_streamed"] += 1
+                    streamed_fingerprints[id(request)].append(
+                        query_result.fingerprint
+                    )
+                    post(
+                        request.session,
+                        protocol.result(
+                            request.request_id,
+                            local,
+                            payload,
+                            jobs_reported,
+                            jobs_total,
+                        ),
+                    )
+
+            plan_result = execute_plan_streaming(
+                plan,
+                workers=self.workers,
+                store=self.store,
+                pool=self._pool_for_run(),
+                delta=requests[0].delta,
+                on_result=on_result,
+            )
+            return plan_result, streamed_fingerprints
+
+        try:
+            plan_result, fingerprints = await loop.run_in_executor(None, work)
+        except Exception as exc:  # any failure answers every merged client
+            self.counters["errors"] += 1
+            for request in requests:
+                request.session.send_nowait(
+                    protocol.error(request.request_id, str(exc))
+                )
+            return
+        self.counters["plans_executed"] += 1
+        if plan_result.from_cache:
+            self.counters["plan_cache_hits"] += 1
+        stats = plan_result.stats
+        stats_payload = stats.to_dict() if stats is not None else {}
+        for request in requests:
+            request.session.send_nowait(
+                protocol.done(
+                    request.request_id,
+                    results_digest(fingerprints[id(request)]),
+                    plan_result.from_cache,
+                    stats_payload,
+                )
+            )

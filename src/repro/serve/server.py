@@ -1,0 +1,57 @@
+"""The asyncio TCP front of the resident verification service.
+
+``run_server`` binds, prints one ``{"type": "ready", "host", "port"}``
+line (``--port 0`` binds an ephemeral port, so scripts must read the real
+one from this line) and serves until cancelled.  Connections are plain
+line-delimited JSON — see :mod:`repro.serve.protocol`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import Optional, TextIO
+
+from repro.serve import protocol
+from repro.serve.session import MAX_LINE_BYTES, Session
+
+
+async def run_server(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_stream: Optional[TextIO] = None,
+) -> None:
+    """Start ``service`` and accept connections until cancelled."""
+    await service.start()
+    sessions = set()
+
+    async def on_connect(reader, writer):
+        task = asyncio.current_task()
+        sessions.add(task)
+        try:
+            await Session(service, reader, writer).run()
+        finally:
+            sessions.discard(task)
+
+    server = await asyncio.start_server(
+        on_connect, host=host, port=port, limit=MAX_LINE_BYTES
+    )
+    bound_host, bound_port = server.sockets[0].getsockname()[:2]
+    stream = ready_stream if ready_stream is not None else sys.stdout
+    stream.write(
+        protocol.encode(protocol.ready(bound_host, bound_port)).decode("utf-8")
+    )
+    stream.flush()
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        # Stop accepting, then unwind the live sessions before the loop
+        # goes away (their writer tasks hold queue waiters on this loop).
+        server.close()
+        for task in list(sessions):
+            task.cancel()
+        if sessions:
+            await asyncio.gather(*sessions, return_exceptions=True)
+        await service.stop()

@@ -1,0 +1,89 @@
+"""One client connection: a read loop feeding the service, a writer task
+draining an outgoing queue.
+
+The outgoing queue is the seam that makes streaming safe: the scheduler's
+executor thread posts messages with ``loop.call_soon_threadsafe(
+session.send_nowait, message)``, and the single writer task serialises
+them onto the socket — no two coroutines ever interleave writes on one
+connection, and a slow client only backs up its own queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict
+
+from repro.serve import protocol
+
+#: Generous per-line cap: a query batch is text, not bulk data.
+MAX_LINE_BYTES = 1 << 20
+
+_CLOSE = object()
+
+
+class Session:
+    """The per-connection protocol driver (see module docs)."""
+
+    def __init__(self, service, reader, writer) -> None:
+        self.service = service
+        self.reader = reader
+        self.writer = writer
+        self.outgoing: asyncio.Queue = asyncio.Queue()
+
+    def send_nowait(self, message: Dict[str, object]) -> None:
+        """Queue one response (callable from the event loop only; executor
+        threads go through ``call_soon_threadsafe``)."""
+        self.outgoing.put_nowait(message)
+
+    async def _writer_loop(self) -> None:
+        while True:
+            message = await self.outgoing.get()
+            if message is _CLOSE:
+                return
+            try:
+                self.writer.write(protocol.encode(message))
+                await self.writer.drain()
+            except (ConnectionError, OSError):
+                # The client went away; drop the rest of its answers.
+                return
+
+    async def run(self) -> None:
+        writer_task = asyncio.get_running_loop().create_task(
+            self._writer_loop()
+        )
+        try:
+            while True:
+                try:
+                    line = await self.reader.readline()
+                except (ConnectionError, OSError, asyncio.LimitOverrunError):
+                    break
+                except asyncio.CancelledError:
+                    # Server shutdown cancelling live sessions: unwind
+                    # through the flush-and-close path below.
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                if len(line) > MAX_LINE_BYTES:
+                    self.send_nowait(
+                        protocol.error("", "request line too long")
+                    )
+                    continue
+                try:
+                    message = protocol.decode_line(line)
+                except protocol.ProtocolError as exc:
+                    self.send_nowait(protocol.error("", str(exc)))
+                    continue
+                await self.service.handle(self, message)
+        finally:
+            # Let already-queued answers flush before closing.
+            self.outgoing.put_nowait(_CLOSE)
+            try:
+                await writer_task
+            finally:
+                try:
+                    self.writer.close()
+                    await self.writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass

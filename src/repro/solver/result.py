@@ -37,6 +37,11 @@ class SolverStats:
     shared_round_trips: int = 0
     shared_publish_batches: int = 0
     shared_publish_entries: int = 0
+    # Best-effort operations that failed and were absorbed by a degrade
+    # path (dead Manager proxy, failed quarantine move, ...).  The answers
+    # stay correct; the counter makes the degradation observable instead of
+    # silent.
+    degraded_operations: int = 0
 
     def record(self, verdict: str, elapsed: float, atoms: int, splits: int) -> None:
         self.calls += 1
@@ -72,6 +77,9 @@ class SolverStats:
         self.shared_publish_batches += 1
         self.shared_publish_entries += entries
 
+    def record_degraded_operation(self, count: int = 1) -> None:
+        self.degraded_operations += count
+
     def merge(self, other: "SolverStats") -> None:
         self.calls += other.calls
         self.sat += other.sat
@@ -88,6 +96,7 @@ class SolverStats:
         self.shared_round_trips += other.shared_round_trips
         self.shared_publish_batches += other.shared_publish_batches
         self.shared_publish_entries += other.shared_publish_entries
+        self.degraded_operations += other.degraded_operations
 
 
 @dataclass

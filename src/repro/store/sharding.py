@@ -60,6 +60,11 @@ class ShardedTier:
         self.batch_size = batch_size
         self._buffers: List[Dict[str, str]] = [{} for _ in self.shards]
         self._stats = None
+        # Set when a shard proxy died mid-run (Manager gone).  A degraded
+        # tier never touches the proxies again: buffered verdicts stay in
+        # the per-process buffers and keep serving local hits, mirroring
+        # how IncrementalSolver degrades to its local tiers.
+        self._degraded = False
         # Local mirrors of the stats counters, so the tier is observable
         # even when no SolverStats was bound (unit tests, ad-hoc use).
         self.round_trips = 0
@@ -92,6 +97,16 @@ class ShardedTier:
         if self._stats is not None:
             self._stats.record_shared_publish(entries)
 
+    def _degrade(self) -> None:
+        self._degraded = True
+        if self._stats is not None:
+            self._stats.record_degraded_operation()
+
+    @property
+    def degraded(self) -> bool:
+        """True once a dead shard proxy switched the tier to local-only."""
+        return self._degraded
+
     # -- the dict-like protocol ------------------------------------------------
 
     def get(self, fingerprint: str) -> Optional[str]:
@@ -101,8 +116,14 @@ class ShardedTier:
         buffered = self._buffers[index].get(fingerprint)
         if buffered is not None:
             return buffered
+        if self._degraded:
+            return None
         self._count_round_trip()
-        return self.shards[index].get(fingerprint)
+        try:
+            return self.shards[index].get(fingerprint)
+        except Exception:
+            self._degrade()
+            return None
 
     def __setitem__(self, fingerprint: str, verdict: str) -> None:
         """Buffer a publish; the owning shard is flushed (one ``update``
@@ -116,17 +137,27 @@ class ShardedTier:
 
     def _flush_shard(self, index: int) -> None:
         buffer = self._buffers[index]
-        if not buffer:
+        if not buffer or self._degraded:
             return
+        # Publish from a copy and only clear on success: if the Manager
+        # proxy died, the verdicts must stay buffered (they keep serving
+        # this process's hits) and the tier degrades instead of raising —
+        # a resident service cannot afford a flush that loses verdicts or
+        # kills the job.
         batch = dict(buffer)
-        buffer.clear()
         self._count_round_trip()
-        self.shards[index].update(batch)
+        try:
+            self.shards[index].update(batch)
+        except Exception:
+            self._degrade()
+            return
+        buffer.clear()
         self._count_publish(len(batch))
 
     def flush(self) -> None:
         """Publish every buffered entry (end of an engine injection; also
-        safe to call at any time)."""
+        safe to call at any time).  Never raises: a dead proxy degrades
+        the tier and keeps the entries buffered."""
         for index in range(len(self.shards)):
             self._flush_shard(index)
 

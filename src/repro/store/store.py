@@ -42,6 +42,7 @@ import hashlib
 import json
 import os
 import uuid
+import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, List, Mapping, Optional, Tuple
@@ -144,6 +145,12 @@ class VerificationStore:
         self.quarantined: List[Tuple[str, str]] = []
         #: Segments the last load skipped on transient read errors.
         self._transient_skips = 0
+        #: Best-effort operations that failed on this instance (quarantine
+        #: moves, plan-cache unlinks, baseline writes, shard-lock
+        #: acquisition).  None of them affect answers, but a long-lived
+        #: service must see them: the campaign driver folds the delta into
+        #: ``CampaignStats.degraded_operations``.
+        self.degraded_operations = 0
 
     # -- layout ----------------------------------------------------------------
 
@@ -165,6 +172,8 @@ class VerificationStore:
                 if name.endswith(SEGMENT_SUFFIX) and not name.startswith(".")
             )
         except OSError:
+            # Provably best-effort: an unlistable (usually not-yet-created)
+            # shard directory holds no loadable segments by definition.
             return []
         return [os.path.join(shard_dir, name) for name in names]
 
@@ -208,7 +217,10 @@ class VerificationStore:
                 fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
                 locked = True
             except OSError:
-                pass  # best-effort: uuid-suffixed segment names still avoid clobbers
+                # Best-effort: uuid-suffixed segment names still avoid
+                # clobbers — but publishing unlocked is a degraded mode
+                # worth counting.
+                self.degraded_operations += 1
             yield
         finally:
             if handle is not None:
@@ -216,6 +228,9 @@ class VerificationStore:
                     try:
                         fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
                     except OSError:
+                        # Provably best-effort: close() below drops the
+                        # flock anyway; the explicit unlock only shortens
+                        # the window.
                         pass
                 handle.close()
 
@@ -230,8 +245,17 @@ class VerificationStore:
         try:
             os.replace(path, target)
             _atomic_write_json(target + ".reason", {"segment": path, "reason": reason})
-        except OSError:
-            pass  # quarantine is best-effort; the segment is already ignored
+        except OSError as exc:
+            # The segment is already ignored for *this* load, but a failed
+            # move means every future load re-reads and re-convicts it —
+            # warn instead of hiding the creeping cost.
+            self.degraded_operations += 1
+            warnings.warn(
+                f"could not move bad segment {path} to quarantine ({exc}); "
+                "it stays in place and will be re-checked on every load",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     # -- verdict shards ----------------------------------------------------------
 
@@ -329,6 +353,9 @@ class VerificationStore:
                 try:
                     stats.append((index,) + segment_stat(path))
                 except OSError:
+                    # Provably best-effort: the segment vanished between
+                    # listing and stat (concurrent compaction) — the token
+                    # correctly describes the files that remain.
                     continue
         payload = repr((self.shard_count, sorted(stats)))
         return "store:" + hashlib.sha256(payload.encode()).hexdigest()
@@ -392,6 +419,9 @@ class VerificationStore:
                     try:
                         os.unlink(path)
                     except OSError:
+                        # Provably best-effort: the snapshotted segment was
+                        # already deleted by a concurrent compactor; its
+                        # entries are in the replacement segment either way.
                         pass
         self._verdicts = None
         return {
@@ -420,12 +450,11 @@ class VerificationStore:
             with open(path, "r", encoding="utf-8") as handle:
                 record = json.load(handle)
         except OSError:
+            # Provably best-effort: no (readable) file simply means a plan
+            # cache miss, the caller recomputes.
             return None
         except ValueError:
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            self._drop_bad_plan(path)
             return None
         if (
             not isinstance(record, dict)
@@ -433,12 +462,18 @@ class VerificationStore:
             or record.get("model_fingerprint") != model_fingerprint
             or not isinstance(record.get("payload"), dict)
         ):
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            self._drop_bad_plan(path)
             return None
         return record["payload"]
+
+    def _drop_bad_plan(self, path: str) -> None:
+        """Remove an unparseable/mismatched plan-cache file.  It is already
+        treated as a miss; a failed unlink only means the next lookup pays
+        the re-read again, so count it instead of failing the query."""
+        try:
+            os.unlink(path)
+        except OSError:
+            self.degraded_operations += 1
 
     def put_plan(
         self,
@@ -478,11 +513,24 @@ class VerificationStore:
                 try:
                     os.unlink(os.path.join(model_dir, entry))
                     removed += 1
-                except OSError:
-                    pass
+                except OSError as exc:
+                    # A plan file that survives an explicit invalidation
+                    # keeps getting *served* — silently reporting it
+                    # removed would defeat the caller's whole intent.
+                    self.degraded_operations += 1
+                    warnings.warn(
+                        f"could not remove cached plan "
+                        f"{os.path.join(model_dir, entry)} ({exc}); it will "
+                        "still be served until removed",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
             try:
                 os.rmdir(model_dir)
             except OSError:
+                # Provably best-effort: the directory is only cosmetic —
+                # non-empty (concurrent put_plan) or already gone, either
+                # way lookups behave identically.
                 pass
         return removed
 
@@ -533,8 +581,17 @@ class VerificationStore:
         os.makedirs(self._baseline_dir(), exist_ok=True)
         try:
             _atomic_write_json(self._baseline_path(directory), dict(payload))
-        except OSError:
-            pass  # best-effort: losing a baseline only costs a full rerun
+        except OSError as exc:
+            # Best-effort — losing a baseline only costs a full rerun — but
+            # a resident service leaning on delta verification should see
+            # that its baselines stopped persisting.
+            self.degraded_operations += 1
+            warnings.warn(
+                f"could not persist delta baseline for {directory} ({exc}); "
+                "the next campaign over it runs full",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def baseline_count(self) -> int:
         try:

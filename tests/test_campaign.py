@@ -358,3 +358,84 @@ class TestParallelEquivalence:
         )
         assert payload["stats"]["jobs"] == result.stats.jobs
         assert payload["loops"]["loop_free"] == result.loop_report.loop_free
+
+
+# ---------------------------------------------------------------------------
+# Pool failure taxonomy
+# ---------------------------------------------------------------------------
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+_PARENT_PID = os.getpid()
+
+
+def _explode_in_worker(job):
+    """A stand-in for execute_job that fails only out-of-process: in the
+    parent it delegates to the real thing, so a silent fallback to
+    sequential execution would *mask* the failure — exactly the old bug."""
+    if os.getpid() != _PARENT_PID:
+        raise RuntimeError("job exploded in worker")
+    return execute_job(job)
+
+
+def _die_in_worker(job):
+    """A worker that dies outright (SIGKILL-style), breaking the pool."""
+    if os.getpid() != _PARENT_PID:
+        os._exit(1)
+    return execute_job(job)
+
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="worker-failure stand-ins are inherited via fork",
+)
+
+
+class TestPoolFailureTaxonomy:
+    """Regression: the pool path used to wrap execution in one
+    ``except (OSError, RuntimeError)`` that treated *job-level* exceptions
+    as "no multiprocessing here" and silently re-ran everything
+    sequentially — masking real failures.  Only pool *startup* problems
+    and ``BrokenProcessPool`` may fall back; a job raising propagates."""
+
+    def _source(self):
+        return NetworkSource.from_workload("department", **DEPARTMENT_OPTIONS)
+
+    @fork_only
+    def test_job_runtime_error_propagates_under_workers2(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.campaign.execute_job", _explode_in_worker
+        )
+        campaign = VerificationCampaign(self._source())
+        with pytest.raises(RuntimeError, match="job exploded in worker"):
+            campaign.run(workers=2)
+
+    @fork_only
+    def test_broken_pool_recovers_remaining_jobs_in_process(self, monkeypatch):
+        sequential = VerificationCampaign(self._source()).run(workers=1)
+        monkeypatch.setattr("repro.core.campaign.execute_job", _die_in_worker)
+        campaign = VerificationCampaign(self._source())
+        with pytest.warns(RuntimeWarning, match="worker process died"):
+            result = campaign.run(workers=2)
+        # Every job the broken pool never finished was re-executed in
+        # process (where the stand-in delegates to the real execute_job),
+        # and the answers match the sequential run exactly.
+        assert result.execution_mode == "process-pool-recovered"
+        assert not result.job_errors
+        assert result.reachability == sequential.reachability
+        assert (
+            result.loop_report.fingerprint()
+            == sequential.loop_report.fingerprint()
+        )
+
+    def test_broken_borrowed_pool_falls_back_before_submitting(self):
+        # A lent pool is probed before any job is trusted to it: a pool
+        # that cannot run anything demotes the run to in-process execution
+        # (a startup failure, not a job failure — fallback is correct).
+        pool = ProcessPoolExecutor(max_workers=1)
+        pool.shutdown()
+        result = VerificationCampaign(self._source()).run(workers=2, pool=pool)
+        assert result.execution_mode == "in-process"
+        assert not result.job_errors

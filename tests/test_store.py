@@ -503,6 +503,51 @@ class TestShardedTier:
         assert clone.pending() == 0
         assert clone.round_trips == 0
 
+    def test_dead_proxy_degrades_instead_of_raising(self):
+        """Regression: a Manager proxy dying mid-run used to clear the
+        write buffer before the failed ``update`` (losing the verdicts)
+        and let the exception escape through ``flush()`` into the engine.
+        A dead proxy must degrade the tier — buffered verdicts keep
+        serving local hits, nothing raises, the run survives."""
+
+        class DeadProxy(dict):
+            def update(self, *args, **kwargs):
+                raise ConnectionRefusedError("manager is gone")
+
+            def get(self, key, default=None):
+                raise ConnectionRefusedError("manager is gone")
+
+        from repro.solver.result import SolverStats
+
+        stats = SolverStats()
+        tier = ShardedTier([DeadProxy()], batch_size=100)
+        tier.bind_stats(stats)
+        tier["ab" * 32] = "sat"
+        tier["cd" * 32] = "unsat"
+        tier.flush()  # must not raise
+        assert tier.degraded
+        # The verdicts this process computed were NOT lost: they stay
+        # buffered and keep answering local lookups.
+        assert tier.pending() == 2
+        assert tier.get("ab" * 32) == "sat"
+        assert tier.get("cd" * 32) == "unsat"
+        # A degraded tier never touches the proxies again (a miss is a
+        # miss, not another exception), and later publishes stay local.
+        assert tier.get("ef" * 32) is None
+        tier["12" * 32] = "sat"
+        tier.flush()
+        assert tier.get("12" * 32) == "sat"
+        assert stats.degraded_operations == 1
+
+    def test_dead_proxy_on_lookup_degrades(self):
+        class DeadProxy(dict):
+            def get(self, key, default=None):
+                raise EOFError("manager is gone")
+
+        tier = ShardedTier([DeadProxy()], batch_size=4)
+        assert tier.get("ab" * 32) is None  # must not raise
+        assert tier.degraded
+
     def test_counters_flow_into_bound_solver_stats(self):
         from repro.solver.result import SolverStats
 
