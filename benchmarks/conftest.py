@@ -62,6 +62,15 @@ BENCH_SERVE_JSON_PATH = os.environ.get(
 )
 
 
+#: Machine-readable records for the transient-state scenario benchmark:
+#: per-step wall time and engine runs with delta chaining off vs on, plus
+#: the spliced-port counts threaded through the scenario report.
+BENCH_SCENARIO_JSON_PATH = os.environ.get(
+    "SYMNET_BENCH_SCENARIO_JSON",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_scenario.json"),
+)
+
+
 def scaled(small, full):
     """Pick a workload size depending on the requested scale."""
     return full if FULL_SCALE else small
@@ -175,6 +184,16 @@ def bench_serve_json():
     yield records
     if records:
         _merge_bench_records(BENCH_SERVE_JSON_PATH, records)
+
+
+@pytest.fixture(scope="session")
+def bench_scenario_json():
+    """Collect transient-state scenario benchmark records and merge them
+    into ``BENCH_scenario.json`` at the end of the session."""
+    records = []
+    yield records
+    if records:
+        _merge_bench_records(BENCH_SCENARIO_JSON_PATH, records)
 
 
 @pytest.fixture(scope="session")

@@ -13,6 +13,7 @@ Usage::
     python -m repro.cli reachability NETWORK_DIR ELEMENT PORT [options]
     python -m repro.cli campaign NETWORK_DIR [--workers N] [--store-dir DIR]
     python -m repro.cli campaign --workload department [--workers N]
+    python -m repro.cli scenario --workload stanford --steps 8 --seed 3 [--workers N]
     python -m repro.cli store inspect|compact|clear-plans STORE_DIR
     python -m repro.cli show NETWORK_DIR
 
@@ -62,6 +63,7 @@ from repro.core.strategy import STRATEGIES
 from repro.sefl.fields import HeaderField, standard_fields
 from repro.sefl.util import ip_to_number, mac_to_number
 from repro.workloads import CAMPAIGN_WORKLOADS
+from repro.workloads.export import EXPORTERS
 
 
 def _parse_field_value(field: HeaderField, text: str) -> int:
@@ -387,6 +389,91 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_store_options(serve)
 
+    scen = sub.add_parser(
+        "scenario",
+        help="transient-state scenario campaign: generate a seed-pinned "
+        "update sequence over an exported (or given) snapshot directory, "
+        "re-verify every transient state with delta splicing, and cluster "
+        "the violating traces into ranked root causes",
+    )
+    scen.add_argument(
+        "directory", nargs="?", default=None,
+        help="existing snapshot directory to run the scenario over "
+        "(omit when using --workload)",
+    )
+    scen.add_argument(
+        "--workload", choices=sorted(EXPORTERS),
+        help="export this workload into a scratch directory (see --dir) "
+        "and run the scenario over the export",
+    )
+    scen.add_argument(
+        "--workload-option", action="append", default=[], metavar="KEY=VALUE",
+        help="exporter option for --workload, e.g. zones=4 edge_asa=true "
+        "(repeatable)",
+    )
+    scen.add_argument(
+        "--dir", default=None, metavar="DIR", dest="export_dir",
+        help="directory to export --workload into (default: a fresh "
+        "temporary directory)",
+    )
+    scen.add_argument(
+        "--steps", type=int, default=8,
+        help="number of update steps to generate (default: 8)",
+    )
+    scen.add_argument(
+        "--seed", type=int, default=0,
+        help="generator seed; same seed + same directory bytes = same "
+        "scenario (default: 0)",
+    )
+    scen.add_argument(
+        "--no-violation", action="store_true",
+        help="generate pure churn without the seeded transient "
+        "forwarding-loop violation",
+    )
+    scen.add_argument(
+        "--workers", type=int, default=1,
+        help="run each state's jobs on a process pool of this size",
+    )
+    scen.add_argument(
+        "--query", action="append", default=[], dest="queries", metavar="QUERY",
+        help="textual query replacing the default per-step batch "
+        '(default: "forall_pairs(reach)" "loop()" "invariant(IpSrc)"; '
+        "repeatable)",
+    )
+    scen.add_argument(
+        "--packet", choices=sorted(PACKET_TEMPLATES), default="tcp",
+        help="packet template to inject (default: tcp)",
+    )
+    scen.add_argument(
+        "--delta", action=argparse.BooleanOptionalAction, default=True,
+        help="chain each state's campaign as the next state's baseline and "
+        "re-execute only the ports the step's edit could have touched "
+        "(default: enabled; answers are bit-identical either way)",
+    )
+    scen.add_argument(
+        "--symmetry", action=argparse.BooleanOptionalAction, default=True,
+        help="collapse renaming-equivalent injection ports per state "
+        "(default: enabled; answers are bit-identical either way)",
+    )
+    scen.add_argument(
+        "--shared-cache", action=argparse.BooleanOptionalAction, default=True,
+        help="share the canonical verdict cache across each state's jobs",
+    )
+    scen.add_argument(
+        "--eps", type=float, default=0.5,
+        help="clustering: maximum Jaccard distance between neighbouring "
+        "violation feature sets (default: 0.5)",
+    )
+    scen.add_argument(
+        "--min-points", type=int, default=2,
+        help="clustering: neighbourhood size that forms a dense cluster; "
+        "sparser violations become noise singletons (default: 2)",
+    )
+    _add_store_options(scen)
+    scen.add_argument(
+        "--output", "-o", default=None, help="write the JSON report to a file"
+    )
+
     store = sub.add_parser(
         "store",
         help="inspect or maintain a persistent verification store directory "
@@ -673,6 +760,82 @@ def _command_query(args: argparse.Namespace) -> int:
     return 1 if result.job_errors else 0
 
 
+def _command_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import ScenarioCampaign, generate_scenario
+    from repro.workloads.export import export_workload_directory
+
+    if bool(args.directory) == bool(args.workload):
+        raise SystemExit(
+            "scenario needs a network directory or --workload (not both)"
+        )
+    if args.steps < 1:
+        raise SystemExit("--steps must be >= 1")
+    workload = args.workload or "directory"
+    if args.workload:
+        directory = args.export_dir
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        else:
+            import tempfile
+
+            directory = tempfile.mkdtemp(prefix="symnet-scenario-")
+        options = dict(_parse_workload_option(pair) for pair in args.workload_option)
+        try:
+            export_workload_directory(args.workload, directory, **options)
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"cannot export workload {args.workload!r}: {exc}")
+        print(f"exported {args.workload} workload to {directory}", file=sys.stderr)
+    else:
+        directory = args.directory
+
+    queries = None
+    if args.queries:
+        try:
+            queries = [parse_query(text) for text in args.queries]
+        except QueryParseError as exc:
+            raise SystemExit(f"bad query: {exc}")
+
+    scenario = generate_scenario(
+        directory,
+        steps=args.steps,
+        seed=args.seed,
+        workload=workload,
+        inject_violation=not args.no_violation,
+    )
+    campaign = ScenarioCampaign(
+        directory,
+        scenario,
+        queries=queries,
+        workers=args.workers,
+        store=_open_store(args),
+        cache_shards=args.cache_shards,
+        delta=args.delta,
+        symmetry=args.symmetry,
+        shared_cache=args.shared_cache,
+        packet=args.packet,
+        cluster_eps=args.eps,
+        cluster_min_points=args.min_points,
+    )
+    try:
+        run = campaign.run()
+    except (RuntimeError, ValueError) as exc:
+        raise SystemExit(f"scenario failed: {exc}")
+    print(
+        f"verified {len(run.outcomes)} states ({len(scenario.steps)} steps): "
+        f"{run.steps_delta_spliced} delta-spliced, "
+        f"{len(run.violations)} violations in {len(run.clusters)} clusters",
+        file=sys.stderr,
+    )
+    report = run.to_json()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote scenario report to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
 def _command_store(args: argparse.Namespace) -> int:
     from repro.store import StoreError, VerificationStore
 
@@ -751,6 +914,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_campaign(args)
     if args.command == "query":
         return _command_query(args)
+    if args.command == "scenario":
+        return _command_scenario(args)
     if args.command == "store":
         return _command_store(args)
     if args.command == "serve":

@@ -1480,10 +1480,18 @@ class VerificationCampaign:
             return jobs, [], {}
         manifest = ElementManifest.of_network(self.network())
         if manifest is None:
-            return jobs, [], {"spliced": 0, "reason": "no build manifest"}
+            return (
+                jobs,
+                [],
+                {"spliced": 0, "executed": len(jobs), "reason": "no build manifest"},
+            )
         diff = diff_manifests(baseline.manifest, manifest)
         if not diff.compatible:
-            return jobs, [], {"spliced": 0, "reason": diff.reason}
+            return (
+                jobs,
+                [],
+                {"spliced": 0, "executed": len(jobs), "reason": diff.reason},
+            )
         affected = affected_injections(
             self.network(),
             [(job.element, job.port) for job in jobs],
@@ -1504,6 +1512,9 @@ class VerificationCampaign:
         info: Dict[str, object] = {
             "spliced": len(spliced),
             "executed": len(exec_jobs),
+            "executed_ports": sorted(
+                port_key(job.element, job.port) for job in exec_jobs
+            ),
             "baseline": origin,
             "touched_files": list(diff.touched_files),
             "touched_elements": list(diff.touched_elements),

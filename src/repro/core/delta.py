@@ -221,6 +221,18 @@ class CampaignBaseline:
     #: Directory the baseline was recorded for (informational).
     source: str = ""
 
+    def ports(self) -> List[str]:
+        """The ``element:port`` keys this baseline holds answers for."""
+        return sorted(self.reports)
+
+    def describe(self) -> str:
+        """One-line summary for logs and scenario reports."""
+        origin = f" from {self.source}" if self.source else ""
+        return (
+            f"baseline{origin}: {len(self.reports)} ports, "
+            f"{len(self.manifest.files)} snapshot files"
+        )
+
     def report_for(
         self, key: str, config: str
     ) -> Optional[Mapping[str, object]]:

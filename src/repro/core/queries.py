@@ -443,6 +443,14 @@ class CampaignStats:
             self.failed_jobs += 1
 
     @property
+    def executed_jobs(self) -> int:
+        """Jobs that actually ran an engine: the total minus the ports
+        answered by delta splicing and by symmetry instantiation.  This is
+        the per-worker-safe execution count (the process-local
+        ``execution_counters`` only sees the parent's share under a pool)."""
+        return self.jobs - self.jobs_spliced_by_delta - self.jobs_skipped_by_symmetry
+
+    @property
     def cache_hit_rate(self) -> float:
         """Fraction of memo-tier lookups served without a full solve."""
         lookups = (
@@ -479,6 +487,7 @@ class CampaignStats:
             "jobs_skipped_by_symmetry": self.jobs_skipped_by_symmetry,
             "symmetry_audit_runs": self.symmetry_audit_runs,
             "jobs_spliced_by_delta": self.jobs_spliced_by_delta,
+            "executed_jobs": self.executed_jobs,
             "cache_hit_rate": self.cache_hit_rate,
             "verdict_cache_entries": self.verdict_cache_entries,
             "truncated_jobs": self.truncated_jobs,

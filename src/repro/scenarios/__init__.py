@@ -1,0 +1,50 @@
+"""Transient-state scenario campaigns (the dynamic-network story).
+
+Every workload the campaign machinery verifies is one static snapshot, but
+the bugs the paper cares about live in *changing* networks: a rule pushed
+before its covering drop rule, a link flapping while routes still point at
+it, a middlebox whose NAT bindings churn under traffic.  This package turns
+one exported snapshot directory into a whole update sequence and verifies
+every transient state along the way:
+
+``generator``
+    Seed-pinned :class:`~repro.scenarios.generator.Scenario` objects — an
+    update sequence (ACL/FIB rule inserts and deletes, link flaps, stateful
+    middlebox churn) where every step is materialized as a directory edit,
+    so the delta-manifest machinery (:mod:`repro.core.delta`) sees each
+    transient state natively.
+
+``executor``
+    :class:`~repro.scenarios.executor.ScenarioCampaign` — a baseline
+    campaign at step 0, then one delta-spliced re-verification per
+    transient state, replaying a query batch compiled once
+    (:mod:`repro.api`).  Invariant: each step's answers are bit-identical
+    to a scratch campaign over that snapshot.
+
+``reduce``
+    Structural feature extraction over the violating traces, DBSCAN-style
+    clustering and representative ranking, so a sequence that emits
+    thousands of violations reports a handful of root causes.
+"""
+
+from repro.scenarios.executor import ScenarioCampaign, ScenarioRun, StepOutcome
+from repro.scenarios.generator import Scenario, UpdateStep, generate_scenario
+from repro.scenarios.reduce import (
+    ViolationCluster,
+    cluster_violations,
+    trace_features,
+    violation_fingerprint,
+)
+
+__all__ = [
+    "Scenario",
+    "UpdateStep",
+    "generate_scenario",
+    "ScenarioCampaign",
+    "ScenarioRun",
+    "StepOutcome",
+    "ViolationCluster",
+    "cluster_violations",
+    "trace_features",
+    "violation_fingerprint",
+]

@@ -21,6 +21,9 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Sequence, Tuple
 
+from repro.models.asa import AsaConfig
+from repro.models.firewall import AclRule
+from repro.parsers.asa_config import format_asa_config
 from repro.parsers.mac_table import format_mac_table
 from repro.parsers.routing_table import format_routing_table
 from repro.parsers.service_acl import format_service_acl
@@ -29,8 +32,35 @@ from repro.workloads.stanford import SERVICE_ACL_PORTS, build_stanford_like_back
 
 
 def _write(directory: str, name: str, content: str) -> None:
-    with open(os.path.join(directory, name), "w", encoding="utf-8") as handle:
+    # newline="\n" pins the on-disk bytes across platforms: repeated exports
+    # of the same workload+seed must be byte-identical (scenario steps and
+    # the delta manifest both hash exactly these bytes).
+    with open(
+        os.path.join(directory, name), "w", encoding="utf-8", newline="\n"
+    ) as handle:
         handle.write(content)
+
+
+def _edge_asa_config(seed: int) -> AsaConfig:
+    """A deterministic edge-firewall config: static NAT bindings from the
+    public range into zone-0 address space plus matching inbound permits
+    (the stateful-middlebox surface scenario churn rewrites)."""
+    static_nat: List[Tuple[str, str]] = []
+    inbound: List[AclRule] = []
+    for slot in range(2):
+        public = f"141.85.37.{10 + slot}"
+        private = f"10.0.{20 + ((seed + slot) % 200)}.{9 + slot}"
+        static_nat.append((public, private))
+        inbound.append(
+            AclRule(
+                action="allow",
+                src=None,
+                dst=f"{private}/32",
+                proto=6,
+                dst_port=80 if slot == 0 else 443,
+            )
+        )
+    return AsaConfig(static_nat=static_nat, inbound_rules=inbound)
 
 
 def export_stanford_directory(
@@ -39,6 +69,7 @@ def export_stanford_directory(
     internal_prefixes_per_zone: int = 200,
     service_acl_rules: int = 4,
     seed: int = 11,
+    edge_asa: bool = False,
 ) -> List[Tuple[str, str]]:
     """Write the Stanford-style backbone (zone routers dual-homed to two
     cores, each zone fronted by a service ACL) as a snapshot directory.
@@ -47,6 +78,14 @@ def export_stanford_directory(
     vantage points :func:`repro.workloads.stanford.campaign_network` uses,
     so campaigns over the directory and over the in-process workload ask
     the same question.
+
+    With ``edge_asa`` the directory also gets a stateful edge firewall
+    (``edge.conf``, the :mod:`repro.models.asa` pipeline): its inside exit
+    feeds the first core router, nothing links back into it, so Internet-side
+    traffic enters at ``edge-static-nat:in0``, is NAT-rewritten into zone-0
+    space and routed onward — while config churn on ``edge.conf`` stays a
+    two-port delta (the ASA island is unreachable from every other
+    injection).
     """
     workload = build_stanford_like_backbone(
         zones=zones,
@@ -65,6 +104,12 @@ def export_stanford_directory(
         lines.append(f"device {acl} service-acl {acl}.acl")
         lines.append(f"link {acl}:out0 -> {router}:in-hosts")
         injections.append((acl, "in0"))
+    if edge_asa:
+        _write(directory, "edge.conf", format_asa_config(_edge_asa_config(seed)))
+        lines.append("device edge asa edge.conf")
+        core = workload.core_routers[0]
+        lines.append(f"link edge-options-in:out0 -> {core}:in-edge")
+        injections.append(("edge-static-nat", "in0"))
     for link in workload.network.links:
         lines.append(
             f"link {link.source.element}:{link.source.port} -> "
@@ -115,3 +160,23 @@ def export_department_style_directory(
     injections.append(("edge", "in0"))
     _write(directory, "topology.txt", "\n".join(lines) + "\n")
     return injections
+
+
+#: Exporters by workload name (the scenario CLI's ``--workload`` values).
+EXPORTERS = {
+    "stanford": export_stanford_directory,
+    "department": export_department_style_directory,
+}
+
+
+def export_workload_directory(
+    name: str, directory: str, **options: object
+) -> List[Tuple[str, str]]:
+    """Export a named workload as a snapshot directory; returns the
+    injection ports the exporter registers."""
+    try:
+        exporter = EXPORTERS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPORTERS))
+        raise ValueError(f"unknown exportable workload {name!r} (have: {known})")
+    return exporter(directory, **options)

@@ -291,7 +291,8 @@ class TestCampaignDelta:
         rerun, rerun_runs = _run(net, injections, store=store)
         assert rerun.stats.jobs_spliced_by_delta == 0
         assert rerun.delta_info == {
-            "spliced": 0, "reason": "topology.txt changed",
+            "spliced": 0, "executed": len(injections),
+            "reason": "topology.txt changed",
         }
         assert rerun_runs == cold_runs
         assert _fingerprints(rerun) == _fingerprints(cold)

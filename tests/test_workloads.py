@@ -261,3 +261,92 @@ class TestStanfordBackbone:
         result = hsa.reachability("zr0", "in-hosts")
         assert result.reaches("core0", "in-z0")
         assert result.reaches("zr1", "hosts")
+
+
+class TestExportByteIdentity:
+    """Exported directories are the substrate scenario campaigns edit and
+    fingerprint, so repeated exports of the same workload/options must be
+    byte-identical — within a process and across processes with different
+    hash seeds."""
+
+    OPTIONS = dict(
+        zones=2, internal_prefixes_per_zone=4, service_acl_rules=2,
+        seed=11, edge_asa=True,
+    )
+
+    @staticmethod
+    def _digests(directory):
+        import hashlib
+        import os
+
+        out = {}
+        for name in sorted(os.listdir(directory)):
+            with open(os.path.join(directory, name), "rb") as handle:
+                out[name] = hashlib.sha256(handle.read()).hexdigest()
+        return out
+
+    def test_repeated_stanford_exports_are_byte_identical(self, tmp_path):
+        from repro.workloads.export import export_stanford_directory
+
+        digests = []
+        for name in ("one", "two"):
+            directory = tmp_path / name
+            directory.mkdir()
+            export_stanford_directory(str(directory), **self.OPTIONS)
+            digests.append(self._digests(str(directory)))
+        assert digests[0] == digests[1]
+
+    def test_repeated_department_exports_are_byte_identical(self, tmp_path):
+        from repro.workloads.export import export_department_style_directory
+
+        digests = []
+        for name in ("one", "two"):
+            directory = tmp_path / name
+            directory.mkdir()
+            export_department_style_directory(
+                str(directory), switches=2, macs_per_port=2
+            )
+            digests.append(self._digests(str(directory)))
+        assert digests[0] == digests[1]
+
+    def test_exports_stable_across_hash_seeds(self, tmp_path):
+        """Iteration order over sets/dicts must never leak into the bytes:
+        export under two different PYTHONHASHSEED values and compare."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "import hashlib, json, os, sys\n"
+            "from repro.workloads.export import export_workload_directory\n"
+            "directory = sys.argv[1]\n"
+            "export_workload_directory('stanford', directory, zones=2,\n"
+            "    internal_prefixes_per_zone=4, service_acl_rules=2,\n"
+            "    seed=11, edge_asa=True)\n"
+            "out = {n: hashlib.sha256(open(os.path.join(directory, n), 'rb')\n"
+            "    .read()).hexdigest() for n in sorted(os.listdir(directory))}\n"
+            "print(json.dumps(out, sort_keys=True))\n"
+        )
+        digests = []
+        for hash_seed in ("1", "4242"):
+            directory = tmp_path / f"seed{hash_seed}"
+            directory.mkdir()
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (env.get("PYTHONPATH"), "src") if p
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script, str(directory)],
+                capture_output=True, text=True, env=env, cwd=os.getcwd(),
+            )
+            assert proc.returncode == 0, proc.stderr
+            digests.append(json.loads(proc.stdout))
+        assert digests[0] == digests[1]
+        assert "edge.conf" in digests[0]
+
+    def test_unknown_workload_name_rejected(self, tmp_path):
+        from repro.workloads.export import export_workload_directory
+
+        with pytest.raises(ValueError, match="unknown exportable workload"):
+            export_workload_directory("no-such", str(tmp_path))
