@@ -71,6 +71,15 @@ BENCH_SCENARIO_JSON_PATH = os.environ.get(
 )
 
 
+#: Machine-readable records for the observability-overhead benchmark: wall
+#: time of the same pinned campaign with the no-op tracer vs a recording
+#: one, plus the span volume the traced run produced.
+BENCH_OBS_JSON_PATH = os.environ.get(
+    "SYMNET_BENCH_OBS_JSON",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_obs.json"),
+)
+
+
 def scaled(small, full):
     """Pick a workload size depending on the requested scale."""
     return full if FULL_SCALE else small
@@ -194,6 +203,16 @@ def bench_scenario_json():
     yield records
     if records:
         _merge_bench_records(BENCH_SCENARIO_JSON_PATH, records)
+
+
+@pytest.fixture(scope="session")
+def bench_obs_json():
+    """Collect tracing-overhead benchmark records and merge them into
+    ``BENCH_obs.json`` at the end of the session."""
+    records = []
+    yield records
+    if records:
+        _merge_bench_records(BENCH_OBS_JSON_PATH, records)
 
 
 @pytest.fixture(scope="session")

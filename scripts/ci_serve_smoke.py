@@ -12,7 +12,11 @@ asserts the three load-bearing service properties:
 * **cross-client dedup** — both requests merge into one plan
   (``merged_requests == 2``) and the service process executed exactly the
   merged plan's job count of engine runs, not the sum of the two
-  requests' (observable through the ``stats`` op with ``--workers 1``).
+  requests' (observable through the ``stats`` op with ``--workers 1``);
+* **live exposition** — the ``metrics`` op answers with Prometheus text
+  whose serve-event counters agree with the run that just happened and
+  which carries the core engine families (solver check tiers, job
+  latency histogram, degraded operations).
 """
 
 import os
@@ -69,6 +73,7 @@ def main():
             messages_a = a.drain(id_a)
             messages_b = b.drain(id_b)
             stats = a.stats()
+            metrics = a.metrics()
 
         accepted_a = next(m for m in messages_a if m["type"] == "accepted")
         accepted_b = next(m for m in messages_b if m["type"] == "accepted")
@@ -109,6 +114,23 @@ def main():
             f"dedup: {engine_runs} engine runs for {merged_jobs} merged jobs "
             f"(two requests, one plan)"
         )
+
+        # Exposition: the metrics verb renders the service-local registry
+        # (event counters, request-latency histogram) plus the process
+        # registry's core engine families.
+        assert metrics["type"] == "metrics", metrics
+        text = metrics["prometheus"]
+        for needle in (
+            'repro_serve_events_total{event="requests"} 2',
+            'repro_serve_events_total{event="merged_requests"} 2',
+            "repro_serve_request_seconds_count 1",
+            "repro_solver_checks_total",
+            "repro_job_seconds_bucket",
+            "repro_degraded_operations_total",
+        ):
+            assert needle in text, f"metrics text missing {needle!r}"
+        assert isinstance(metrics["slow_requests"], list)
+        print("metrics verb exposes serve counters + core engine families")
     finally:
         server.terminate()
         server.wait(timeout=30)

@@ -19,8 +19,11 @@ the *same* job reports with the *same* order-independent aggregation code.
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs import get_registry, get_tracer
 
 from repro.api.model import NetworkModel
 from repro.api.queries import Query, QueryResult, Requirements
@@ -151,6 +154,39 @@ def compile_plan(
     collects the whole batch's union (the pre-narrowing behaviour, kept as
     the comparison baseline for tests and benchmarks).
     """
+    with get_tracer().span(
+        "plan.compile",
+        queries=len(queries) if not isinstance(queries, Query) else 1,
+    ):
+        return _compile_plan_impl(
+            model,
+            queries,
+            packet=packet,
+            field_values=field_values,
+            max_hops=max_hops,
+            max_paths=max_paths,
+            strategy=strategy,
+            use_incremental_solver=use_incremental_solver,
+            shared_cache=shared_cache,
+            narrow_facts=narrow_facts,
+            symmetry=symmetry,
+        )
+
+
+def _compile_plan_impl(
+    model: NetworkModel,
+    queries: Sequence[Query],
+    *,
+    packet: str = "tcp",
+    field_values: Optional[Mapping[str, int]] = None,
+    max_hops: int = 128,
+    max_paths: int = 1_000_000,
+    strategy: str = "dfs",
+    use_incremental_solver: bool = True,
+    shared_cache: bool = True,
+    narrow_facts: bool = True,
+    symmetry: bool = True,
+) -> Plan:
     if isinstance(queries, Query):
         queries = (queries,)
     queries = tuple(queries)
@@ -481,7 +517,9 @@ def execute_plan(
         if cached is not None:
             restored = PlanResult.from_cached(plan, cached)
             if restored is not None:
+                _plan_cache_counter().inc(result="hit")
                 return restored
+        _plan_cache_counter().inc(result="miss")
     campaign = _campaign_for(
         plan,
         warm_cache=warm_cache,
@@ -500,6 +538,20 @@ def execute_plan(
     if model_fingerprint and plan_fingerprint and not result.job_errors:
         store.put_plan(model_fingerprint, plan_fingerprint, plan_result.to_dict())
     return plan_result
+
+
+def _plan_cache_counter():
+    return get_registry().counter(
+        "repro_plan_cache_total",
+        "Plan-result cache lookups against the store, by result.",
+    )
+
+
+def _first_result_histogram():
+    return get_registry().histogram(
+        "repro_stream_first_result_seconds",
+        "Seconds from plan execution start to the first streamed result.",
+    )
 
 
 def _campaign_for(
@@ -576,6 +628,7 @@ def execute_plan_streaming(
     batch path (every result is emitted immediately), and the returned
     :class:`PlanResult` is built from the streamed results themselves.
     """
+    started = time.perf_counter()
     use_store = store is not None and plan.shared_cache
     model_fingerprint = plan.model.fingerprint() if use_store else None
     plan_fingerprint = plan.fingerprint() if model_fingerprint else None
@@ -585,10 +638,13 @@ def execute_plan_streaming(
         if cached is not None:
             restored = PlanResult.from_cached(plan, cached)
             if restored is not None:
+                _plan_cache_counter().inc(result="hit")
+                _first_result_histogram().observe(time.perf_counter() - started)
                 if on_result is not None:
                     for index, cached_result in enumerate(restored.results):
                         on_result(index, cached_result, jobs_total, jobs_total)
                 return restored
+        _plan_cache_counter().inc(result="miss")
     campaign = _campaign_for(
         plan,
         store=store,
@@ -622,6 +678,13 @@ def execute_plan_streaming(
             pending.remove(item)
             index, _ = item
             result = plan.queries[index].evaluate(ctx)
+            if not streamed:
+                # Time-to-first-streamed-result: the latency a resident-
+                # service client actually feels, as opposed to the plan's
+                # barrier wall (repro.serve forwards answers from here).
+                _first_result_histogram().observe(
+                    time.perf_counter() - started
+                )
             streamed[index] = result
             if on_result is not None:
                 on_result(index, result, len(reports), jobs_total)

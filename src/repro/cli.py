@@ -60,10 +60,19 @@ from repro.core.campaign import (
 )
 from repro.core.engine import ExecutionSettings, SymbolicExecutor
 from repro.core.strategy import STRATEGIES
+from repro.obs import (
+    Tracer,
+    configure_logging,
+    get_logger,
+    set_tracer,
+    write_trace,
+)
 from repro.sefl.fields import HeaderField, standard_fields
 from repro.sefl.util import ip_to_number, mac_to_number
 from repro.workloads import CAMPAIGN_WORKLOADS
 from repro.workloads.export import EXPORTERS
+
+_LOG = get_logger("repro.cli")
 
 
 def _parse_field_value(field: HeaderField, text: str) -> int:
@@ -102,7 +111,7 @@ def _warn_validation_problems(model: NetworkModel) -> List[str]:
     findings without re-validating."""
     problems = model.validate()
     for problem in problems:
-        print(f"warning: {problem}", file=sys.stderr)
+        _LOG.warning("%s", problem)
     return problems
 
 
@@ -145,13 +154,36 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="symnet", description="SymNet reproduction command-line tool"
     )
+    # Diagnostics flags shared by every subcommand (parents=, so each
+    # subparser both accepts and documents them).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="diagnostics verbosity on stderr (default: info)",
+    )
+    common.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="shortcut for --log-level debug, with timestamps",
+    )
+    traced = argparse.ArgumentParser(add_help=False)
+    traced.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="record hierarchical spans (session, plan compile, campaign, "
+        "engine jobs — including pool workers — solver checks, store "
+        "publishes) and write them to FILE on exit: Chrome trace-event "
+        "JSON loadable in Perfetto, or JSONL when FILE ends in .jsonl",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    show = sub.add_parser("show", help="list the elements, ports and links of a network directory")
+    show = sub.add_parser(
+        "show", parents=[common],
+        help="list the elements, ports and links of a network directory",
+    )
     show.add_argument("directory")
 
     reach = sub.add_parser(
-        "reachability",
+        "reachability", parents=[common],
         help="inject a symbolic packet and dump the explored paths as JSON",
     )
     reach.add_argument("directory")
@@ -190,7 +222,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     query = sub.add_parser(
-        "query",
+        "query", parents=[common, traced],
         help="declarative network queries compiled onto one shared campaign "
         "plan (queries over the same injection port share one execution)",
     )
@@ -256,7 +288,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     camp = sub.add_parser(
-        "campaign",
+        "campaign", parents=[common, traced],
         help="network-wide verification: run one symbolic execution per "
         "injection port (optionally in parallel) and aggregate the results",
     )
@@ -357,7 +389,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     serve = sub.add_parser(
-        "serve",
+        "serve", parents=[common, traced],
         help="run the resident verification service: a line-delimited JSON "
         "session server that keeps models, the worker pool and the store "
         "hot across requests, merges compatible concurrent query batches "
@@ -390,7 +422,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_store_options(serve)
 
     scen = sub.add_parser(
-        "scenario",
+        "scenario", parents=[common, traced],
         help="transient-state scenario campaign: generate a seed-pinned "
         "update sequence over an exported (or given) snapshot directory, "
         "re-verify every transient state with delta splicing, and cluster "
@@ -475,7 +507,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     store = sub.add_parser(
-        "store",
+        "store", parents=[common],
         help="inspect or maintain a persistent verification store directory "
         "(the --store-dir of previous runs)",
     )
@@ -577,10 +609,9 @@ def _command_reachability(args: argparse.Namespace) -> int:
     else:
         print(report)
     if result.truncated:
-        print(
-            f"warning: exploration truncated at --max-paths={args.max_paths}; "
-            "pending states were discarded",
-            file=sys.stderr,
+        _LOG.warning(
+            "exploration truncated at --max-paths=%d; pending states were "
+            "discarded", args.max_paths,
         )
     return 0
 
@@ -598,17 +629,12 @@ def _command_campaign(args: argparse.Namespace) -> int:
             DeprecationWarning,
             stacklevel=2,
         )
-        print(
-            "warning: --query is deprecated; use the 'query' subcommand",
-            file=sys.stderr,
-        )
+        _LOG.warning("--query is deprecated; use the 'query' subcommand")
     if "all" in queries:
         queries = CAMPAIGN_QUERIES
     if args.symmetry_audit_seed is not None and not args.symmetry_audit:
-        print(
-            "warning: --symmetry-audit-seed has no effect without "
-            "--symmetry-audit",
-            file=sys.stderr,
+        _LOG.warning(
+            "--symmetry-audit-seed has no effect without --symmetry-audit"
         )
     baseline = None
     if args.delta_from:
@@ -645,28 +671,27 @@ def _command_campaign(args: argparse.Namespace) -> int:
 
     result = campaign.run(workers=args.workers)
     if result.stats.jobs_spliced_by_delta:
-        print(
-            f"note: delta verification spliced "
-            f"{result.stats.jobs_spliced_by_delta} of {result.stats.jobs} "
-            f"ports from the recorded baseline "
-            f"({result.delta_info.get('executed', 0)} executed)",
-            file=sys.stderr,
+        _LOG.info(
+            "delta verification spliced %d of %d ports from the recorded "
+            "baseline (%d executed)",
+            result.stats.jobs_spliced_by_delta,
+            result.stats.jobs,
+            result.delta_info.get("executed", 0),
         )
     if args.save_baseline:
         if result.baseline_payload is None:
-            print(
-                "warning: --save-baseline needs a snapshot-directory "
-                "network; no baseline written",
-                file=sys.stderr,
+            _LOG.warning(
+                "--save-baseline needs a snapshot-directory network; "
+                "no baseline written"
             )
         else:
             with open(args.save_baseline, "w", encoding="utf-8") as handle:
                 json.dump(result.baseline_payload, handle, indent=2)
                 handle.write("\n")
-            print(
-                f"wrote delta baseline to {args.save_baseline} "
-                f"({len(result.baseline_payload['reports'])} ports)",
-                file=sys.stderr,
+            _LOG.info(
+                "wrote delta baseline to %s (%d ports)",
+                args.save_baseline,
+                len(result.baseline_payload["reports"]),
             )
     report = result.to_json()
     if args.output:
@@ -685,7 +710,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
     else:
         print(report)
     for source_key, error in result.job_errors:
-        print(f"error: job {source_key} failed: {error}", file=sys.stderr)
+        _LOG.error("job %s failed: %s", source_key, error)
     return 1 if result.job_errors else 0
 
 
@@ -735,10 +760,8 @@ def _command_query(args: argparse.Namespace) -> int:
         delta=args.delta,
     )
     if result.from_cache:
-        print(
-            "note: answered from the store's plan-result cache "
-            "(0 engine jobs)",
-            file=sys.stderr,
+        _LOG.info(
+            "answered from the store's plan-result cache (0 engine jobs)"
         )
     report = result.to_json()
     if args.output:
@@ -756,7 +779,7 @@ def _command_query(args: argparse.Namespace) -> int:
     else:
         print(report)
     for source_key, error in result.job_errors:
-        print(f"error: job {source_key} failed: {error}", file=sys.stderr)
+        _LOG.error("job %s failed: %s", source_key, error)
     return 1 if result.job_errors else 0
 
 
@@ -784,7 +807,7 @@ def _command_scenario(args: argparse.Namespace) -> int:
             export_workload_directory(args.workload, directory, **options)
         except (TypeError, ValueError) as exc:
             raise SystemExit(f"cannot export workload {args.workload!r}: {exc}")
-        print(f"exported {args.workload} workload to {directory}", file=sys.stderr)
+        _LOG.info("exported %s workload to %s", args.workload, directory)
     else:
         directory = args.directory
 
@@ -820,11 +843,14 @@ def _command_scenario(args: argparse.Namespace) -> int:
         run = campaign.run()
     except (RuntimeError, ValueError) as exc:
         raise SystemExit(f"scenario failed: {exc}")
-    print(
-        f"verified {len(run.outcomes)} states ({len(scenario.steps)} steps): "
-        f"{run.steps_delta_spliced} delta-spliced, "
-        f"{len(run.violations)} violations in {len(run.clusters)} clusters",
-        file=sys.stderr,
+    _LOG.info(
+        "verified %d states (%d steps): %d delta-spliced, %d violations "
+        "in %d clusters",
+        len(run.outcomes),
+        len(scenario.steps),
+        run.steps_delta_spliced,
+        len(run.violations),
+        len(run.clusters),
     )
     report = run.to_json()
     if args.output:
@@ -856,7 +882,7 @@ def _command_store(args: argparse.Namespace) -> int:
         summary = store.describe()
         print(json.dumps(summary, indent=2, sort_keys=True))
         for path, reason in store.quarantined:
-            print(f"warning: quarantined {path}: {reason}", file=sys.stderr)
+            _LOG.warning("quarantined %s: %s", path, reason)
         return 0
     if args.action == "compact":
         outcome = store.compact()
@@ -865,7 +891,7 @@ def _command_store(args: argparse.Namespace) -> int:
             f"{outcome['segments_before']} -> {outcome['segments_after']} segments"
         )
         for path, reason in store.quarantined:
-            print(f"warning: quarantined {path}: {reason}", file=sys.stderr)
+            _LOG.warning("quarantined %s: %s", path, reason)
         return 0
     if args.action == "clear-plans":
         removed = store.invalidate_plans(args.model)
@@ -894,18 +920,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = _build_parser()
-    args, extras = parser.parse_known_args(argv)
-    if extras:
-        # Positionals split by interleaved options ("query DIR --workers 2
-        # 'loop()'") land here; only the query command accepts them, and
-        # only for non-option tokens.
-        if getattr(args, "command", None) != "query" or any(
-            token.startswith("-") for token in extras
-        ):
-            parser.error(f"unrecognized arguments: {' '.join(extras)}")
-        args.queries.extend(extras)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "show":
         return _command_show(args.directory)
     if args.command == "reachability":
@@ -921,6 +936,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "serve":
         return _command_serve(args)
     raise SystemExit(2)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args, extras = parser.parse_known_args(argv)
+    if extras:
+        # Positionals split by interleaved options ("query DIR --workers 2
+        # 'loop()'") land here; only the query command accepts them, and
+        # only for non-option tokens.
+        if getattr(args, "command", None) != "query" or any(
+            token.startswith("-") for token in extras
+        ):
+            parser.error(f"unrecognized arguments: {' '.join(extras)}")
+        args.queries.extend(extras)
+    configure_logging(
+        level=getattr(args, "log_level", None),
+        verbosity=getattr(args, "verbose", 0),
+    )
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        return _dispatch(args)
+    # Tracing is opt-in per invocation: install a recording tracer for the
+    # command's lifetime, restore the previous (no-op) one, and flush the
+    # recorded spans regardless of how the command ended.
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        with tracer.span("session", command=args.command):
+            return _dispatch(args)
+    finally:
+        set_tracer(previous)
+        try:
+            count = write_trace(trace_out, tracer)
+        except OSError as exc:
+            _LOG.warning("cannot write trace to %s: %s", trace_out, exc)
+        else:
+            _LOG.info("wrote %d spans to %s", count, trace_out)
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ produces bit-identical query results to a sequential run.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import random
 import time
@@ -83,6 +84,15 @@ from repro.store.sharding import (
     DEFAULT_SHARD_COUNT,
     ShardedTier,
 )
+from repro.obs import (
+    Tracer,
+    get_tracer,
+    record_campaign_stats,
+    record_job_report,
+    set_tracer,
+)
+
+_LOG = logging.getLogger(__name__)
 
 #: Packet templates a campaign (and the CLI) can inject, by name.
 PACKET_TEMPLATES = {
@@ -333,6 +343,11 @@ class CampaignJob:
     #: see repro.store.sharding) consulted on local cache misses when the
     #: campaign runs on a process pool.
     shared_cache: Optional[object] = field(default=None, compare=False, repr=False)
+    #: Record spans inside the (pool) worker and ship them back through
+    #: ``JobReport.spans``.  Telemetry only — deliberately absent from
+    #: ``_job_config_digest``, baselines and every report projection, so
+    #: tracing can never move an answer or split a symmetry class.
+    trace: bool = False
 
     @property
     def source_key(self) -> str:
@@ -390,6 +405,11 @@ class JobReport:
     #: Set when delta verification spliced this report from a stored
     #: baseline instead of executing it ("store" or "file").
     delta_spliced_from: str = ""
+    #: Span payloads recorded inside a pool worker (see repro.obs.trace),
+    #: carried back for the driver to re-parent under its campaign span.
+    #: Pure telemetry: excluded from ``to_dict``, ``semantic_projection``
+    #: and delta baselines, so traced and untraced runs stay bit-identical.
+    spans: Tuple[Dict[str, object], ...] = ()
 
     @property
     def source_key(self) -> str:
@@ -629,7 +649,37 @@ def execute_job(job: CampaignJob) -> JobReport:
 
     This is the process-pool entry point; it must stay a module-level
     function so it pickles by reference.
+
+    Tracing: ``job.trace`` (set only on pool submissions) installs a fresh
+    local tracer for the duration of the job and ships its spans back in
+    ``report.spans`` — the picklable channel the driver re-parents from.
+    It must not consult the process-global tracer: forked workers inherit
+    the driver's *enabled* tracer, whose forked copy can never deliver
+    spans back.  In-process execution (``job.trace`` unset) records
+    straight into the caller's tracer and nests naturally under the open
+    campaign span.
     """
+    tracer = get_tracer()
+    local: Optional[Tracer] = None
+    previous = None
+    if job.trace:
+        local = Tracer()
+        previous = set_tracer(local)
+        tracer = local
+    try:
+        with tracer.span(
+            "job", element=job.element, port=job.port, packet=job.packet
+        ):
+            report = _execute_job_impl(job)
+    finally:
+        if local is not None:
+            set_tracer(previous)
+    if local is not None:
+        report.spans = tuple(local.export())
+    return report
+
+
+def _execute_job_impl(job: CampaignJob) -> JobReport:
     report = JobReport(
         element=job.element, port=job.port, packet=job.packet, worker_pid=os.getpid()
     )
@@ -663,8 +713,17 @@ def execute_job(job: CampaignJob) -> JobReport:
 
                 store = VerificationStore(job.store_dir, shards=job.store_shards)
                 loaded = cache.merge(store.load(), strict=False)
-            except Exception:
+            except Exception as exc:
+                # An unreadable store only loses the warm start; the job
+                # still solves everything live.  Count the degrade (it
+                # rolls up into CampaignStats.degraded_operations) and say
+                # so — a silently cold cache looks like a perf regression.
                 loaded = 0
+                solver.stats.record_degraded_operation()
+                _LOG.warning(
+                    "verdict store %s unusable, job %s:%s runs cold: %s",
+                    job.store_dir, job.element, job.port, exc,
+                )
             cache.applied_tokens.add(job.store_token)
             merged += loaded
             solver.stats.record_merged_entries(loaded)
@@ -1567,6 +1626,10 @@ class VerificationCampaign:
         active_pool = None
         try:
             pool_jobs = exec_jobs
+            if get_tracer().enabled:
+                # Ask workers to record spans locally and ship them back in
+                # report.spans; the driver re-parents them (see finish()).
+                pool_jobs = [replace(job, trace=True) for job in pool_jobs]
             if self._shared_cache:
                 # Process-shared verdict tier: workers publish full-solve
                 # verdicts as they land, so symmetric jobs on *different*
@@ -1585,10 +1648,14 @@ class VerificationCampaign:
                     if self._warm_cache:
                         tier.seed(self._warm_cache)
                     pool_jobs = [
-                        replace(job, shared_cache=tier) for job in exec_jobs
+                        replace(job, shared_cache=tier) for job in pool_jobs
                     ]
-                except (OSError, RuntimeError):
+                except (OSError, RuntimeError) as exc:
                     manager = None
+                    _LOG.warning(
+                        "multiprocessing.Manager unavailable, running "
+                        "without the process-shared verdict tier: %s", exc,
+                    )
             try:
                 if pool is not None:
                     active_pool = pool
@@ -1601,7 +1668,11 @@ class VerificationCampaign:
                 # submitted, so this except provably means "no usable
                 # multiprocessing" and never swallows a job failure.
                 active_pool.submit(os.getpid).result()
-            except (OSError, RuntimeError):
+            except (OSError, RuntimeError) as exc:
+                _LOG.warning(
+                    "process pool unavailable (%s); executing %d job(s) "
+                    "in-process", exc, len(exec_jobs),
+                )
                 active_pool = None
                 if own_pool is not None:
                     own_pool.shutdown(wait=False)
@@ -1657,6 +1728,20 @@ class VerificationCampaign:
         requests); a borrowed pool is never shut down here.  Either way the
         aggregated result is bit-identical to the default barrier run.
         """
+        tracer = get_tracer()
+        with tracer.span(
+            "campaign", source=self.source.describe(), workers=workers
+        ) as campaign_span:
+            return self._run(workers, on_report, pool, tracer, campaign_span)
+
+    def _run(
+        self,
+        workers: int,
+        on_report: Optional[Callable[[JobReport], None]],
+        pool: Optional[ProcessPoolExecutor],
+        tracer,
+        campaign_span,
+    ) -> CampaignResult:
         started = time.perf_counter()
         validation_problems = self.validate()
         store_degraded_before = (
@@ -1691,6 +1776,13 @@ class VerificationCampaign:
             symmetry class, every member report derived from it — the
             moment it completes."""
             nonlocal jobs_skipped, audit_runs
+            if report.spans:
+                # Worker-recorded spans: remap their ids into this
+                # process's trace and hang their roots off the campaign
+                # span.  Telemetry only — the report's answer is final
+                # before this line and untouched after it.
+                tracer.absorb(report.spans, parent_id=campaign_span.span_id)
+            record_job_report(report)
             final_reports.append(report)
             if on_report is not None:
                 on_report(report)
@@ -1698,17 +1790,23 @@ class VerificationCampaign:
             if entry is None:
                 return
             rep_job, members, fingerprint = entry
-            derived, skipped, audits = self._expand_representative(
-                plan,
-                rep_job,
-                members,
-                fingerprint,
-                report,
-                audit_choices.get((rep_job.element, rep_job.port), -1),
-            )
+            with tracer.span(
+                "symmetry.class",
+                representative=report.source_key,
+                members=len(members),
+            ):
+                derived, skipped, audits = self._expand_representative(
+                    plan,
+                    rep_job,
+                    members,
+                    fingerprint,
+                    report,
+                    audit_choices.get((rep_job.element, rep_job.port), -1),
+                )
             jobs_skipped += skipped
             audit_runs += audits
             for member_report in derived:
+                record_job_report(member_report)
                 final_reports.append(member_report)
                 if on_report is not None:
                     on_report(member_report)
@@ -1716,10 +1814,13 @@ class VerificationCampaign:
         # Spliced reports are already final: stream them first, they cost
         # nothing (aggregation is order-independent, so this cannot move
         # any answer).
-        for report in spliced_reports:
-            final_reports.append(report)
-            if on_report is not None:
-                on_report(report)
+        if spliced_reports:
+            with tracer.span("delta.splice", count=len(spliced_reports)):
+                for report in spliced_reports:
+                    record_job_report(report)
+                    final_reports.append(report)
+                    if on_report is not None:
+                        on_report(report)
         mode = self._execute_jobs(exec_jobs, workers, pool, finish)
         result = CampaignResult.aggregate(
             self.source.describe(),
@@ -1750,9 +1851,19 @@ class VerificationCampaign:
             # loudly and skip the publish instead of discarding the run.
             result.stats.store_entries_loaded = self._store.verdict_count()
             try:
-                result.stats.store_entries_published = self._store.publish(
-                    result.verdict_cache
-                )
+                publish_started = time.perf_counter()
+                with tracer.span(
+                    "store.publish", entries=len(result.verdict_cache)
+                ):
+                    result.stats.store_entries_published = self._store.publish(
+                        result.verdict_cache
+                    )
+                from repro.obs import get_registry
+
+                get_registry().histogram(
+                    "repro_store_publish_seconds",
+                    "Wall-clock seconds per campaign store publish.",
+                ).observe(time.perf_counter() - publish_started)
             except CacheConflictError as exc:
                 warnings.warn(
                     f"verdict store at {self._store.directory} conflicts "
@@ -1796,4 +1907,8 @@ class VerificationCampaign:
             result.stats.degraded_operations += (
                 self._store.degraded_operations - store_degraded_before
             )
+        # One registry publication per finished campaign: the roll-up
+        # counters that have no per-report home (symmetry skips, store
+        # traffic, degraded operations) land in repro.obs.metrics here.
+        record_campaign_stats(result.stats)
         return result

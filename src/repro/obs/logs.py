@@ -1,0 +1,104 @@
+"""Logging setup for the CLI and the resident service.
+
+Everything under the ``repro`` logger hierarchy (modules use
+``logging.getLogger(__name__)``, which nests under it) goes through one
+handler configured here.  Two formats:
+
+* default — ``warning: <message>``, byte-compatible with the bare
+  ``print(..., file=sys.stderr)`` diagnostics it replaced, so scripts
+  grepping CLI stderr keep working;
+* verbose (``-v`` / ``--log-level``) — timestamped
+  ``2026-08-07 12:00:00 warning repro.cli: <message>`` lines, the shape
+  a resident service's log collector wants.
+
+The handler resolves ``sys.stderr`` at emit time, not at configure time:
+a long-lived process (or a pytest ``capsys`` capture) that swaps the
+stream mid-run must see later records on the *current* stderr.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["configure_logging", "get_logger"]
+
+ROOT_LOGGER = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class _StderrHandler(logging.Handler):
+    """Writes to whatever ``sys.stderr`` is when the record is emitted."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            message = self.format(record)
+            stream = sys.stderr
+            stream.write(message + "\n")
+        except Exception:  # a broken stderr must never take down the run
+            self.handleError(record)
+
+
+class _LowercaseLevelFormatter(logging.Formatter):
+    """Formats levelname in lowercase so default-format warnings read
+    ``warning: ...`` exactly like the prints they replaced."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        record.levellower = record.levelname.lower()
+        return super().format(record)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.  Accepts both bare
+    (``"cli"``) and already-qualified (``"repro.cli"``, i.e. a module's
+    ``__name__``) names."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(
+    level: Optional[str] = None, verbosity: int = 0
+) -> logging.Logger:
+    """Install the ``repro`` handler.
+
+    ``level`` is an explicit level name (``--log-level``); ``verbosity``
+    is the count of ``-v`` flags (one or more means DEBUG).  With neither,
+    the level is INFO and the format is the print-compatible default;
+    with either, records carry timestamps and logger names.
+
+    Idempotent: reconfiguring replaces the previously installed handler
+    instead of stacking a second one (every CLI entry calls this)."""
+    logger = logging.getLogger(ROOT_LOGGER)
+    if level is not None:
+        resolved = _LEVELS[level.lower()]
+    elif verbosity > 0:
+        resolved = logging.DEBUG
+    else:
+        resolved = logging.INFO
+    verbose = level is not None or verbosity > 0
+    if verbose:
+        formatter = _LowercaseLevelFormatter(
+            "%(asctime)s %(levellower)s %(name)s: %(message)s",
+            datefmt="%Y-%m-%d %H:%M:%S",
+        )
+    else:
+        formatter = _LowercaseLevelFormatter("%(levellower)s: %(message)s")
+    handler = _StderrHandler()
+    handler.setFormatter(formatter)
+    for existing in list(logger.handlers):
+        if isinstance(existing, _StderrHandler):
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(resolved)
+    logger.propagate = False
+    return logger

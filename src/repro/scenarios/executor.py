@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.model import NetworkModel
 from repro.api.planner import Plan, compile_plan, execute_plan
+from repro.obs import get_tracer
 from repro.api.queries import ForAllPairs, Invariant, Loop, Query, Reach
 from repro.scenarios import reduce as reduce_mod
 from repro.scenarios.generator import Scenario, UpdateStep, read_directory_state, state_digest
@@ -283,14 +284,19 @@ class ScenarioCampaign:
 
         runs_before = execution_counters()["engine_runs"]
         started = time.perf_counter()
-        result = execute_plan(
-            plan,
-            workers=self.workers,
-            store=self.store,
-            cache_shards=self.cache_shards,
-            baseline=baseline if (self.delta and index > 0) else None,
-            delta=self.delta,
-        )
+        with get_tracer().span(
+            "scenario.state",
+            state=index,
+            edit=step.description if step is not None else "",
+        ):
+            result = execute_plan(
+                plan,
+                workers=self.workers,
+                store=self.store,
+                cache_shards=self.cache_shards,
+                baseline=baseline if (self.delta and index > 0) else None,
+                delta=self.delta,
+            )
         wall = time.perf_counter() - started
         engine_runs = execution_counters()["engine_runs"] - runs_before
         if result.job_errors:

@@ -85,6 +85,14 @@ class ServiceClient:
             if message.get("type") == "stats" and message.get("id") == request_id:
                 return message
 
+    def metrics(self) -> Dict[str, object]:
+        request_id = f"r{next(self._ids)}"
+        self.send({"op": "metrics", "id": request_id})
+        while True:
+            message = self.receive()
+            if message.get("type") == "metrics" and message.get("id") == request_id:
+                return message
+
     def ping(self) -> None:
         request_id = f"r{next(self._ids)}"
         self.send({"op": "ping", "id": request_id})

@@ -13,6 +13,7 @@ Requests (client → server)::
          shared_cache, symmetry, delta ...}
     {"op": "ping", "id": "r2"}
     {"op": "stats", "id": "r3"}
+    {"op": "metrics", "id": "r4"}
 
 Responses (server → client), all tagged with the request ``id``:
 
@@ -34,6 +35,10 @@ Responses (server → client), all tagged with the request ``id``:
   unknown workload, execution failure).  Partial results already streamed
   for the request remain valid.
 * ``{"type": "pong", "id"}`` / ``{"type": "stats", "id", ...}``.
+* ``{"type": "metrics", "id", "prometheus", "slow_requests"}`` — the
+  service's metrics registry rendered in Prometheus text exposition
+  format, plus the most recent slow-request log entries (wall seconds,
+  merged request count, query texts).
 
 The server also prints one ``{"type": "ready", "host", "port"}`` line on
 stdout once its socket is bound (``--port 0`` binds an ephemeral port, so
@@ -43,7 +48,7 @@ scripts must read it from here).
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 
 class ProtocolError(ValueError):
@@ -137,3 +142,16 @@ def error(request_id: str, message: str) -> Dict[str, object]:
 
 def pong(request_id: str) -> Dict[str, object]:
     return {"type": "pong", "id": request_id}
+
+
+def metrics(
+    request_id: str,
+    prometheus: str,
+    slow_requests: List[Dict[str, object]],
+) -> Dict[str, object]:
+    return {
+        "type": "metrics",
+        "id": request_id,
+        "prometheus": prometheus,
+        "slow_requests": slow_requests,
+    }

@@ -41,16 +41,22 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import logging
+import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, MutableMapping, Optional, Tuple
 
 from repro.api import NetworkModel, compile_plan, execute_plan_streaming, parse_query
 from repro.api.model import _directory_stat_key
 from repro.api.queries import Query
 from repro.core.campaign import execution_counters
+from repro.obs import MetricsRegistry, ensure_core_families, get_registry
 from repro.serve import protocol
 from repro.serve.protocol import ProtocolError
+
+_LOG = logging.getLogger(__name__)
 
 
 def results_digest(fingerprints: Iterable[str]) -> str:
@@ -175,8 +181,62 @@ def _parse_request(request_id: str, session, message: Dict[str, object]) -> Requ
     return request
 
 
+_COUNTER_NAMES = (
+    "requests",
+    "groups",
+    "merged_requests",
+    "plans_executed",
+    "plan_cache_hits",
+    "results_streamed",
+    "model_builds",
+    "model_rebuilds",
+    "overloaded",
+    "errors",
+)
+
+
+class _RegistryCounters(MutableMapping):
+    """The scheduler's hand-threaded counter dict, now literally backed by
+    a metrics registry: ``counters["requests"] += 1`` reads and writes one
+    labeled series of ``repro_serve_events_total``, so the ``stats`` verb
+    and the Prometheus exposition can never disagree."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._counter = registry.counter(
+            "repro_serve_events_total", "Service scheduler events by type."
+        )
+        self._names = list(_COUNTER_NAMES)
+        for name in self._names:
+            self._counter.inc(0, event=name)
+
+    def __getitem__(self, key: str) -> int:
+        if key not in self._names:
+            raise KeyError(key)
+        return int(self._counter.value(event=key))
+
+    def __setitem__(self, key: str, value: int) -> None:
+        if key not in self._names:
+            self._names.append(key)
+        self._counter.set_value(value, event=key)
+
+    def __delitem__(self, key: str) -> None:
+        raise TypeError("service counters cannot be removed")
+
+    def __iter__(self):
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+
 class VerificationService:
     """Resident state plus the batch-window scheduler (see module docs)."""
+
+    #: Requests slower than this end-to-end land in the slow-request log
+    #: the ``metrics`` verb exposes.
+    slow_request_seconds = 1.0
+    #: Bounded: the log is a diagnostic window, not an archive.
+    slow_request_limit = 32
 
     def __init__(
         self,
@@ -194,18 +254,21 @@ class VerificationService:
         self.store = store
         self.max_pending = max_pending
         self.batch_window = batch_window
-        self.counters: Dict[str, int] = {
-            "requests": 0,
-            "groups": 0,
-            "merged_requests": 0,
-            "plans_executed": 0,
-            "plan_cache_hits": 0,
-            "results_streamed": 0,
-            "model_builds": 0,
-            "model_rebuilds": 0,
-            "overloaded": 0,
-            "errors": 0,
-        }
+        #: Per-service registry: scheduler counters and request-latency
+        #: histograms live here (not in the process-global registry, so
+        #: two services in one process never mix their stats); the
+        #: ``metrics`` verb renders this registry plus the global one.
+        self.registry = MetricsRegistry()
+        self.counters: MutableMapping[str, int] = _RegistryCounters(
+            self.registry
+        )
+        self.slow_requests: Deque[Dict[str, object]] = deque(
+            maxlen=self.slow_request_limit
+        )
+        self._request_seconds = self.registry.histogram(
+            "repro_serve_request_seconds",
+            "End-to-end seconds per merged request group.",
+        )
         self._models: Dict[Tuple, NetworkModel] = {}
         self._queue: Optional[asyncio.Queue] = None
         self._scheduler_task: Optional[asyncio.Task] = None
@@ -255,6 +318,15 @@ class VerificationService:
         if op == "stats":
             session.send_nowait(self._stats_message(request_id))
             return
+        if op == "metrics":
+            session.send_nowait(
+                protocol.metrics(
+                    request_id,
+                    self.metrics_text(),
+                    list(self.slow_requests),
+                )
+            )
+            return
         if op != "query":
             session.send_nowait(
                 protocol.error(request_id, f"unknown op {op!r}")
@@ -278,6 +350,24 @@ class VerificationService:
             session.send_nowait(protocol.error(request_id, str(exc)))
             return
         self._queue.put_nowait(request)
+
+    def metrics_text(self) -> str:
+        """The live Prometheus exposition: this service's scheduler series
+        (request counters, request-latency histogram, admission gauges)
+        concatenated with the process-global registry (cache-tier hits,
+        job-latency histogram, degraded operations — everything the
+        campaigns running in this process published)."""
+        self.registry.gauge(
+            "repro_serve_pending", "Requests waiting on the admission queue."
+        ).set(self._queue.qsize() if self._queue is not None else 0)
+        self.registry.gauge(
+            "repro_serve_models_resident", "Hot NetworkModels held in memory."
+        ).set(len(self._models))
+        self.registry.gauge(
+            "repro_serve_workers", "Configured worker-pool size."
+        ).set(self.workers)
+        ensure_core_families()
+        return self.registry.render_prometheus() + get_registry().render_prometheus()
 
     def _stats_message(self, request_id: str) -> Dict[str, object]:
         message: Dict[str, object] = {"type": "stats", "id": request_id}
@@ -420,15 +510,38 @@ class VerificationService:
             )
             return plan_result, streamed_fingerprints
 
+        group_started = time.perf_counter()
         try:
             plan_result, fingerprints = await loop.run_in_executor(None, work)
         except Exception as exc:  # any failure answers every merged client
             self.counters["errors"] += 1
+            _LOG.warning(
+                "request group of %d failed, answering every merged "
+                "client with an error: %s", len(requests), exc,
+            )
             for request in requests:
                 request.session.send_nowait(
                     protocol.error(request.request_id, str(exc))
                 )
             return
+        elapsed = time.perf_counter() - group_started
+        self._request_seconds.observe(elapsed)
+        if elapsed >= self.slow_request_seconds:
+            self.slow_requests.append(
+                {
+                    "seconds": round(elapsed, 6),
+                    "requests": len(requests),
+                    "queries": sorted(
+                        {text for r in requests for text in r.texts}
+                    ),
+                    "jobs": plan_result.plan.job_count,
+                    "from_cache": plan_result.from_cache,
+                }
+            )
+            _LOG.warning(
+                "slow request group: %.3fs for %d merged request(s)",
+                elapsed, len(requests),
+            )
         self.counters["plans_executed"] += 1
         if plan_result.from_cache:
             self.counters["plan_cache_hits"] += 1

@@ -55,6 +55,7 @@ from repro.solver.ast import (
     linearize,
     to_nnf,
 )
+from repro.obs.trace import get_tracer
 from repro.solver.canonical import canonical_fingerprint
 from repro.solver.intervals import IntervalSet
 from repro.solver.result import SolverResult, SolverStats
@@ -350,9 +351,12 @@ class IncrementalSolver:
                 verdict = self.shared.get(key)
             except Exception:
                 # Broken proxy (manager gone, pipe closed): degrade to the
-                # local tiers for the rest of this solver's lifetime.
+                # local tiers for the rest of this solver's lifetime.  The
+                # counter keeps the degrade observable — answers stay
+                # correct, the shared tier's speedup is what was lost.
                 verdict = None
                 self.shared = None
+                self.stats.record_degraded_operation()
             if verdict == "unknown":
                 verdict = None
             if verdict is not None:
@@ -363,7 +367,16 @@ class IncrementalSolver:
                 return SolverResult(verdict=verdict)
         self._misses += 1
         self.stats.record_cache_miss()
-        result = self.base.check(list(conjuncts))
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Trace only full solves: they carry essentially all the solver
+            # wall time, and fast paths / cache hits are far too many to
+            # record span-per-check.  Guarding on ``enabled`` keeps the
+            # untraced hot path free of even the kwargs dict.
+            with tracer.span("solver.check", conjuncts=len(conjuncts)):
+                result = self.base.check(list(conjuncts))
+        else:
+            result = self.base.check(list(conjuncts))
         if result.verdict == "unknown":
             # Incompleteness, not an answer: budgets are consumed in
             # conjunct order, so an alpha-variant of this set might solve
@@ -382,6 +395,7 @@ class IncrementalSolver:
                 self.shared[key] = result.verdict
             except Exception:
                 self.shared = None
+                self.stats.record_degraded_operation()
         return result
 
     def cache_info(self) -> Tuple[int, int, int]:

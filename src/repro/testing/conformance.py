@@ -15,6 +15,7 @@ The procedure mirrors the paper's six steps:
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -217,6 +218,13 @@ class ConformanceTester:
             try:
                 final_term = path.state.read_variable(field_obj)
             except Exception:
+                # Expected control flow, not degradation: the field was
+                # deallocated on this path (e.g. decapsulated), so the
+                # observed value has nothing to constrain against.
+                logging.getLogger(__name__).debug(
+                    "field %s absent on path, skipping observed-value "
+                    "constraint", field_obj.name,
+                )
                 continue
             constraints.append(Eq(final_term, Const(observed.fields[field_obj.name])))
         return constraints

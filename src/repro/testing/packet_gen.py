@@ -7,6 +7,7 @@ header fields, resulting in a concrete packet p."
 
 from __future__ import annotations
 
+import logging
 import random
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -43,7 +44,13 @@ def injected_symbols(
     for field in fields:
         try:
             history = path.state.variable_history(field)
-        except Exception:  # field not present on this path (e.g. decapsulated)
+        except Exception:
+            # Expected control flow, not degradation: the field is not
+            # present on this path (e.g. decapsulated), so it has no
+            # injected symbol to report.
+            logging.getLogger(__name__).debug(
+                "field %s not present on path, no injected symbol", field.name
+            )
             continue
         if history:
             symbols[field.name] = history[0]
